@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``small`` experiment scale (structural properties preserved, laptop-sized)
+and prints the same rows/series the paper reports, annotated with the
+paper's qualitative expectation. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=paper`` for paper-sized instances (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import scale_by_name
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment scale used by every benchmark."""
+    return scale_by_name(os.environ.get("REPRO_BENCH_SCALE", "small"))

@@ -1,0 +1,31 @@
+"""Benchmark for Algorithm 1's scaling claims (Sections 4 and 5.1).
+
+The naive approach would form ``2^|P*|`` equations ("practically infeasible
+for any topology with more than a few tens of paths"); Algorithm 1 forms a
+number of equations on the order of the number of unknowns, and the
+requested-subset-size knob trades completeness for time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import run_algorithm1_scaling
+
+
+@pytest.mark.benchmark(group="algorithm1")
+def test_algorithm1_scaling(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_algorithm1_scaling(bench_scale, seed=3, subset_sizes=[1, 2]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Algorithm 1 scaling - equations formed vs the naive 2^|P*| bound")
+    print(result.to_table())
+    for row in result.rows:
+        # Massively fewer equations than the naive enumeration.
+        assert row.num_equations < 50_000
+        assert row.rank <= row.num_equations
+        assert row.num_identifiable <= row.num_unknowns
+    assert result.rows[0].num_unknowns <= result.rows[1].num_unknowns

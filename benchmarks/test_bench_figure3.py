@@ -1,0 +1,72 @@
+"""Benchmarks regenerating Fig. 3: Boolean-inference accuracy.
+
+Paper expectation (Section 3.2): all three algorithms do well under Random
+congestion on the dense Brite topology; Sparsity degrades under
+Concentrated congestion; Bayesian-Independence under No Independence;
+Bayesian-Correlation under No Stationarity; and **all** algorithms suffer
+on the Sparse topology (Bayesian-Independence keeps a high detection rate
+only by aggressively marking links, i.e. at a high false-positive cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+
+_RESULT_CACHE = {}
+
+
+def _result(scale, seed=1):
+    key = (scale.name, seed)
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_figure3(scale, seed=seed)
+    return _RESULT_CACHE[key]
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3a_detection_rate(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 3(a) - detection rate (paper: ~0.9 easy cases, lower when")
+    print("an algorithm's assumption breaks; everything suffers on Sparse)")
+    print(result.to_table("detection"))
+    for scenario in ("Random Congestion", "Sparse Topology"):
+        for algorithm in ("Sparsity", "Bayesian-Independence", "Bayesian-Correlation"):
+            assert 0.0 <= result.detection(scenario, algorithm) <= 1.0
+    # Shape check: the Sparse topology is harder than Random/Brite for the
+    # cover-style algorithms.
+    assert result.detection("Sparse Topology", "Sparsity") <= result.detection(
+        "Random Congestion", "Bayesian-Independence"
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3b_false_positive_rate(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 3(b) - false-positive rate (paper: small in easy cases;")
+    print("rises sharply on the Sparse topology)")
+    print(result.to_table("fp"))
+    # Shape check: sparse topologies push false positives up.
+    sparse_fp = max(
+        result.false_positives("Sparse Topology", algorithm)
+        for algorithm in (
+            "Sparsity",
+            "Bayesian-Independence",
+            "Bayesian-Correlation",
+        )
+    )
+    easy_fp = min(
+        result.false_positives("No Independence", algorithm)
+        for algorithm in (
+            "Sparsity",
+            "Bayesian-Independence",
+            "Bayesian-Correlation",
+        )
+    )
+    assert sparse_fp >= easy_fp

@@ -1,0 +1,90 @@
+"""Benchmarks regenerating Fig. 4: Probability Computation accuracy.
+
+Paper expectation (Section 5.4): on Brite all estimators do well under
+Random/Concentrated congestion while Independence roughly doubles its error
+under No Independence; on Sparse topologies Independence and the
+Correlation-heuristic degrade (Independence up to ~3x worse than
+Correlation-complete under No Independence); Correlation-complete's CDF
+dominates; and the correlation-subset probabilities are computed with a
+mean absolute error of ~0.1 or less.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import ESTIMATOR_ORDER, run_figure4
+
+_RESULT_CACHE = {}
+
+
+def _result(scale, seed=2):
+    key = (scale.name, seed)
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_figure4(scale, seed=seed)
+    return _RESULT_CACHE[key]
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4a_brite_link_error(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 4(a) - mean abs error of link congestion probability, Brite")
+    print("(paper: all <= 0.07; Independence ~2x worse under No Independence)")
+    print(result.to_table("brite"))
+    # Shape: Correlation-complete is at least as accurate as Independence
+    # under link correlations.
+    assert result.mean_error(
+        "brite", "No Independence", "Correlation-complete"
+    ) <= result.mean_error("brite", "No Independence", "Independence") + 0.01
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4b_sparse_link_error(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 4(b) - mean abs error, Sparse topologies")
+    print("(paper: Independence/heuristic degrade; Correlation-complete wins)")
+    print(result.to_table("sparse"))
+    complete = result.mean_error("sparse", "No Independence", "Correlation-complete")
+    independence = result.mean_error("sparse", "No Independence", "Independence")
+    assert complete <= independence + 0.01
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4c_error_cdf(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 4(c) - CDF of abs error, No Independence, Sparse")
+    print("(paper: Correlation-complete <0.1 error for ~80% of links)")
+    coverage = {}
+    for estimator in ESTIMATOR_ORDER:
+        grid, cdf = result.cdf("sparse", "No Independence", estimator, points=11)
+        series = "  ".join(f"{x:.1f}:{y:.2f}" for x, y in zip(grid, cdf))
+        print(f"  {estimator:<22} {series}")
+        coverage[estimator] = cdf[1]  # fraction of links with error <= 0.1
+    assert coverage["Correlation-complete"] >= 0.6
+    assert (
+        coverage["Correlation-complete"] >= coverage["Independence"] - 0.05
+    )
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4d_subset_error(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: _result(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 4(d) - Correlation-complete: links vs correlation subsets")
+    print("(paper: subset probabilities accurate, mean abs error <= ~0.1)")
+    print(result.to_subset_table())
+    for topology, (link_error, subset_error) in result.subset_rows.items():
+        assert link_error <= 0.2
+        if subset_error is not None:
+            assert subset_error <= 0.12

@@ -1,0 +1,126 @@
+"""Using correlation-subset probabilities to pick failure-disjoint paths.
+
+Section 5.4: "Knowing these probabilities reveals which links within each
+peer are actually correlated; this can be useful for computing 'disjoint'
+paths to some destination, i.e., paths that are not likely to fail at the
+same time."
+
+This example monitors a dense Brite topology, fits Correlation-complete,
+and then — for pairs of monitored paths — estimates the probability that
+both paths are congested simultaneously, picking the pair that minimises
+joint failure. A naive independence model ranks some strongly-correlated
+pairs as safe; the correlation-aware model avoids them.
+
+Run:  python examples/disjoint_paths.py
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro import (
+    CorrelationCompleteEstimator,
+    EstimatorConfig,
+    IndependenceEstimator,
+    generate_brite_network,
+)
+from repro.simulation.experiment import run_experiment
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+from repro.topology.brite import BriteConfig
+
+
+def joint_failure_probability(model, network, path_a, path_b) -> float:
+    """P(path_a and path_b both congested) under the fitted model.
+
+    Both paths fail together iff each traverses at least one congested
+    link; we use the complementary all-good probabilities:
+
+        P(A bad, B bad) = 1 - P(A good) - P(B good) + P(A good, B good)
+    """
+    links_a = network.links_covered([path_a])
+    links_b = network.links_covered([path_b])
+    p_a_good = model.prob_all_good(links_a)
+    p_b_good = model.prob_all_good(links_b)
+    p_both_good = model.prob_all_good(links_a | links_b)
+    return max(0.0, 1.0 - p_a_good - p_b_good + p_both_good)
+
+
+def main() -> None:
+    network = generate_brite_network(
+        BriteConfig(
+            num_ases=16,
+            as_attachment=2,
+            routers_per_as=4,
+            inter_as_links=2,
+            num_vantage_points=3,
+            num_destinations=60,
+            num_paths=200,
+        ),
+        random_state=31,
+    )
+    scenario = build_scenario(
+        network,
+        ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE),
+        random_state=32,
+    )
+    experiment = run_experiment(scenario, num_intervals=800, random_state=33)
+    config = EstimatorConfig(requested_subset_size=2, seed=34)
+
+    correlated_model = CorrelationCompleteEstimator(config).fit(
+        network, experiment.observations
+    )
+    independent_model = IndependenceEstimator(config).fit(
+        network, experiment.observations
+    )
+
+    # Consider path pairs sharing a destination-side AS (plausible backup
+    # candidates); score their joint failure probability both ways.
+    candidates = []
+    for path_a, path_b in combinations(range(network.num_paths), 2):
+        last_a = network.links[network.paths[path_a].links[-1]]
+        last_b = network.links[network.paths[path_b].links[-1]]
+        if last_a.asn != last_b.asn or path_a == path_b:
+            continue
+        correlated = joint_failure_probability(
+            correlated_model, network, path_a, path_b
+        )
+        independent = joint_failure_probability(
+            independent_model, network, path_a, path_b
+        )
+        truth_a = network.links_covered([path_a])
+        truth_b = network.links_covered([path_b])
+        true_joint = (
+            1.0
+            - scenario.ground_truth.prob_all_good(truth_a)
+            - scenario.ground_truth.prob_all_good(truth_b)
+            + scenario.ground_truth.prob_all_good(truth_a | truth_b)
+        )
+        candidates.append((path_a, path_b, correlated, independent, true_joint))
+        if len(candidates) >= 400:
+            break
+
+    if not candidates:
+        print("No same-destination path pairs found; re-seed the example.")
+        return
+
+    print("Path pairs toward a shared destination AS, ranked by the")
+    print("correlation-aware joint failure probability (lowest = best backup):")
+    candidates.sort(key=lambda entry: entry[2])
+    print(f"{'pair':<14}{'corr-aware':>12}{'independence':>14}{'true':>8}")
+    for path_a, path_b, correlated, independent, true_joint in candidates[:5]:
+        print(
+            f"({path_a:>4},{path_b:>4}) {correlated:>11.3f} "
+            f"{independent:>13.3f} {max(true_joint, 0.0):>7.3f}"
+        )
+    worst = max(candidates, key=lambda entry: abs(entry[2] - entry[3]))
+    print(
+        "\nLargest disagreement between the two models: pair "
+        f"({worst[0]}, {worst[1]}): correlation-aware {worst[2]:.3f} vs "
+        f"independence {worst[3]:.3f} (true {max(worst[4], 0.0):.3f})"
+    )
+    print("Independence underestimates joint failures of correlated paths;")
+    print("the correlation-aware model is the one to trust for backups.")
+
+
+if __name__ == "__main__":
+    main()

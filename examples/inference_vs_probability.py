@@ -1,0 +1,89 @@
+"""The paper's core argument in one script: shift the goal.
+
+On the same sparse topology and the same observations, run (a) the three
+Boolean-inference algorithms — which must name the congested links of every
+interval — and (b) Congestion Probability Computation, which only reports
+how frequently links are congested. Inference accuracy collapses on the
+sparse view; the probability estimates remain useful.
+
+Run:  python examples/inference_vs_probability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BayesianCorrelationInference,
+    BayesianIndependenceInference,
+    CorrelationCompleteEstimator,
+    EstimatorConfig,
+    SparsityInference,
+)
+from repro.metrics.boolean import evaluate_inference
+from repro.metrics.probability import evaluate_estimator
+from repro.simulation.experiment import run_experiment
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+from repro.topology.brite import BriteConfig
+from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+
+def main() -> None:
+    network = generate_sparse_network(
+        TracerouteConfig(
+            underlay=BriteConfig(
+                num_ases=60,
+                as_attachment=1,
+                routers_per_as=5,
+                inter_as_links=1,
+                num_vantage_points=2,
+                num_destinations=120,
+                num_paths=300,
+            ),
+            num_probes=1500,
+            response_prob=0.95,
+            max_kept_paths=220,
+        ),
+        random_state=21,
+    )
+    scenario = build_scenario(
+        network, ScenarioConfig(kind=ScenarioKind.RANDOM), random_state=22
+    )
+    experiment = run_experiment(scenario, num_intervals=200, random_state=23)
+    print(f"Sparse topology: {network.num_links} links, {network.num_paths} paths")
+
+    config = EstimatorConfig(seed=24)
+    print("\n-- Boolean Inference (per-interval congested-link sets) --")
+    for algorithm in (
+        SparsityInference(),
+        BayesianIndependenceInference(config),
+        BayesianCorrelationInference(config, random_state=24),
+    ):
+        metrics = evaluate_inference(algorithm, experiment)
+        print(
+            f"  {algorithm.name:<22} detection {metrics.detection_rate:.2f}  "
+            f"false positives {metrics.false_positive_rate:.2f}"
+        )
+    print(
+        "  -> with misses and false blames at this level, attributing a\n"
+        "     specific outage to a specific peer link is not defensible."
+    )
+
+    print("\n-- Probability Computation (how often is each link congested) --")
+    estimator = CorrelationCompleteEstimator(config)
+    metrics = evaluate_estimator(estimator, experiment)
+    print(
+        f"  {estimator.name:<22} mean abs error "
+        f"{metrics.mean_absolute_error:.3f} over {metrics.num_links_scored} links"
+    )
+    grid, cdf = metrics.cdf(points=11)
+    within = cdf[1]
+    print(f"  {within:.0%} of links estimated within 0.1 of their true probability")
+    print(
+        "  -> the operator learns how frequently each peer's links are\n"
+        "     congested over the window - accurate on the same sparse view."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP 517
+editable installs fail; this shim enables
+``pip install -e . --no-build-isolation --no-use-pep517``. All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

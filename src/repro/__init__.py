@@ -1,0 +1,85 @@
+"""repro — reproduction of *Shifting Network Tomography Toward A Practical
+Goal* (Ghita, Karakus, Argyraki, Thiran; ACM CoNEXT 2011).
+
+The library implements:
+
+* the network model of Section 2 (links, paths, correlation sets per AS);
+* synthetic topology substrates: a BRITE-like dense generator and a
+  traceroute-campaign simulator producing sparse operator views;
+* the congestion simulator of Section 3.2 (driver-based correlated
+  congestion, the loss model of [12], packet-level E2E probing);
+* three Boolean Inference algorithms: Sparsity (Tomo), Bayesian-Independence
+  (CLINK), and Bayesian-Correlation;
+* three Probability Computation algorithms: Independence, the
+  Correlation-heuristic of [9], and the paper's **Correlation-complete**
+  (Algorithm 1 with the incremental null-space update of Algorithm 2);
+* metrics and experiment drivers regenerating every figure and table.
+
+Quickstart
+----------
+>>> from repro import fig1_topology, CorrelationCompleteEstimator
+>>> network = fig1_topology(case=1)
+
+See ``examples/quickstart.py`` for a full walk-through.
+"""
+
+from repro.exceptions import (
+    EstimationError,
+    IdentifiabilityError,
+    InferenceError,
+    ReproError,
+    ScenarioError,
+    TopologyError,
+)
+from repro.topology import (
+    BriteConfig,
+    Link,
+    Network,
+    Path,
+    TracerouteConfig,
+    fig1_topology,
+    generate_brite_network,
+    generate_sparse_network,
+    network_from_paths,
+)
+from repro.probability import (
+    CongestionProbabilityModel,
+    CorrelationCompleteEstimator,
+    CorrelationHeuristicEstimator,
+    EstimatorConfig,
+    IndependenceEstimator,
+)
+from repro.inference import (
+    BayesianCorrelationInference,
+    BayesianIndependenceInference,
+    SparsityInference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ScenarioError",
+    "EstimationError",
+    "InferenceError",
+    "IdentifiabilityError",
+    "Link",
+    "Path",
+    "Network",
+    "fig1_topology",
+    "network_from_paths",
+    "BriteConfig",
+    "generate_brite_network",
+    "TracerouteConfig",
+    "generate_sparse_network",
+    "EstimatorConfig",
+    "CongestionProbabilityModel",
+    "CorrelationCompleteEstimator",
+    "CorrelationHeuristicEstimator",
+    "IndependenceEstimator",
+    "SparsityInference",
+    "BayesianIndependenceInference",
+    "BayesianCorrelationInference",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Operator-facing analysis on top of fitted probability models.
+
+Turns a :class:`~repro.probability.query.CongestionProbabilityModel` into
+the reports the paper's source ISP actually wants: per-peer congestion
+summaries, correlated-failure groups, and rendered monitoring reports.
+"""
+
+from repro.analysis.peers import (
+    CorrelatedGroup,
+    PeerReport,
+    PeerSummary,
+    build_peer_report,
+)
+
+__all__ = [
+    "CorrelatedGroup",
+    "PeerReport",
+    "PeerSummary",
+    "build_peer_report",
+]

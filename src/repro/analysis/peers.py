@@ -1,0 +1,165 @@
+"""Per-peer congestion reports — the paper's Section 1 deliverable.
+
+"For each peer, the source ISP wants to understand: when the peer is
+responsible for connectivity/performance problems ...; how frequently the
+peer is congested ...". This module aggregates a fitted probability model
+into per-AS summaries and correlated-failure groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.metrics.reporting import format_table
+from repro.probability.query import CongestionProbabilityModel
+from repro.topology.graph import Network
+
+
+@dataclass
+class PeerSummary:
+    """Congestion summary for one peer AS.
+
+    Attributes
+    ----------
+    asn:
+        The peer's AS number.
+    num_links:
+        Monitored links inside the peer.
+    worst_link, worst_probability:
+        The most congestion-prone monitored link and its probability.
+    mean_probability:
+        Mean congestion probability over the peer's monitored links.
+    any_link_congestion:
+        Probability that at least one of the peer's monitored links is
+        congested (1 - P(all good)) — the "peer is congested" event.
+    identifiable_fraction:
+        Fraction of the peer's links whose probabilities the data pins
+        down uniquely; low values mean the view of this peer is too sparse
+        to trust in detail.
+    """
+
+    asn: int
+    num_links: int
+    worst_link: int
+    worst_probability: float
+    mean_probability: float
+    any_link_congestion: float
+    identifiable_fraction: float
+
+
+@dataclass
+class CorrelatedGroup:
+    """Links inside one peer that congest together."""
+
+    asn: int
+    links: FrozenSet[int]
+    joint_probability: float
+    identifiable: bool
+
+
+@dataclass
+class PeerReport:
+    """All peer summaries plus intra-peer correlated groups."""
+
+    summaries: List[PeerSummary] = field(default_factory=list)
+    correlated_groups: List[CorrelatedGroup] = field(default_factory=list)
+
+    def ranked(self) -> List[PeerSummary]:
+        """Summaries ordered worst peer first."""
+        return sorted(self.summaries, key=lambda s: -s.any_link_congestion)
+
+    def summary_for(self, asn: int) -> Optional[PeerSummary]:
+        """The summary of peer ``asn`` (None if not monitored)."""
+        for summary in self.summaries:
+            if summary.asn == asn:
+                return summary
+        return None
+
+    def to_table(self, top: int = 10) -> str:
+        """Render the worst ``top`` peers as text."""
+        rows = []
+        for summary in self.ranked()[:top]:
+            rows.append(
+                [
+                    f"AS{summary.asn}",
+                    summary.num_links,
+                    f"e{summary.worst_link}",
+                    summary.worst_probability,
+                    summary.mean_probability,
+                    summary.any_link_congestion,
+                    summary.identifiable_fraction,
+                ]
+            )
+        return format_table(
+            [
+                "peer",
+                "links",
+                "worst link",
+                "P(worst)",
+                "mean P",
+                "P(any congested)",
+                "identifiable",
+            ],
+            rows,
+        )
+
+
+def build_peer_report(
+    network: Network,
+    model: CongestionProbabilityModel,
+    min_joint_probability: float = 0.02,
+    max_group_size: int = 3,
+) -> PeerReport:
+    """Aggregate a fitted model into per-peer summaries.
+
+    Parameters
+    ----------
+    network:
+        The monitored topology (supplies the link -> AS mapping).
+    model:
+        A fitted probability model (any estimator).
+    min_joint_probability:
+        Correlated groups with a smaller joint congestion probability are
+        omitted from the report.
+    max_group_size:
+        Largest correlated-group size reported.
+    """
+    report = PeerReport()
+    by_asn: Dict[int, List[int]] = {}
+    for link in network.links:
+        by_asn.setdefault(link.asn, []).append(link.index)
+    for asn, members in sorted(by_asn.items()):
+        probabilities = {e: model.link_congestion_probability(e) for e in members}
+        worst_link = max(members, key=lambda e: probabilities[e])
+        identifiable = sum(1 for e in members if model.is_identifiable([e]))
+        report.summaries.append(
+            PeerSummary(
+                asn=asn,
+                num_links=len(members),
+                worst_link=worst_link,
+                worst_probability=probabilities[worst_link],
+                mean_probability=float(np.mean(list(probabilities.values()))),
+                any_link_congestion=1.0 - model.prob_all_good(members),
+                identifiable_fraction=identifiable / len(members),
+            )
+        )
+    for subset in model.subsets:
+        if not 2 <= len(subset) <= max_group_size:
+            continue
+        joint = model.prob_all_congested(subset)
+        if joint < min_joint_probability:
+            continue
+        asn = network.links[next(iter(subset))].asn
+        report.correlated_groups.append(
+            CorrelatedGroup(
+                asn=asn,
+                links=subset,
+                joint_probability=joint,
+                identifiable=model.is_identifiable(subset),
+            )
+        )
+    report.correlated_groups.sort(key=lambda g: -g.joint_probability)
+    return report

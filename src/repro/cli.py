@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-tomography figure3 [--scale small|paper] [--seed N] [--oracle]
+    repro-tomography figure4 [--scale small|paper] [--seed N] [--oracle]
+    repro-tomography table2
+    repro-tomography scaling [--scale small|paper] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SCALES, scale_by_name
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.scaling import run_algorithm1_scaling
+from repro.metrics.reporting import format_table
+from repro.model.assumptions import TABLE2_MATRIX, table2_rows
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tomography",
+        description=(
+            "Reproduce the experiments of 'Shifting Network Tomography "
+            "Toward A Practical Goal' (CoNEXT 2011)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for figure in ("figure3", "figure4"):
+        sub = subparsers.add_parser(figure, help=f"regenerate {figure}")
+        sub.add_argument("--scale", choices=sorted(SCALES), default="small")
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument(
+            "--oracle",
+            action="store_true",
+            help="use noise-free path observations",
+        )
+    sub = subparsers.add_parser("table2", help="print the assumption matrix")
+    sub = subparsers.add_parser("scaling", help="Algorithm 1 scaling sweep")
+    sub.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sub.add_argument("--seed", type=int, default=3)
+    sub = subparsers.add_parser(
+        "ablation", help="ablate the Correlation-complete solve refinements"
+    )
+    sub.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sub.add_argument("--seed", type=int, default=5)
+    return parser
+
+
+def _print_figure3(args: argparse.Namespace) -> None:
+    result = run_figure3(
+        scale_by_name(args.scale), seed=args.seed, oracle=args.oracle
+    )
+    print("Figure 3(a) — detection rate")
+    print(result.to_table("detection"))
+    print()
+    print("Figure 3(b) — false-positive rate")
+    print(result.to_table("fp"))
+
+
+def _print_figure4(args: argparse.Namespace) -> None:
+    result = run_figure4(
+        scale_by_name(args.scale), seed=args.seed, oracle=args.oracle
+    )
+    print("Figure 4(a) — mean absolute error, Brite")
+    print(result.to_table("brite"))
+    print()
+    print("Figure 4(b) — mean absolute error, Sparse")
+    print(result.to_table("sparse"))
+    print()
+    print("Figure 4(c) — error CDF, No Independence, Sparse")
+    for estimator in ("Independence", "Correlation-heuristic", "Correlation-complete"):
+        grid, cdf = result.cdf("sparse", "No Independence", estimator, points=11)
+        series = "  ".join(f"{x:.1f}:{y:.2f}" for x, y in zip(grid, cdf))
+        print(f"  {estimator:<22} {series}")
+    print()
+    print("Figure 4(d) — Correlation-complete, links vs correlation subsets")
+    print(result.to_subset_table())
+
+
+def _print_table2() -> None:
+    columns = list(TABLE2_MATRIX)
+    rows = []
+    for label, checked in table2_rows():
+        rows.append([label, *("X" if checked[column] else "" for column in columns)])
+    print("Table 2 — sources of inaccuracy per algorithm")
+    print(format_table(["Source", *columns], rows))
+
+
+def _print_scaling(args: argparse.Namespace) -> None:
+    result = run_algorithm1_scaling(scale_by_name(args.scale), seed=args.seed)
+    print("Algorithm 1 scaling (equations formed vs naive 2^|P*| bound)")
+    print(result.to_table())
+
+
+def _print_ablation(args: argparse.Namespace) -> None:
+    from repro.experiments.ablation import run_ablation
+
+    result = run_ablation(scale_by_name(args.scale), seed=args.seed)
+    print("Correlation-complete solve ablation (mean abs link error, "
+          "No-Independence scenario)")
+    print(result.to_table())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-tomography`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figure3":
+        _print_figure3(args)
+    elif args.command == "figure4":
+        _print_figure4(args)
+    elif args.command == "table2":
+        _print_table2()
+    elif args.command == "scaling":
+        _print_scaling(args)
+    elif args.command == "ablation":
+        _print_ablation(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution, re-exported under ``repro.core``.
+
+The contribution is the shift from Boolean Inference to Congestion
+Probability Computation (Section 4) realised by the **Correlation-complete**
+estimator — Algorithm 1 with the incremental null-space update of
+Algorithm 2 — together with the queryable probability model it produces and
+the building blocks named in Section 5 (correlation subsets, the
+``Row``/``Matrix`` functions, and the null-space machinery).
+"""
+
+from repro.linalg.nullspace import null_space, null_space_update
+from repro.probability.base import EstimatorConfig, FitReport
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.query import CongestionProbabilityModel
+from repro.probability.rows import build_matrix, build_row
+from repro.probability.subsets import SubsetIndex, potentially_congested_links
+
+__all__ = [
+    "CorrelationCompleteEstimator",
+    "CongestionProbabilityModel",
+    "EstimatorConfig",
+    "FitReport",
+    "SubsetIndex",
+    "potentially_congested_links",
+    "build_matrix",
+    "build_row",
+    "null_space",
+    "null_space_update",
+]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or violates a model invariant.
+
+    Examples: a path referencing an unknown link, a path traversing the same
+    link twice (the model forbids loops), or an empty path.
+    """
+
+
+class ScenarioError(ReproError):
+    """Raised when a congestion scenario cannot be constructed.
+
+    Example: the No-Independence scenario requires correlated link clusters,
+    but the topology has no AS-level links sharing router-level links.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when a probability-computation algorithm cannot proceed.
+
+    Example: no usable equations (every observed path was congested in every
+    interval, so every all-good frequency is zero).
+    """
+
+
+class InferenceError(ReproError):
+    """Raised when a Boolean-inference algorithm is misused.
+
+    Example: running the probabilistic-inference step of a Bayesian algorithm
+    before its probability-computation step has been fitted.
+    """
+
+
+class IdentifiabilityError(ReproError):
+    """Raised when a requested probability is provably unidentifiable.
+
+    The Correlation-complete algorithm reports, per correlation subset,
+    whether the subset's probability is identifiable from the available path
+    sets; querying a strict (raise-on-unidentifiable) model for such a subset
+    raises this error.
+    """

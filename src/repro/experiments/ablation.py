@@ -1,0 +1,111 @@
+"""Ablation study of the Correlation-complete solve refinements.
+
+DESIGN.md documents four finite-sample refinements over the paper's
+Algorithm 1 listing: precision weighting, the redundancy pass, the
+bounded (log g <= 0) solve, and the weak within-set independence prior.
+This driver measures each one's contribution by toggling it off and
+re-running the No-Independence scenario on both topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.config import ExperimentScale, SMALL
+from repro.metrics.probability import evaluate_estimator
+from repro.metrics.reporting import format_table
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.simulation.experiment import run_experiment
+from repro.simulation.probing import PathProber
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+from repro.topology.brite import generate_brite_network
+from repro.topology.traceroute import generate_sparse_network
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+class _NoRedundancyEstimator(CorrelationCompleteEstimator):
+    """Correlation-complete restricted to Algorithm 1's minimal equations."""
+
+    name = "Correlation-complete (no redundancy)"
+
+    def _redundant_path_sets(self, index, frequency, pool, selected):
+        return []
+
+
+#: Ablation variants: label -> estimator factory from a base config.
+VARIANTS: List[Tuple[str, Callable[[EstimatorConfig], CorrelationCompleteEstimator]]] = [
+    ("full", lambda cfg: CorrelationCompleteEstimator(cfg)),
+    (
+        "unweighted",
+        lambda cfg: CorrelationCompleteEstimator(replace(cfg, weighted=False)),
+    ),
+    (
+        "no prior",
+        lambda cfg: CorrelationCompleteEstimator(replace(cfg, prior_weight=0.0)),
+    ),
+    (
+        "no pruning tolerance",
+        lambda cfg: CorrelationCompleteEstimator(
+            replace(cfg, pruning_tolerance=0.0)
+        ),
+    ),
+    ("no redundancy", lambda cfg: _NoRedundancyEstimator(cfg)),
+    (
+        "singletons only",
+        lambda cfg: CorrelationCompleteEstimator(
+            replace(cfg, requested_subset_size=1)
+        ),
+    ),
+]
+
+
+@dataclass
+class AblationResult:
+    """Mean absolute per-link error per (variant, topology)."""
+
+    errors: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        """Render the ablation as text (rows = variants)."""
+        rows = []
+        variants = [label for label, _ in VARIANTS]
+        for label in variants:
+            rows.append(
+                [
+                    label,
+                    self.errors.get((label, "brite"), float("nan")),
+                    self.errors.get((label, "sparse"), float("nan")),
+                ]
+            )
+        return format_table(["Variant", "brite", "sparse"], rows)
+
+
+def run_ablation(
+    scale: ExperimentScale = SMALL, seed: int = 5
+) -> AblationResult:
+    """Toggle each refinement off on the No-Independence scenario."""
+    seeds = spawn_seeds(seed, 4)
+    topologies = {
+        "brite": generate_brite_network(scale.brite, seeds[0]),
+        "sparse": generate_sparse_network(scale.traceroute, seeds[1]),
+    }
+    result = AblationResult()
+    base = EstimatorConfig(seed=seed)
+    for topology_name, network in topologies.items():
+        scenario = build_scenario(
+            network,
+            ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE),
+            derive_rng(seeds[2], hash(topology_name) % (2**31)),
+        )
+        experiment = run_experiment(
+            scenario,
+            scale.num_intervals,
+            prober=PathProber(num_packets=scale.num_packets),
+            random_state=seeds[3],
+        )
+        for label, factory in VARIANTS:
+            metrics = evaluate_estimator(factory(base), experiment)
+            result.errors[(label, topology_name)] = metrics.mean_absolute_error
+    return result

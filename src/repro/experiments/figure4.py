@@ -1,0 +1,168 @@
+"""Figure 4: Probability Computation accuracy.
+
+Panels (Section 5.4):
+
+* (a) mean absolute per-link error on the **Brite** topology, for Random /
+  Concentrated / No-Independence congestion — each with "No Stationarity"
+  layered on top, as the paper specifies;
+* (b) the same on the **Sparse** topology;
+* (c) the CDF of the per-link error for the No-Independence scenario on the
+  Sparse topology;
+* (d) Correlation-complete's error on individual links vs correlation
+  subsets, Brite and Sparse, No-Independence scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, SMALL
+from repro.metrics.probability import ProbabilityMetrics, evaluate_estimator
+from repro.metrics.reporting import format_table
+from repro.probability.base import EstimatorConfig, ProbabilityEstimator
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.correlation_heuristic import CorrelationHeuristicEstimator
+from repro.probability.independence import IndependenceEstimator
+from repro.simulation.experiment import run_experiment
+from repro.simulation.probing import PathProber
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+from repro.topology.brite import generate_brite_network
+from repro.topology.graph import Network
+from repro.topology.traceroute import generate_sparse_network
+from repro.util.rng import derive_rng, spawn_seeds
+
+#: Congestion scenarios of Fig. 4(a)/(b), in the paper's order.
+SCENARIO_ORDER: Tuple[str, ...] = (
+    "Random Congestion",
+    "Concentrated Congestion",
+    "No Independence",
+)
+
+#: Estimator labels in the paper's legend order.
+ESTIMATOR_ORDER: Tuple[str, ...] = (
+    "Independence",
+    "Correlation-heuristic",
+    "Correlation-complete",
+)
+
+
+def _estimators(seed: int) -> List[ProbabilityEstimator]:
+    config = EstimatorConfig(seed=seed)
+    return [
+        IndependenceEstimator(config),
+        CorrelationHeuristicEstimator(config),
+        CorrelationCompleteEstimator(config),
+    ]
+
+
+@dataclass
+class Figure4Result:
+    """All four panels of Fig. 4."""
+
+    #: (topology, scenario, estimator) -> metrics; backs panels (a) and (b).
+    rows: Dict[Tuple[str, str, str], ProbabilityMetrics] = field(default_factory=dict)
+    #: (topology,) -> Correlation-complete (link error, subset error); panel (d).
+    subset_rows: Dict[str, Tuple[float, Optional[float]]] = field(default_factory=dict)
+    topology_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def mean_error(self, topology: str, scenario: str, estimator: str) -> float:
+        """One bar of Fig. 4(a) (brite) or 4(b) (sparse)."""
+        return self.rows[(topology, scenario, estimator)].mean_absolute_error
+
+    def cdf(
+        self, topology: str, scenario: str, estimator: str, points: int = 101
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One curve of Fig. 4(c)."""
+        return self.rows[(topology, scenario, estimator)].cdf(points)
+
+    def to_table(self, topology: str) -> str:
+        """Render panel (a) or (b) as text."""
+        rows = []
+        for scenario in SCENARIO_ORDER:
+            cells: List[object] = [scenario]
+            for estimator in ESTIMATOR_ORDER:
+                metrics = self.rows.get((topology, scenario, estimator))
+                cells.append("-" if metrics is None else metrics.mean_absolute_error)
+            rows.append(cells)
+        return format_table(["Scenario", *ESTIMATOR_ORDER], rows)
+
+    def to_subset_table(self) -> str:
+        """Render panel (d) as text."""
+        rows = []
+        for topology, (link_error, subset_error) in sorted(self.subset_rows.items()):
+            rows.append(
+                [
+                    topology,
+                    link_error,
+                    "-" if subset_error is None else subset_error,
+                ]
+            )
+        return format_table(["Topology", "links", "correlation subsets"], rows)
+
+
+def _scenario_config(kind: ScenarioKind) -> ScenarioConfig:
+    # Fig. 4 layers No Stationarity on top of every congestion scenario.
+    return ScenarioConfig(kind=kind, non_stationary=True)
+
+
+def run_figure4(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2,
+    oracle: bool = False,
+) -> Figure4Result:
+    """Regenerate all four panels of Fig. 4.
+
+    See :func:`repro.experiments.figure3.run_figure3` for the parameters.
+    """
+    seeds = spawn_seeds(seed, 4)
+    topologies: Dict[str, Network] = {
+        "brite": generate_brite_network(scale.brite, seeds[0]),
+        "sparse": generate_sparse_network(scale.traceroute, seeds[1]),
+    }
+    result = Figure4Result()
+    result.topology_stats = {
+        name: dict(net.describe()) for name, net in topologies.items()
+    }
+    scenario_rng = derive_rng(seeds[2], 0)
+    scenario_kinds = [
+        ("Random Congestion", ScenarioKind.RANDOM),
+        ("Concentrated Congestion", ScenarioKind.CONCENTRATED),
+        ("No Independence", ScenarioKind.NO_INDEPENDENCE),
+    ]
+    for topology_name, network in topologies.items():
+        for label, kind in scenario_kinds:
+            scenario = build_scenario(
+                network, _scenario_config(kind), scenario_rng, name=label
+            )
+            experiment = run_experiment(
+                scenario,
+                scale.num_intervals,
+                prober=PathProber(num_packets=scale.num_packets),
+                random_state=derive_rng(
+                    seeds[3], hash((topology_name, label)) % (2**31)
+                ),
+                oracle=oracle,
+            )
+            evaluate_subsets = label == "No Independence"
+            for estimator in _estimators(seed):
+                metrics = evaluate_estimator(
+                    estimator,
+                    experiment,
+                    evaluate_subsets=(
+                        evaluate_subsets
+                        and estimator.name == "Correlation-complete"
+                    ),
+                )
+                result.rows[(topology_name, label, estimator.name)] = metrics
+                if (
+                    evaluate_subsets
+                    and estimator.name == "Correlation-complete"
+                ):
+                    result.subset_rows[topology_name] = (
+                        metrics.mean_absolute_error,
+                        metrics.subset_mean_absolute_error,
+                    )
+    return result

@@ -1,0 +1,116 @@
+"""Algorithm 1 scaling study (E9 in DESIGN.md).
+
+Section 5.1 argues that naive Probability Computation would need
+``2^|P*|`` equations, which "is practically infeasible for any topology with
+more than a few tens of paths", while Algorithm 1 "forms the minimum number
+of equations needed". Section 4 adds the configurable-resources knob
+(subsets of one, two, or three links). This driver measures both claims:
+equations formed vs. the naive bound, runtime, and rank/identifiability as
+the requested subset size grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentScale, SMALL
+from repro.metrics.reporting import format_table
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.simulation.experiment import run_experiment
+from repro.simulation.probing import PathProber
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+from repro.topology.brite import generate_brite_network
+from repro.util.rng import spawn_seeds
+from repro.util.timer import Timer
+
+
+@dataclass
+class ScalingRow:
+    """One sweep point of the Algorithm 1 scaling study."""
+
+    requested_subset_size: int
+    num_unknowns: int
+    num_equations: int
+    rank: int
+    num_identifiable: int
+    seconds: float
+    naive_equations: float
+
+
+@dataclass
+class ScalingResult:
+    """All sweep points plus the topology's naive equation bound."""
+
+    rows: List[ScalingRow] = field(default_factory=list)
+    num_paths: int = 0
+
+    def to_table(self) -> str:
+        """Render the sweep as text."""
+        body = [
+            [
+                row.requested_subset_size,
+                row.num_unknowns,
+                row.num_equations,
+                row.rank,
+                row.num_identifiable,
+                row.seconds,
+                f"2^{self.num_paths}",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            [
+                "subset size",
+                "unknowns",
+                "equations",
+                "rank",
+                "identifiable",
+                "seconds",
+                "naive bound",
+            ],
+            body,
+        )
+
+
+def run_algorithm1_scaling(
+    scale: ExperimentScale = SMALL,
+    seed: int = 3,
+    subset_sizes: Optional[List[int]] = None,
+) -> ScalingResult:
+    """Sweep Algorithm 1's requested subset size on a Brite instance."""
+    subset_sizes = subset_sizes or [1, 2, 3]
+    seeds = spawn_seeds(seed, 3)
+    network = generate_brite_network(scale.brite, seeds[0])
+    scenario = build_scenario(
+        network,
+        ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE),
+        seeds[1],
+    )
+    experiment = run_experiment(
+        scenario,
+        scale.num_intervals,
+        prober=PathProber(num_packets=scale.num_packets),
+        random_state=seeds[2],
+    )
+    result = ScalingResult(num_paths=network.num_paths)
+    for size in subset_sizes:
+        estimator = CorrelationCompleteEstimator(
+            EstimatorConfig(requested_subset_size=size, seed=seed)
+        )
+        with Timer() as timer:
+            model = estimator.fit(network, experiment.observations)
+        report = model.report  # type: ignore[attr-defined]
+        result.rows.append(
+            ScalingRow(
+                requested_subset_size=size,
+                num_unknowns=report.num_unknowns,
+                num_equations=report.num_equations,
+                rank=report.rank,
+                num_identifiable=report.num_identifiable,
+                seconds=timer.elapsed,
+                naive_equations=float(2) ** min(network.num_paths, 1023),
+            )
+        )
+    return result

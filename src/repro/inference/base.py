@@ -1,0 +1,75 @@
+"""Shared Boolean-inference interface and the Separability domain reduction.
+
+Every algorithm starts from the same logical reduction: by Separability
+(Assumption 1), a link on a *good* path is good, so the candidate congested
+links of an interval are the links of congested paths minus the links of
+good paths. Algorithms differ in which candidate subset they pick to explain
+the congested paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Optional
+
+from repro.exceptions import InferenceError
+from repro.model.status import ObservationMatrix
+from repro.topology.graph import Network
+
+
+def candidate_links(
+    network: Network, congested_paths: FrozenSet[int]
+) -> FrozenSet[int]:
+    """Links that may be congested given the interval's path observations.
+
+    ``Links(P^c) \\ Links(P^good)``: every link of a congested path that does
+    not also lie on a good path. Under Separability and perfect monitoring,
+    the true congested set is always contained in this candidate set.
+    """
+    good_paths = frozenset(range(network.num_paths)) - congested_paths
+    on_congested = network.links_covered(congested_paths)
+    on_good = network.links_covered(good_paths)
+    return on_congested - on_good
+
+
+def uncovered_paths(
+    network: Network,
+    congested_paths: FrozenSet[int],
+    chosen: FrozenSet[int],
+) -> FrozenSet[int]:
+    """Congested paths not explained by any chosen link."""
+    return frozenset(
+        p for p in congested_paths if not (frozenset(network.paths[p].links) & chosen)
+    )
+
+
+class BooleanInferenceAlgorithm(ABC):
+    """Abstract per-interval congested-link inference.
+
+    Bayesian algorithms require :meth:`prepare` (their Probability
+    Computation step, run once over the whole observation window) before
+    :meth:`infer` (their Probabilistic Inference step, run per interval);
+    Sparsity's :meth:`prepare` is a no-op.
+    """
+
+    #: Human-readable algorithm name (used in experiment tables).
+    name: str = "abstract"
+
+    def prepare(self, network: Network, observations: ObservationMatrix) -> None:
+        """Run the algorithm's learning step over the observation window."""
+
+    @abstractmethod
+    def infer(
+        self, network: Network, congested_paths: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Infer the congested link set for one interval's observations."""
+
+    def infer_all(
+        self, network: Network, observations: ObservationMatrix
+    ) -> List[FrozenSet[int]]:
+        """Prepare on the window, then infer every interval."""
+        self.prepare(network, observations)
+        return [
+            self.infer(network, observations.congested_paths(t))
+            for t in range(observations.num_intervals)
+        ]

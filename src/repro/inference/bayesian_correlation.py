@@ -1,0 +1,236 @@
+"""Bayesian-Correlation ([10], developed for this paper).
+
+Like Bayesian-Independence, a two-step Bayesian inference algorithm; the
+difference is that step 1 assumes **Correlation Sets** instead of
+Independence:
+
+1. **Probability Computation** — the paper's Correlation-complete estimator
+   (Algorithm 1), which yields joint all-good probabilities of correlation
+   subsets (where identifiable).
+2. **Probabilistic Inference** — per interval, choose the candidate subset
+   maximising the joint assignment probability
+
+       P(all of S congested, all of (candidates \\ S) good)
+
+   computed per correlation set via inclusion–exclusion on the learned
+   joints (falling back to per-link products — and hence effectively random
+   tie-breaking via score jitter — where Identifiability++ fails, matching
+   the paper: "it picks at random one of the solutions").
+
+   The search is greedy (cover the congested paths choosing the link with
+   the best score change per newly-explained path), followed by an
+   *augmentation* pass that adds any candidate whose inclusion increases the
+   joint probability — this is what lets correlated companions of
+   already-chosen links be blamed together — and a pruning pass that drops
+   redundant negative-contribution links.
+
+Because the assignment probability factorises across correlation sets
+(Assumption 5), the search maintains one log-term per correlation set and
+re-evaluates only the term of the set a candidate belongs to — the
+inclusion–exclusion is memoised per (set, congested-part), keeping step 2
+fast even with large candidate sets.
+
+Step 2 still approximates ``X_e(t)`` by long-run behaviour, which is exactly
+the weakness the No-Stationarity scenario exposes (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+from repro.inference.base import BooleanInferenceAlgorithm, candidate_links
+from repro.model.status import ObservationMatrix
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.query import PROB_FLOOR, CongestionProbabilityModel
+from repro.topology.graph import Network
+from repro.util.rng import RandomState, as_generator
+
+#: Scale of the random jitter used to break ties between indistinguishable
+#: solutions (the paper's "picks at random").
+_JITTER = 1e-6
+
+
+class _AssignmentScorer:
+    """Per-interval incremental scorer of joint assignment probabilities.
+
+    Holds the interval's candidate set partitioned by correlation set; the
+    score of a solution ``S`` is the sum over correlation sets of
+
+        log P(all of S∩C congested, all of (candidates∩C)\\S good)
+
+    evaluated by inclusion–exclusion on the fitted model, memoised per
+    (correlation set, congested part).
+    """
+
+    def __init__(
+        self,
+        model: CongestionProbabilityModel,
+        candidates: FrozenSet[int],
+        rng: np.random.Generator,
+    ) -> None:
+        self._model = model
+        self._rng = rng
+        self._set_of: Dict[int, int] = {}
+        self._set_candidates: List[FrozenSet[int]] = []
+        for members in model.network.correlation_sets:
+            part = frozenset(members) & candidates
+            if part:
+                set_id = len(self._set_candidates)
+                self._set_candidates.append(part)
+                for link in part:
+                    self._set_of[link] = set_id
+        self._term_cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
+
+    def _term(self, set_id: int, congested: FrozenSet[int]) -> float:
+        """Log-probability term of one correlation set, memoised."""
+        key = (set_id, congested)
+        cached = self._term_cache.get(key)
+        if cached is not None:
+            return cached
+        part = self._set_candidates[set_id]
+        good = part - congested
+        probability = 0.0
+        members = sorted(congested)
+        for size in range(len(members) + 1):
+            for subset in combinations(members, size):
+                probability += (-1.0) ** size * self._model.prob_all_good(
+                    frozenset(subset) | good
+                )
+        probability = min(max(probability, PROB_FLOOR), 1.0)
+        value = float(np.log(probability)) + _JITTER * float(self._rng.random())
+        self._term_cache[key] = value
+        return value
+
+    def initial_terms(self) -> List[float]:
+        """Terms of the all-good assignment (no candidate congested)."""
+        return [
+            self._term(set_id, frozenset())
+            for set_id in range(len(self._set_candidates))
+        ]
+
+    def delta_add(
+        self, terms: List[float], chosen: Set[int], link: int
+    ) -> Tuple[float, int, float]:
+        """Score change from marking ``link`` congested.
+
+        Returns (delta, set_id, new_term) so callers can commit the move
+        without recomputation.
+        """
+        set_id = self._set_of[link]
+        part = self._set_candidates[set_id]
+        congested = (frozenset(chosen) & part) | {link}
+        new_term = self._term(set_id, congested)
+        return new_term - terms[set_id], set_id, new_term
+
+    def delta_remove(
+        self, terms: List[float], chosen: Set[int], link: int
+    ) -> Tuple[float, int, float]:
+        """Score change from un-marking ``link``."""
+        set_id = self._set_of[link]
+        part = self._set_candidates[set_id]
+        congested = (frozenset(chosen) & part) - {link}
+        new_term = self._term(set_id, congested)
+        return new_term - terms[set_id], set_id, new_term
+
+
+class BayesianCorrelationInference(BooleanInferenceAlgorithm):
+    """Correlation-aware Bayesian inference (this paper's Boolean algorithm)."""
+
+    name = "Bayesian-Correlation"
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig] = None,
+        random_state: RandomState = 13,
+    ) -> None:
+        self._estimator = CorrelationCompleteEstimator(config)
+        self._model: Optional[CongestionProbabilityModel] = None
+        self._rng = as_generator(random_state)
+
+    def prepare(self, network: Network, observations: ObservationMatrix) -> None:
+        """Step 1: learn joint all-good probabilities (Algorithm 1)."""
+        self._model = self._estimator.fit(network, observations)
+
+    def infer(
+        self, network: Network, congested_paths: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Step 2: greedy + augment + prune MAP explanation of one interval.
+
+        Raises
+        ------
+        InferenceError
+            If called before :meth:`prepare`.
+        """
+        if self._model is None:
+            raise InferenceError(
+                "Bayesian-Correlation: call prepare() before infer()"
+            )
+        candidates = candidate_links(network, congested_paths)
+        if not candidates:
+            return frozenset()
+        scorer = _AssignmentScorer(self._model, candidates, self._rng)
+        terms = scorer.initial_terms()
+        chosen: Set[int] = set()
+        uncovered: Set[int] = set(congested_paths)
+
+        # Cover phase: explain every congested path, preferring links whose
+        # inclusion costs the least prior probability per newly-covered path.
+        while uncovered:
+            best: Optional[Tuple[int, int, float]] = None
+            best_ratio = -np.inf
+            for link in sorted(candidates - chosen):
+                cover = len(network.paths_covering([link]) & uncovered)
+                if cover == 0:
+                    continue
+                delta, set_id, new_term = scorer.delta_add(terms, chosen, link)
+                ratio = delta / cover
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best = (link, set_id, new_term)
+            if best is None:
+                break
+            link, set_id, new_term = best
+            chosen.add(link)
+            terms[set_id] = new_term
+            uncovered -= network.paths_covering([link])
+
+        # Augmentation phase: add candidates that increase the joint
+        # probability outright (correlated companions of chosen links).
+        improved = True
+        while improved:
+            improved = False
+            for link in sorted(candidates - chosen):
+                delta, set_id, new_term = scorer.delta_add(terms, chosen, link)
+                if delta > 0:
+                    chosen.add(link)
+                    terms[set_id] = new_term
+                    improved = True
+
+        # Pruning phase: drop links whose removal keeps every congested path
+        # explained and increases the joint probability.
+        improved = True
+        while improved:
+            improved = False
+            for link in sorted(chosen):
+                without = chosen - {link}
+                still_covered = all(
+                    frozenset(network.paths[p].links) & without
+                    for p in congested_paths
+                    if frozenset(network.paths[p].links) & chosen
+                )
+                if not still_covered:
+                    continue
+                delta, set_id, new_term = scorer.delta_remove(
+                    terms, chosen, link
+                )
+                if delta > 0:
+                    chosen = without
+                    terms[set_id] = new_term
+                    improved = True
+                    break
+        return frozenset(chosen)

@@ -1,0 +1,51 @@
+"""Sparsity (Tomo [6], Duffield [8]): greedy smallest explanation.
+
+"The gist behind this algorithm is that a few congested links are
+responsible for many congested paths; hence, the algorithm, which assumes
+Homogeneity (Assumption 3), 'favors' links that participate in more
+congested paths" (Section 3.1).
+
+Implementation: greedy maximum coverage over the candidate links — repeat
+picking the candidate traversed by the most still-unexplained congested
+paths until every congested path is explained (or no candidate explains any
+remaining path, which can happen under noisy E2E monitoring).
+
+On the paper's Fig. 1, with congested paths {p1, p2, p3}, Sparsity infers
+{e1, e3} (each covers two congested paths) — reproduced in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.inference.base import BooleanInferenceAlgorithm, candidate_links
+from repro.topology.graph import Network
+
+
+class SparsityInference(BooleanInferenceAlgorithm):
+    """Greedy minimum-cardinality explanation of the congested paths."""
+
+    name = "Sparsity"
+
+    def infer(
+        self, network: Network, congested_paths: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Return a small congested-link set covering the congested paths."""
+        candidates = candidate_links(network, congested_paths)
+        uncovered: Set[int] = set(congested_paths)
+        chosen: Set[int] = set()
+        while uncovered:
+            best_link = -1
+            best_cover = 0
+            for link in sorted(candidates - chosen):
+                cover = len(network.paths_covering([link]) & uncovered)
+                if cover > best_cover:
+                    best_cover = cover
+                    best_link = link
+            if best_link < 0:
+                # Remaining congested paths have no candidate links (only
+                # possible under monitoring noise); they stay unexplained.
+                break
+            chosen.add(best_link)
+            uncovered -= network.paths_covering([best_link])
+        return frozenset(chosen)

@@ -1,0 +1,28 @@
+"""Linear-algebra substrate for the probability-computation algorithms.
+
+``nullspace`` implements null-space computation (SVD) and the paper's
+Algorithm 2 — the *incremental* null-space update that makes Algorithm 1
+practical ("computing the null space of a matrix with thousands of rows ...
+at every iteration would render the algorithm practically useless").
+
+``system`` provides the growing equation-system container used by the
+estimators: log-domain Eq. 1 equations, least-squares solving, and
+per-unknown identifiability classification.
+"""
+
+from repro.linalg.nullspace import (
+    null_space,
+    null_space_update,
+    rank,
+    rank_increases,
+)
+from repro.linalg.system import EquationSystem, Solution
+
+__all__ = [
+    "null_space",
+    "null_space_update",
+    "rank",
+    "rank_increases",
+    "EquationSystem",
+    "Solution",
+]

@@ -1,0 +1,102 @@
+"""Null spaces and the incremental update of Algorithm 2.
+
+Algorithm 1 maintains a matrix ``N`` whose columns span the null space of the
+growing system matrix ``R``. Each time a row ``r`` with ``||r N|| > 0`` is
+appended to ``R``, Algorithm 2 shrinks the null space by one dimension:
+
+    N' = (I_n - (N_p r) / (r N_p)) N_rest
+
+where ``N_p`` is a pivot column of ``N`` with ``r N_p != 0`` (the paper uses
+the first column; we pivot on the largest ``|r N_j|`` for numerical
+stability — the spanned subspace is identical) and ``N_rest`` the remaining
+columns. Every new column ``n'_k = n_k - N_p (r n_k) / (r N_p)`` satisfies
+``r n'_k = 0`` while remaining in the old null space, so the update is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Default numerical tolerance for rank decisions.
+DEFAULT_TOL = 1e-9
+
+
+def null_space(matrix: np.ndarray, tol: float = DEFAULT_TOL) -> np.ndarray:
+    """Return an orthonormal basis of the null space of ``matrix``.
+
+    The result has shape (num_columns, nullity); an empty second dimension
+    means the matrix has full column rank.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    if matrix.size == 0 or matrix.shape[0] == 0:
+        return np.eye(matrix.shape[1])
+    _, singular_values, vt = np.linalg.svd(matrix, full_matrices=True)
+    cutoff = tol * max(matrix.shape)
+    num_nonzero = int((singular_values > cutoff * singular_values.max()).sum()) if (
+        singular_values.size and singular_values.max() > 0
+    ) else 0
+    return vt[num_nonzero:].T.copy()
+
+
+def rank(matrix: np.ndarray, tol: float = DEFAULT_TOL) -> int:
+    """Numerical rank of ``matrix`` (0 for empty matrices)."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    if matrix.size == 0:
+        return 0
+    return int(np.linalg.matrix_rank(matrix, tol=None))
+
+
+def rank_increases(
+    null_basis: np.ndarray, row: np.ndarray, tol: float = DEFAULT_TOL
+) -> bool:
+    """Whether appending ``row`` to the system increases its rank.
+
+    Equivalent to the paper's test ``||r x N|| > 0`` (Algorithm 1 line 13):
+    ``row`` adds rank iff it is not orthogonal to the current null space.
+    """
+    if null_basis.shape[1] == 0:
+        return False
+    projection = np.asarray(row, dtype=float) @ null_basis
+    return bool(np.linalg.norm(projection) > tol)
+
+
+def null_space_update(
+    null_basis: np.ndarray, row: np.ndarray, tol: float = DEFAULT_TOL
+) -> np.ndarray:
+    """Algorithm 2: shrink ``null_basis`` by the constraint ``row``.
+
+    Parameters
+    ----------
+    null_basis:
+        Matrix N of shape (n, p) whose columns span the current null space.
+    row:
+        The newly-added equation row ``r`` (length n). If ``r`` is
+        orthogonal to the null space (adds no rank), N is returned
+        unchanged — this mirrors Algorithm 1, which only calls the update
+        after the ``||r N|| > 0`` test succeeds (the ``r = 0`` no-op case).
+
+    Returns
+    -------
+    numpy.ndarray
+        A (n, p-1) matrix whose columns span the null space of the system
+        extended with ``row``. Columns are re-orthonormalised to keep
+        repeated updates numerically stable.
+    """
+    row = np.asarray(row, dtype=float).reshape(-1)
+    if null_basis.shape[1] == 0:
+        return null_basis
+    projection = row @ null_basis
+    pivot = int(np.argmax(np.abs(projection)))
+    if abs(projection[pivot]) <= tol:
+        return null_basis
+    pivot_column = null_basis[:, pivot : pivot + 1]
+    rest = np.delete(null_basis, pivot, axis=1)
+    if rest.shape[1] == 0:
+        return rest
+    updated = rest - pivot_column @ ((row @ rest)[None, :] / projection[pivot])
+    # Re-orthonormalise: repeated rank-one updates degrade conditioning.
+    q, r_factor = np.linalg.qr(updated)
+    keep = np.abs(np.diag(r_factor)) > tol
+    return q[:, keep]

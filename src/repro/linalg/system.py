@@ -1,0 +1,176 @@
+"""Growing least-squares equation system with identifiability reporting.
+
+Taking logarithms of Eq. 1 turns every "all paths in P good" observation into
+a *linear* equation over the unknown log-probabilities of correlation
+subsets. This module hosts those equations: rows are appended as Algorithm 1
+selects path sets, the system is solved by (min-norm) least squares, and each
+unknown is classified *identifiable* iff its coordinate is constant across
+the solution affine subspace — i.e. iff the corresponding row of the final
+null-space basis vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import lsq_linear
+
+from repro.exceptions import EstimationError
+from repro.linalg.nullspace import DEFAULT_TOL, null_space
+
+
+@dataclass
+class Solution:
+    """Solved unknowns with identifiability flags.
+
+    Attributes
+    ----------
+    values:
+        Estimated unknowns (here: log "all-good" probabilities), length n.
+        Unidentifiable coordinates carry the min-norm solution value and
+        must be interpreted through ``identifiable``.
+    identifiable:
+        Boolean mask, length n; true where the system pins the unknown down
+        uniquely.
+    rank:
+        Rank of the solved system.
+    residual:
+        Root-mean-square equation residual (diagnostic; large residuals mean
+        the model assumptions are violated or T is too small).
+    """
+
+    values: np.ndarray
+    identifiable: np.ndarray
+    rank: int
+    residual: float
+
+
+class EquationSystem:
+    """A growing linear system ``A x = b`` over ``num_unknowns`` unknowns.
+
+    Equations may carry *weights* (generalised least squares): an equation
+    whose right-hand side is a noisy estimate with standard deviation
+    ``sigma`` should be weighted ``1/sigma`` so that precise equations
+    dominate the solve. Weights scale rows and right-hand sides together, so
+    the row space — and therefore identifiability — is unchanged.
+    """
+
+    def __init__(self, num_unknowns: int) -> None:
+        if num_unknowns < 0:
+            raise EstimationError("num_unknowns must be non-negative")
+        self.num_unknowns = num_unknowns
+        self._rows: List[np.ndarray] = []
+        self._rhs: List[float] = []
+        self._weights: List[float] = []
+        self._is_prior: List[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def add(
+        self, row: np.ndarray, rhs: float, weight: float = 1.0, prior: bool = False
+    ) -> None:
+        """Append one equation ``row . x = rhs`` with precision ``weight``.
+
+        Equations flagged ``prior`` are regularisers, not measurements: they
+        participate in the least-squares solve (pulling underdetermined
+        directions toward the prior) but are excluded from rank and
+        identifiability accounting — an unknown only counts as identifiable
+        when the *data* pins it down.
+        """
+        row = np.asarray(row, dtype=float).reshape(-1)
+        if row.shape[0] != self.num_unknowns:
+            raise EstimationError(
+                f"row has {row.shape[0]} coefficients, expected {self.num_unknowns}"
+            )
+        if weight <= 0.0:
+            raise EstimationError("equation weight must be positive")
+        self._rows.append(row)
+        self._rhs.append(float(rhs))
+        self._weights.append(float(weight))
+        self._is_prior.append(bool(prior))
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The system matrix A, shape (num_equations, num_unknowns)."""
+        if not self._rows:
+            return np.zeros((0, self.num_unknowns))
+        return np.vstack(self._rows)
+
+    @property
+    def rhs(self) -> np.ndarray:
+        """The right-hand side b, shape (num_equations,)."""
+        return np.asarray(self._rhs, dtype=float)
+
+    def solve(
+        self, tol: float = DEFAULT_TOL, upper_bound: Optional[float] = None
+    ) -> Solution:
+        """Solve by (optionally bounded) least squares and classify
+        identifiability.
+
+        Parameters
+        ----------
+        upper_bound:
+            When given, solve subject to ``x_i <= upper_bound`` for every
+            unknown. The log-domain probability systems use 0 (probabilities
+            cannot exceed 1); without the bound, noise can push one
+            unknown's log-probability positive and dump the compensating
+            mass on another, badly misattributing congestion.
+
+        Raises
+        ------
+        EstimationError
+            If the system has no equations but unknowns exist.
+        """
+        if self.num_unknowns == 0:
+            return Solution(
+                values=np.zeros(0),
+                identifiable=np.zeros(0, dtype=bool),
+                rank=0,
+                residual=0.0,
+            )
+        if not self._rows:
+            raise EstimationError("cannot solve an empty equation system")
+        matrix = self.matrix
+        rhs = self.rhs
+        weights = np.asarray(self._weights, dtype=float)
+        weighted_matrix = matrix * weights[:, None]
+        weighted_rhs = rhs * weights
+        if upper_bound is None:
+            values, _, _, _ = np.linalg.lstsq(
+                weighted_matrix, weighted_rhs, rcond=None
+            )
+        else:
+            outcome = lsq_linear(
+                weighted_matrix,
+                weighted_rhs,
+                bounds=(-np.inf, upper_bound),
+                method="bvls" if weighted_matrix.shape[0] >= weighted_matrix.shape[1] else "trf",
+            )
+            values = outcome.x
+        data_mask = ~np.asarray(self._is_prior, dtype=bool)
+        data_matrix = matrix[data_mask]
+        data_rhs = rhs[data_mask]
+        if data_matrix.shape[0] == 0:
+            raise EstimationError("cannot solve a system with only prior equations")
+        basis = null_space(data_matrix, tol)
+        if basis.shape[1] == 0:
+            identifiable = np.ones(self.num_unknowns, dtype=bool)
+        else:
+            # Unknown i is pinned down iff every null vector has a zero
+            # i-th coordinate.
+            identifiable = np.abs(basis).max(axis=1) <= 1e-7
+        fitted = data_matrix @ values
+        residual = (
+            float(np.sqrt(np.mean((fitted - data_rhs) ** 2)))
+            if len(data_rhs)
+            else 0.0
+        )
+        return Solution(
+            values=values,
+            identifiable=identifiable,
+            rank=int(np.linalg.matrix_rank(data_matrix)),
+            residual=residual,
+        )

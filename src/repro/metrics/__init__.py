@@ -1,0 +1,37 @@
+"""Evaluation metrics — exactly the paper's definitions.
+
+* Boolean inference (Section 3.2): per-interval **detection rate** (fraction
+  of truly congested links identified) and **false-positive rate** (fraction
+  of inferred links that were actually good), averaged over intervals.
+* Probability computation (Section 5.4): per-link **absolute error** between
+  the simulator-assigned and the estimated congestion probability, its mean
+  over potentially congested links, and its CDF.
+"""
+
+from repro.metrics.boolean import (
+    BooleanMetrics,
+    detection_rate,
+    evaluate_inference,
+    false_positive_rate,
+)
+from repro.metrics.probability import (
+    ProbabilityMetrics,
+    absolute_errors,
+    error_cdf,
+    evaluate_estimator,
+    subset_absolute_errors,
+)
+from repro.metrics.reporting import format_table
+
+__all__ = [
+    "BooleanMetrics",
+    "detection_rate",
+    "false_positive_rate",
+    "evaluate_inference",
+    "ProbabilityMetrics",
+    "absolute_errors",
+    "error_cdf",
+    "evaluate_estimator",
+    "subset_absolute_errors",
+    "format_table",
+]

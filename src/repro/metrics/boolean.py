@@ -1,0 +1,102 @@
+"""Boolean-inference metrics (Section 3.2).
+
+"During a particular time interval, the *detection rate* of an algorithm is
+the fraction of congested links that the algorithm correctly identified as
+congested; the *false positive rate* of an algorithm is the fraction of links
+incorrectly identified as congested out of all links inferred as congested."
+Each reported number is an average over the experiment's intervals (the paper
+averages over 1000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.inference.base import BooleanInferenceAlgorithm
+from repro.simulation.experiment import ExperimentResult
+
+
+def detection_rate(
+    actual: FrozenSet[int], inferred: FrozenSet[int]
+) -> Optional[float]:
+    """Fraction of truly congested links identified; None if none congested."""
+    if not actual:
+        return None
+    return len(actual & inferred) / len(actual)
+
+
+def false_positive_rate(
+    actual: FrozenSet[int], inferred: FrozenSet[int]
+) -> Optional[float]:
+    """Fraction of inferred links that were good; None if nothing inferred."""
+    if not inferred:
+        return None
+    return len(inferred - actual) / len(inferred)
+
+
+@dataclass
+class BooleanMetrics:
+    """Interval-averaged inference quality.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the evaluated algorithm.
+    detection_rate:
+        Mean over intervals with at least one congested link.
+    false_positive_rate:
+        Mean over intervals where the algorithm inferred at least one link.
+    intervals_scored:
+        Number of intervals contributing to the detection-rate average.
+    """
+
+    algorithm: str
+    detection_rate: float
+    false_positive_rate: float
+    intervals_scored: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: detection={self.detection_rate:.3f} "
+            f"false_positives={self.false_positive_rate:.3f} "
+            f"({self.intervals_scored} intervals)"
+        )
+
+
+def summarize(
+    algorithm: str,
+    actual_sets: Sequence[FrozenSet[int]],
+    inferred_sets: Sequence[FrozenSet[int]],
+) -> BooleanMetrics:
+    """Average per-interval rates over an experiment."""
+    if len(actual_sets) != len(inferred_sets):
+        raise ValueError("actual and inferred sequences differ in length")
+    detections: List[float] = []
+    false_positives: List[float] = []
+    for actual, inferred in zip(actual_sets, inferred_sets):
+        det = detection_rate(actual, inferred)
+        if det is not None:
+            detections.append(det)
+        fpr = false_positive_rate(actual, inferred)
+        if fpr is not None:
+            false_positives.append(fpr)
+    return BooleanMetrics(
+        algorithm=algorithm,
+        detection_rate=float(np.mean(detections)) if detections else 1.0,
+        false_positive_rate=(
+            float(np.mean(false_positives)) if false_positives else 0.0
+        ),
+        intervals_scored=len(detections),
+    )
+
+
+def evaluate_inference(
+    algorithm: BooleanInferenceAlgorithm, result: ExperimentResult
+) -> BooleanMetrics:
+    """Run ``algorithm`` over an experiment and score it against the truth."""
+    inferred = algorithm.infer_all(result.network, result.observations)
+    actual = [result.congested_links(t) for t in range(result.num_intervals)]
+    return summarize(algorithm.name, actual, inferred)

@@ -1,0 +1,160 @@
+"""Probability-computation metrics (Section 5.4).
+
+"For each link, we determine the absolute error between the actual
+congestion probability (the one assigned by the simulator) and the one
+inferred by each algorithm; we show the mean of the absolute error for all
+potentially congested links."
+
+Fig. 4(d) extends the same error to *correlation subsets*: the absolute
+error of the congestion probability (all links of the subset congested) of
+each identifiable correlation subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.probability.base import ProbabilityEstimator
+from repro.probability.query import CongestionProbabilityModel
+from repro.probability.subsets import potentially_congested_links
+from repro.simulation.congestion import GroundTruth
+from repro.simulation.experiment import ExperimentResult
+
+
+def absolute_errors(
+    model: CongestionProbabilityModel,
+    ground_truth: GroundTruth,
+    links: Iterable[int],
+) -> np.ndarray:
+    """Per-link ``|estimated - actual|`` congestion probability errors."""
+    members = sorted(links)
+    estimated = np.array(
+        [model.link_congestion_probability(e) for e in members]
+    )
+    actual = np.array([ground_truth.marginal(e) for e in members])
+    return np.abs(estimated - actual)
+
+
+def subset_absolute_errors(
+    model: CongestionProbabilityModel,
+    ground_truth: GroundTruth,
+    subsets: Sequence[FrozenSet[int]],
+) -> np.ndarray:
+    """Per-subset congestion-probability errors (Fig. 4(d)).
+
+    The congestion probability of a subset is the probability that *all* its
+    links are congested, obtained from the model and the ground truth by the
+    same inclusion–exclusion, so the comparison is apples-to-apples.
+    """
+    errors = []
+    for subset in subsets:
+        estimated = model.prob_all_congested(subset)
+        actual = ground_truth.prob_all_congested(subset)
+        errors.append(abs(estimated - actual))
+    return np.asarray(errors)
+
+
+def error_cdf(errors: np.ndarray, points: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of absolute errors on a fixed [0, 1] grid.
+
+    Returns ``(x, F(x))`` with ``points`` grid values; Fig. 4(c) plots these
+    curves ("the earlier the CDF hits the y = 100% line, the better").
+    """
+    grid = np.linspace(0.0, 1.0, points)
+    if errors.size == 0:
+        return grid, np.ones_like(grid)
+    sorted_errors = np.sort(errors)
+    cdf = np.searchsorted(sorted_errors, grid, side="right") / errors.size
+    return grid, cdf
+
+
+@dataclass
+class ProbabilityMetrics:
+    """Accuracy summary for one estimator on one experiment.
+
+    Attributes
+    ----------
+    algorithm:
+        Estimator name.
+    mean_absolute_error:
+        Mean per-link error over potentially congested links.
+    errors:
+        The raw per-link errors (for CDFs).
+    subset_mean_absolute_error:
+        Mean error over evaluated correlation subsets (None when subsets
+        were not evaluated).
+    num_links_scored:
+        Number of potentially congested links contributing.
+    """
+
+    algorithm: str
+    mean_absolute_error: float
+    errors: np.ndarray
+    subset_mean_absolute_error: Optional[float] = None
+    num_links_scored: int = 0
+
+    def cdf(self, points: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+        """CDF of the per-link errors (Fig. 4(c))."""
+        return error_cdf(self.errors, points)
+
+    def __str__(self) -> str:
+        extra = (
+            f" subsets={self.subset_mean_absolute_error:.3f}"
+            if self.subset_mean_absolute_error is not None
+            else ""
+        )
+        return (
+            f"{self.algorithm}: mean_abs_err={self.mean_absolute_error:.3f}"
+            f"{extra} ({self.num_links_scored} links)"
+        )
+
+
+def evaluate_estimator(
+    estimator: ProbabilityEstimator,
+    result: ExperimentResult,
+    evaluate_subsets: bool = False,
+    max_subset_size: int = 2,
+) -> ProbabilityMetrics:
+    """Fit ``estimator`` on an experiment and score it against ground truth.
+
+    The scored link set is the potentially congested links under the
+    estimator's own pruning tolerance, so all estimators sharing a config
+    are compared on the same set (the paper scores "all potentially
+    congested links").
+
+    Parameters
+    ----------
+    evaluate_subsets:
+        Also score the congestion probabilities of the *identifiable*
+        correlation subsets of size 2..``max_subset_size`` (Fig. 4(d)).
+    """
+    model = estimator.fit(result.network, result.observations)
+    active = sorted(
+        potentially_congested_links(
+            result.network,
+            result.observations,
+            estimator.config.pruning_tolerance,
+        )
+    )
+    errors = absolute_errors(model, result.ground_truth, active)
+    subset_error: Optional[float] = None
+    if evaluate_subsets:
+        subsets = [
+            subset
+            for subset in model.subsets
+            if 2 <= len(subset) <= max_subset_size and model.is_identifiable(subset)
+        ]
+        if subsets:
+            subset_error = float(
+                subset_absolute_errors(model, result.ground_truth, subsets).mean()
+            )
+    return ProbabilityMetrics(
+        algorithm=estimator.name,
+        mean_absolute_error=float(errors.mean()) if errors.size else 0.0,
+        errors=errors,
+        subset_mean_absolute_error=subset_error,
+        num_links_scored=len(active),
+    )

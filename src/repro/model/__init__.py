@@ -1,0 +1,31 @@
+"""Model-level machinery: random-variable conventions, assumptions, conditions.
+
+``status`` defines the boolean state conventions (``X_e``/``Y_p`` of
+Section 2) shared by the simulator and the algorithms; ``assumptions``
+implements the assumption/condition taxonomy of Table 2, including executable
+checkers for Identifiability (Condition 1) and Identifiability++
+(Condition 2).
+"""
+
+from repro.model.assumptions import (
+    Assumption,
+    Condition,
+    TABLE2_MATRIX,
+    check_identifiability,
+    check_identifiability_pp,
+    table2_rows,
+)
+from repro.model.status import GOOD, CONGESTED, IntervalRecord, ObservationMatrix
+
+__all__ = [
+    "Assumption",
+    "Condition",
+    "TABLE2_MATRIX",
+    "check_identifiability",
+    "check_identifiability_pp",
+    "table2_rows",
+    "GOOD",
+    "CONGESTED",
+    "IntervalRecord",
+    "ObservationMatrix",
+]

@@ -1,0 +1,160 @@
+"""Assumptions, conditions, and the Table 2 matrix.
+
+The paper distinguishes *assumptions* (statements that cannot be tested given
+``E*`` and ``P*``) from *conditions* (statements that can). This module
+enumerates both, provides executable checkers for the two conditions, and
+reproduces Table 2 — the per-algorithm matrix of inaccuracy sources.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.topology.graph import Network
+
+
+class Assumption(Enum):
+    """Untestable assumptions used by tomography algorithms (Section 2)."""
+
+    SEPARABILITY = "Separability"
+    E2E_MONITORING = "E2E Monitoring"
+    HOMOGENEITY = "Homogeneity"
+    INDEPENDENCE = "Independence"
+    CORRELATION_SETS = "Correlation Sets"
+
+
+class Condition(Enum):
+    """Testable conditions over ``E*`` and ``P*`` (Section 2)."""
+
+    IDENTIFIABILITY = "Identifiability"
+    IDENTIFIABILITY_PP = "Identifiability++"
+
+
+def check_identifiability(network: Network) -> List[Tuple[int, int]]:
+    """Check Condition 1: any two links are not traversed by the same paths.
+
+    Returns the list of violating link pairs (empty when the condition
+    holds). Two links traversed by exactly the same paths are mutually
+    indistinguishable from path observations.
+    """
+    signature: Dict[FrozenSet[int], int] = {}
+    violations: List[Tuple[int, int]] = []
+    for link in range(network.num_links):
+        paths = network.paths_covering([link])
+        if paths in signature:
+            violations.append((signature[paths], link))
+        else:
+            signature[paths] = link
+    return violations
+
+
+def _correlation_subsets(
+    network: Network, max_size: Optional[int]
+) -> List[FrozenSet[int]]:
+    subsets: List[FrozenSet[int]] = []
+    for correlation_set in network.correlation_sets:
+        members = sorted(correlation_set)
+        top = len(members) if max_size is None else min(max_size, len(members))
+        for size in range(1, top + 1):
+            subsets.extend(frozenset(c) for c in combinations(members, size))
+    return subsets
+
+
+def check_identifiability_pp(
+    network: Network, max_subset_size: Optional[int] = None
+) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """Check Condition 2: no two correlation subsets share the same paths.
+
+    Returns the violating pairs of correlation subsets (empty when the
+    condition holds up to ``max_subset_size``). In the paper's Fig. 1
+    Case 2, ``{e1, e4}`` and ``{e2, e3}`` are both traversed by
+    ``{p1, p2, p3}``, so the condition fails.
+
+    Parameters
+    ----------
+    max_subset_size:
+        Bound on the enumerated subset size. The full check is exponential
+        in the size of the largest correlation set; experiments typically
+        bound it to the configured estimator subset size.
+    """
+    signature: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    violations: List[Tuple[FrozenSet[int], FrozenSet[int]]] = []
+    for subset in _correlation_subsets(network, max_subset_size):
+        paths = network.paths_covering(subset)
+        if paths in signature and signature[paths] != subset:
+            violations.append((signature[paths], subset))
+        else:
+            signature.setdefault(paths, subset)
+    return violations
+
+
+#: Table 2 of the paper: per algorithm (and per Bayesian step), which
+#: assumptions, conditions, and extra approximations are sources of
+#: inaccuracy. Keys are column labels; values are row-label sets.
+TABLE2_MATRIX: Dict[str, FrozenSet[str]] = {
+    "Sparsity": frozenset(
+        {
+            Assumption.SEPARABILITY.value,
+            Assumption.E2E_MONITORING.value,
+            Assumption.HOMOGENEITY.value,
+            Condition.IDENTIFIABILITY.value,
+            "Other approx./heuristic",
+        }
+    ),
+    "Bayesian-Indep. Step 1": frozenset(
+        {
+            Assumption.SEPARABILITY.value,
+            Assumption.E2E_MONITORING.value,
+            Assumption.INDEPENDENCE.value,
+            Condition.IDENTIFIABILITY.value,
+        }
+    ),
+    "Bayesian-Indep. Step 2": frozenset(
+        {
+            Assumption.SEPARABILITY.value,
+            Assumption.E2E_MONITORING.value,
+            Assumption.INDEPENDENCE.value,
+            Condition.IDENTIFIABILITY.value,
+            "Other approx./heuristic",
+        }
+    ),
+    "Bayesian-Corr. Step 1": frozenset(
+        {
+            Assumption.SEPARABILITY.value,
+            Assumption.E2E_MONITORING.value,
+            Assumption.CORRELATION_SETS.value,
+            Condition.IDENTIFIABILITY_PP.value,
+        }
+    ),
+    "Bayesian-Corr. Step 2": frozenset(
+        {
+            Assumption.SEPARABILITY.value,
+            Assumption.E2E_MONITORING.value,
+            Assumption.CORRELATION_SETS.value,
+            Condition.IDENTIFIABILITY_PP.value,
+            "Other approx./heuristic",
+        }
+    ),
+}
+
+#: Row order of Table 2 as printed in the paper.
+TABLE2_ROWS: Tuple[str, ...] = (
+    Assumption.SEPARABILITY.value,
+    Assumption.E2E_MONITORING.value,
+    Assumption.HOMOGENEITY.value,
+    Assumption.INDEPENDENCE.value,
+    Assumption.CORRELATION_SETS.value,
+    Condition.IDENTIFIABILITY.value,
+    Condition.IDENTIFIABILITY_PP.value,
+    "Other approx./heuristic",
+)
+
+
+def table2_rows() -> List[Tuple[str, Dict[str, bool]]]:
+    """Render Table 2 as (row label, {column: checked}) entries."""
+    return [
+        (row, {column: row in sources for column, sources in TABLE2_MATRIX.items()})
+        for row in TABLE2_ROWS
+    ]

@@ -1,0 +1,121 @@
+"""Boolean status conventions of Section 2.
+
+Link status ``X_e(t)`` and path status ``Y_p(t)`` are 0 for *good* and 1 for
+*congested*. The simulator emits these as boolean numpy matrices indexed by
+(interval, link) and (interval, path); :class:`ObservationMatrix` wraps the
+path-status matrix with the empirical frequency queries every
+probability-computation algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence
+
+import numpy as np
+
+#: Status value for a good link or path (``X = 0`` / ``Y = 0``).
+GOOD = 0
+#: Status value for a congested link or path (``X = 1`` / ``Y = 1``).
+CONGESTED = 1
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """Ground truth and observation for a single time interval ``t``.
+
+    Attributes
+    ----------
+    interval:
+        The interval index ``t``.
+    congested_links:
+        The true congested link set ``E^c(t)``.
+    congested_paths:
+        The observed congested path set ``P^c(t)``.
+    """
+
+    interval: int
+    congested_links: FrozenSet[int]
+    congested_paths: FrozenSet[int]
+
+
+class ObservationMatrix:
+    """Path observations over ``T`` intervals with frequency queries.
+
+    Parameters
+    ----------
+    congested:
+        Boolean matrix of shape (T, num_paths); ``congested[t, p]`` is true
+        iff path ``p`` was observed congested during interval ``t``
+        (``Y_p(t) = 1``).
+    """
+
+    def __init__(self, congested: np.ndarray) -> None:
+        congested = np.asarray(congested, dtype=bool)
+        if congested.ndim != 2:
+            raise ValueError("ObservationMatrix expects a 2-D (T, paths) matrix")
+        self._congested = congested
+
+    @property
+    def num_intervals(self) -> int:
+        """The number of observed intervals ``T``."""
+        return self._congested.shape[0]
+
+    @property
+    def num_paths(self) -> int:
+        """The number of monitored paths."""
+        return self._congested.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying boolean (T, paths) congestion matrix (read-only)."""
+        return self._congested
+
+    def congested_paths(self, interval: int) -> FrozenSet[int]:
+        """The congested path set ``P^c(t)`` for interval ``interval``."""
+        return frozenset(np.flatnonzero(self._congested[interval]).tolist())
+
+    def path_congestion_frequency(self) -> np.ndarray:
+        """Empirical ``P(Y_p = 1)`` per path, shape (num_paths,)."""
+        return self._congested.mean(axis=0)
+
+    def all_good_frequency(self, path_set: Iterable[int]) -> float:
+        """Empirical probability that every path in ``path_set`` is good.
+
+        This is the left-hand side of the paper's Eq. 1,
+        ``P(intersection_{p in P} Y_p = 0)``, estimated over the ``T``
+        observed intervals. The empty set has frequency 1.
+        """
+        indices = sorted(set(path_set))
+        if not indices:
+            return 1.0
+        good = ~self._congested[:, indices]
+        return float(good.all(axis=1).mean())
+
+    def always_good_paths(self, tolerance: float = 0.0) -> FrozenSet[int]:
+        """Paths (effectively) never observed congested.
+
+        Used to prune potentially congested correlation subsets
+        (Section 5.2). With a noisy E2E monitor (Assumption 2 is imperfect:
+        "probing ... may incur false negatives and false positives"), a path
+        whose links are all good can still flip to congested in a few
+        intervals; ``tolerance`` declares a path always-good when its
+        congestion frequency is at most that fraction, so that monitoring
+        noise does not void the pruning.
+        """
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError("tolerance must be in [0, 1)")
+        frequency = self._congested.mean(axis=0)
+        return frozenset(np.flatnonzero(frequency <= tolerance).tolist())
+
+    def always_congested_paths(self, tolerance: float = 0.0) -> FrozenSet[int]:
+        """Paths congested in (effectively) every interval.
+
+        Their all-good frequency is 0 (or tiny), so no reliable Eq. 1
+        equation can use them; ``tolerance`` mirrors
+        :meth:`always_good_paths`.
+        """
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError("tolerance must be in [0, 1)")
+        frequency = self._congested.mean(axis=0)
+        return frozenset(np.flatnonzero(frequency >= 1.0 - tolerance).tolist())

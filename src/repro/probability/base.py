@@ -1,0 +1,255 @@
+"""Shared estimator interface, configuration, and fitting utilities.
+
+Every Probability Computation algorithm in this package:
+
+1. determines the potentially congested links from the observations;
+2. assembles an unknown index (correlation subsets, or plain links for the
+   Independence baseline);
+3. chooses path sets, applies Eq. 1 in log domain using empirical all-good
+   frequencies, and solves the resulting linear system;
+4. wraps the solution into a :class:`CongestionProbabilityModel`.
+
+The algorithms differ in steps 2-3; the common plumbing lives here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.model.status import ObservationMatrix
+from repro.probability.query import CongestionProbabilityModel
+from repro.probability.subsets import SubsetIndex, potentially_congested_links
+from repro.topology.graph import Network
+from repro.util.rng import RandomState, as_generator
+
+
+@dataclass
+class EstimatorConfig:
+    """Tuning knobs shared by the estimators.
+
+    Attributes
+    ----------
+    requested_subset_size:
+        Compute the probabilities of all correlation subsets up to this many
+        links (Section 4's "sets of one, two, or three links" resource
+        knob). Individual links need size 1; Fig. 4(d) uses 2.
+    hard_subset_cap:
+        Absolute bound on the size of any unknown admitted to the index;
+        equations that would touch a larger subset are unusable.
+    path_set_max_size:
+        Bound on the size of the path sets enumerated by Algorithm 1's
+        line 11 (and by the baselines' equation pools).
+    path_set_max_count:
+        Cap on the number of path subsets enumerated per correlation subset.
+    pair_sample:
+        Number of random multi-path sets added to the candidate pool for
+        unknown discovery and baseline equations.
+    min_frequency:
+        Path sets whose empirical all-good frequency is at or below this
+        bound are unusable (``log 0``); leave at 0 to only skip never-good
+        sets.
+    weighted:
+        Solve by precision-weighted least squares: the log of an empirical
+        frequency ``f`` over ``T`` intervals has variance ``(1-f)/(f T)``,
+        so equations built from rarely-good path sets are down-weighted
+        accordingly. The Correlation-heuristic baseline deliberately ignores
+        this (its unweighted redundant pool is the noise source the paper
+        describes).
+    seed:
+        Randomness for sampled candidate pools and tie-breaking.
+    """
+
+    requested_subset_size: int = 2
+    hard_subset_cap: int = 6
+    path_set_max_size: int = 3
+    path_set_max_count: int = 200
+    pair_sample: int = 800
+    min_frequency: float = 0.0
+    weighted: bool = True
+    pruning_tolerance: float = 0.02
+    prior_weight: float = 1.0
+    prior_mode: str = "independence"
+    seed: Optional[int] = 7
+
+    def validate(self) -> None:
+        """Raise :class:`EstimationError` on inconsistent parameters."""
+        if self.requested_subset_size < 1:
+            raise EstimationError("requested_subset_size must be >= 1")
+        if not 0.0 <= self.pruning_tolerance < 1.0:
+            raise EstimationError("pruning_tolerance must be in [0, 1)")
+        if self.prior_mode not in ("independence", "correlation"):
+            raise EstimationError(
+                "prior_mode must be 'independence' or 'correlation'"
+            )
+        if self.hard_subset_cap < self.requested_subset_size:
+            raise EstimationError("hard_subset_cap < requested_subset_size")
+        if self.path_set_max_size < 1 or self.path_set_max_count < 1:
+            raise EstimationError("path-set enumeration bounds must be >= 1")
+        if not 0.0 <= self.min_frequency < 1.0:
+            raise EstimationError("min_frequency must be in [0, 1)")
+
+
+@dataclass
+class FitReport:
+    """Diagnostics attached to every fitted model.
+
+    Attributes
+    ----------
+    num_unknowns, num_equations, rank:
+        Size and rank of the solved system.
+    num_identifiable:
+        Unknowns pinned down uniquely.
+    residual:
+        Root-mean-square equation residual.
+    path_sets:
+        The path sets whose Eq. 1 equations entered the system, in
+        selection order (Algorithm 1's output ``P^``).
+    """
+
+    num_unknowns: int = 0
+    num_equations: int = 0
+    rank: int = 0
+    num_identifiable: int = 0
+    residual: float = 0.0
+    path_sets: List[FrozenSet[int]] = field(default_factory=list)
+
+
+class FrequencyCache:
+    """Memoised empirical all-good frequencies over path sets."""
+
+    def __init__(self, observations: ObservationMatrix) -> None:
+        self._observations = observations
+        self._cache: Dict[FrozenSet[int], float] = {}
+
+    @property
+    def num_intervals(self) -> int:
+        """Observation horizon ``T`` backing the frequencies."""
+        return self._observations.num_intervals
+
+    def __call__(self, path_set: Iterable[int]) -> float:
+        key = frozenset(path_set)
+        value = self._cache.get(key)
+        if value is None:
+            value = self._observations.all_good_frequency(key)
+            self._cache[key] = value
+        return value
+
+
+def log_frequency_weight(frequency: float, num_intervals: int) -> float:
+    """Precision (1/sigma) of ``log`` of an empirical frequency.
+
+    A binomial proportion estimate ``f`` over ``T`` intervals has
+    ``Var(log f) ~ (1 - f) / (f T)`` by the delta method, so the weight is
+    ``sqrt(f T / (1 - f))``. ``f`` is clipped away from 0 and 1 to keep the
+    weight finite.
+    """
+    clipped = float(np.clip(frequency, 1.0 / (2.0 * num_intervals), 0.999))
+    return float(np.sqrt(num_intervals * clipped / (1.0 - clipped)))
+
+
+def singleton_path_sets(
+    observations: ObservationMatrix,
+) -> List[FrozenSet[int]]:
+    """All single-path sets that were good at least once."""
+    always_congested = observations.always_congested_paths()
+    return [
+        frozenset({p})
+        for p in range(observations.num_paths)
+        if p not in always_congested
+    ]
+
+
+def sampled_path_combinations(
+    network: Network,
+    observations: ObservationMatrix,
+    count: int,
+    max_size: int,
+    rng: np.random.Generator,
+) -> List[FrozenSet[int]]:
+    """Random small path sets biased toward paths sharing a correlation set.
+
+    Paths that share an AS produce equations whose rows couple the joint
+    unknowns of that AS — exactly the equations that distinguish correlated
+    from independent links. Pure random combinations rarely intersect, so we
+    sample a neighbour from the paths covering the links of a pivot path's
+    ASes.
+    """
+    if count <= 0 or observations.num_paths < 2:
+        return []
+    always_congested = observations.always_congested_paths()
+    usable = [
+        p for p in range(observations.num_paths) if p not in always_congested
+    ]
+    if len(usable) < 2:
+        return []
+    results: Set[FrozenSet[int]] = set()
+    attempts = 0
+    max_attempts = count * 6
+    while len(results) < count and attempts < max_attempts:
+        attempts += 1
+        pivot = int(rng.choice(usable))
+        pivot_links = network.links_covered([pivot])
+        neighbours = network.paths_covering(pivot_links) - {pivot}
+        neighbours = sorted(p for p in neighbours if p not in always_congested)
+        size = int(rng.integers(2, max_size + 1)) if max_size >= 2 else 2
+        members = {pivot}
+        if neighbours:
+            picks = rng.choice(
+                neighbours, size=min(size - 1, len(neighbours)), replace=False
+            )
+            members.update(int(p) for p in picks)
+        else:
+            members.add(int(rng.choice(usable)))
+        if len(members) >= 2:
+            results.add(frozenset(members))
+    return sorted(results, key=sorted)
+
+
+class ProbabilityEstimator(ABC):
+    """Abstract Probability Computation algorithm.
+
+    Subclasses implement :meth:`fit`, which consumes the network and the
+    path observations and returns a queryable
+    :class:`CongestionProbabilityModel` carrying a :class:`FitReport` on its
+    ``report`` attribute.
+    """
+
+    #: Human-readable algorithm name (used in experiment tables).
+    name: str = "abstract"
+
+    def __init__(self, config: Optional[EstimatorConfig] = None) -> None:
+        # Copy so per-estimator adjustments (e.g. the heuristic forcing
+        # weighted=False) never leak into a config shared between estimators.
+        self.config = replace(config) if config is not None else EstimatorConfig()
+        self.config.validate()
+
+    @abstractmethod
+    def fit(
+        self, network: Network, observations: ObservationMatrix
+    ) -> CongestionProbabilityModel:
+        """Estimate congestion probabilities from path observations."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _rng(self) -> np.random.Generator:
+        return as_generator(self.config.seed)
+
+    def _active_links(
+        self, network: Network, observations: ObservationMatrix
+    ) -> FrozenSet[int]:
+        return potentially_congested_links(
+            network, observations, self.config.pruning_tolerance
+        )
+
+    @staticmethod
+    def _attach_report(
+        model: CongestionProbabilityModel, report: FitReport
+    ) -> CongestionProbabilityModel:
+        model.report = report  # type: ignore[attr-defined]
+        return model

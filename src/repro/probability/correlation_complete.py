@@ -1,0 +1,362 @@
+"""Correlation-complete: the paper's Algorithm 1 (Section 5.3).
+
+The estimator computes, for every admitted potentially-congested correlation
+subset, the probability that all its links are good, by:
+
+1. forming an **initial list of path sets** — for each subset ``E``, the
+   selector ``Paths(E) \\ Paths(complement(E))`` (Algorithm 1 lines 1-5);
+2. computing the null space ``N`` of the associated ``Matrix(P^, E^)``
+   (lines 6-7);
+3. **iteratively adding path sets that increase the system rank**: subsets
+   ``E`` are visited in decreasing Hamming weight of their null-space row
+   (``SortByHammingWeight``), candidate path sets are enumerated inside
+   ``Paths(E) \\ Paths(complement(E))``, and the first row ``r`` with
+   ``||r N|| > 0`` is kept, after which ``N`` is shrunk *incrementally* by
+   Algorithm 2 (lines 8-22);
+4. solving the final log-domain least-squares system and classifying each
+   unknown as identifiable iff the final null space vanishes on its
+   coordinate.
+
+Deviations from the listing (documented in DESIGN.md): the enumeration of
+path subsets on line 11 is bounded (size- and count-capped, smallest first)
+and the unknown ordering ``E^`` is the configurable index of
+:class:`~repro.probability.subsets.SubsetIndex` rather than the full
+exponential family — both are the paper's own "configurable subset of the
+computable probabilities" resource knob (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.linalg.nullspace import null_space, null_space_update, rank_increases
+from repro.linalg.system import EquationSystem
+from repro.model.status import ObservationMatrix
+from repro.probability.base import (
+    EstimatorConfig,
+    FitReport,
+    FrequencyCache,
+    ProbabilityEstimator,
+    log_frequency_weight,
+    sampled_path_combinations,
+    singleton_path_sets,
+)
+from repro.probability.query import CongestionProbabilityModel
+from repro.probability.subsets import SubsetIndex
+from repro.topology.graph import Network
+from repro.util.subsets import bounded_subsets
+
+
+class CorrelationCompleteEstimator(ProbabilityEstimator):
+    """The paper's Probability Computation algorithm (Algorithm 1 + 2)."""
+
+    name = "Correlation-complete"
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, network: Network, observations: ObservationMatrix
+    ) -> CongestionProbabilityModel:
+        """Estimate all-good probabilities of correlation subsets.
+
+        Raises
+        ------
+        EstimationError
+            When no usable equation exists (e.g. every path was congested
+            in every interval).
+        """
+        rng = self._rng()
+        active = self._active_links(network, observations)
+        frequency = FrequencyCache(observations)
+        always_good = frozenset(range(network.num_links)) - active
+        if not active:
+            model = CongestionProbabilityModel(
+                network, {}, {}, always_good_links=always_good
+            )
+            return self._attach_report(model, FitReport())
+
+        index, pool = self._build_index(network, observations, active, rng)
+        path_sets = self._select_path_sets(index, frequency)
+        if not path_sets:
+            raise EstimationError(
+                "Correlation-complete: no usable path-set equations "
+                "(were all paths always congested?)"
+            )
+        extra = self._redundant_path_sets(index, frequency, pool, path_sets)
+        return self._solve(
+            network, index, path_sets, extra, frequency, always_good
+        )
+
+    # ------------------------------------------------------------------
+    # Unknown discovery
+    # ------------------------------------------------------------------
+    def _build_index(
+        self,
+        network: Network,
+        observations: ObservationMatrix,
+        active: FrozenSet[int],
+        rng: np.random.Generator,
+    ) -> Tuple[SubsetIndex, List[FrozenSet[int]]]:
+        """Assemble ``E^`` plus the candidate path-set pool that shaped it."""
+        candidates: List[FrozenSet[int]] = list(singleton_path_sets(observations))
+        candidates.extend(
+            sampled_path_combinations(
+                network,
+                observations,
+                count=self.config.pair_sample,
+                max_size=self.config.path_set_max_size,
+                rng=rng,
+            )
+        )
+        # Selectors of singleton subsets make per-link equations usable even
+        # before the index exists (they only need correlation sets).
+        active_sets = [
+            frozenset(c & active) for c in network.correlation_sets if c & active
+        ]
+        for members in active_sets:
+            for link in sorted(members):
+                selector = network.paths_covering([link]) - network.paths_covering(
+                    members - {link}
+                )
+                if selector:
+                    candidates.append(frozenset(selector))
+        index = SubsetIndex.build(
+            network,
+            active,
+            candidates,
+            requested_subset_size=self.config.requested_subset_size,
+            hard_subset_cap=self.config.hard_subset_cap,
+        )
+        return index, candidates
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _usable_row(
+        self,
+        index: SubsetIndex,
+        frequency: FrequencyCache,
+        path_set: FrozenSet[int],
+    ) -> Optional[np.ndarray]:
+        """Row for ``path_set`` or None (outside index / zero frequency)."""
+        if not path_set:
+            return None
+        row = index.row(path_set)
+        if row is None or not row.any():
+            return None
+        if frequency(path_set) <= self.config.min_frequency:
+            return None
+        return row
+
+    def _select_path_sets(
+        self, index: SubsetIndex, frequency: FrequencyCache
+    ) -> List[FrozenSet[int]]:
+        """Algorithm 1: choose the path sets whose equations enter the system."""
+        chosen: List[FrozenSet[int]] = []
+        rows: List[np.ndarray] = []
+        seen: Set[FrozenSet[int]] = set()
+
+        # Lines 1-5: one selector path set per correlation subset.
+        for subset in index.subsets:
+            path_set = frozenset(index.paths_selector(subset))
+            if path_set in seen:
+                continue
+            row = self._usable_row(index, frequency, path_set)
+            if row is None:
+                continue
+            seen.add(path_set)
+            chosen.append(path_set)
+            rows.append(row)
+
+        # Lines 6-7: null space of the initial system.
+        matrix = (
+            np.vstack(rows) if rows else np.zeros((0, len(index)))
+        )
+        basis = null_space(matrix)
+
+        # Lines 8-22: grow rank with incrementally-updated null space.
+        while basis.shape[1] > 0:
+            added = self._add_rank_increasing_row(
+                index, frequency, basis, seen, chosen
+            )
+            if added is None:
+                break
+            basis = null_space_update(basis, added)
+        return chosen
+
+    def _add_rank_increasing_row(
+        self,
+        index: SubsetIndex,
+        frequency: FrequencyCache,
+        basis: np.ndarray,
+        seen: Set[FrozenSet[int]],
+        chosen: List[FrozenSet[int]],
+    ) -> Optional[np.ndarray]:
+        """One pass of lines 9-20; returns the added row or None.
+
+        ``SortByHammingWeight``: subsets are visited in decreasing count of
+        non-zero entries of their null-space row — if unknown ``i`` has many
+        non-zeros in ``N``, a row touching it is likely to satisfy
+        ``||r N|| > 0``.
+        """
+        weights = np.count_nonzero(np.abs(basis) > 1e-12, axis=1)
+        order = np.argsort(-weights, kind="stable")
+        for position in order:
+            if weights[position] == 0:
+                # Remaining subsets are already orthogonal to every null
+                # direction; no row through them can add rank.
+                break
+            subset = index.subsets[int(position)]
+            base = sorted(index.paths_selector(subset))
+            if not base:
+                continue
+            for combo in bounded_subsets(
+                base,
+                max_size=self.config.path_set_max_size,
+                max_count=self.config.path_set_max_count,
+            ):
+                path_set = frozenset(combo)
+                if path_set in seen:
+                    continue
+                row = self._usable_row(index, frequency, path_set)
+                if row is None:
+                    continue
+                if not rank_increases(basis, row):
+                    continue
+                seen.add(path_set)
+                chosen.append(path_set)
+                return row
+        return None
+
+    # ------------------------------------------------------------------
+    # Variance reduction
+    # ------------------------------------------------------------------
+    def _redundant_path_sets(
+        self,
+        index: SubsetIndex,
+        frequency: FrequencyCache,
+        pool: Sequence[FrozenSet[int]],
+        selected: Sequence[FrozenSet[int]],
+    ) -> List[FrozenSet[int]]:
+        """Additional consistent equations for finite-sample averaging.
+
+        Algorithm 1 guarantees *rank* with the minimum number of equations;
+        with finite ``T`` each empirical frequency is noisy, so the solve
+        additionally averages over the already-computed candidate pool
+        (usable, non-duplicate path sets). The rows lie in the span of the
+        selected system, leaving identifiability untouched, and are weighted
+        by their estimated precision — this is an implementation refinement
+        over the paper's listing, documented in DESIGN.md.
+        """
+        seen = set(selected)
+        extras: List[FrozenSet[int]] = []
+        for path_set in pool:
+            if path_set in seen:
+                continue
+            seen.add(path_set)
+            if self._usable_row(index, frequency, path_set) is not None:
+                extras.append(path_set)
+        return extras
+
+    # ------------------------------------------------------------------
+    def _add_prior_equations(
+        self, system: EquationSystem, index: SubsetIndex
+    ) -> None:
+        """Weak within-correlation-set prior tying singletons to joints.
+
+        Where the data equations identify the unknowns, their far larger
+        weights dominate and the prior is immaterial; along *unidentifiable*
+        directions (Identifiability++ failures — e.g. a path's unique tail,
+        or an inter-domain link inseparable from the intra-domain link
+        behind it) the prior decides how a joint's log-probability is
+        apportioned to its members:
+
+        * ``prior_mode='correlation'`` (default): ``log g_e = log g_S`` for
+          every member — bundle members co-congest, which is the natural
+          default under Assumption 5 ("links from the same correlation set
+          may be correlated") and exact when the bundle shares a
+          router-level link;
+        * ``prior_mode='independence'``: ``log g_S = sum log g_e`` — the
+          joint splits evenly, mirroring what a min-norm independence solve
+          does on a series bundle.
+
+        Prior rows are excluded from the rank/identifiability accounting
+        (see :meth:`repro.linalg.system.EquationSystem.add`).
+        """
+        if self.config.prior_weight <= 0.0:
+            return
+        for subset in index.subsets:
+            if len(subset) < 2:
+                continue
+            singleton_positions = []
+            for link in subset:
+                singleton = frozenset({link})
+                if singleton not in index:
+                    break
+                singleton_positions.append(index.position(singleton))
+            else:
+                if self.config.prior_mode == "independence":
+                    row = np.zeros(len(index))
+                    row[index.position(subset)] = 1.0
+                    row[singleton_positions] -= 1.0
+                    system.add(row, 0.0, self.config.prior_weight, prior=True)
+                else:
+                    for position in singleton_positions:
+                        row = np.zeros(len(index))
+                        row[index.position(subset)] = 1.0
+                        row[position] -= 1.0
+                        system.add(
+                            row, 0.0, self.config.prior_weight, prior=True
+                        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _solve(
+        self,
+        network: Network,
+        index: SubsetIndex,
+        path_sets: Sequence[FrozenSet[int]],
+        extra_path_sets: Sequence[FrozenSet[int]],
+        frequency: FrequencyCache,
+        always_good: FrozenSet[int],
+    ) -> CongestionProbabilityModel:
+        """Least-squares solve of the log-domain Eq. 1 system."""
+        system = EquationSystem(len(index))
+        for path_set in list(path_sets) + list(extra_path_sets):
+            row = index.row(path_set)
+            if row is None:
+                raise EstimationError("selected path set became unusable")
+            freq = frequency(path_set)
+            weight = (
+                log_frequency_weight(freq, frequency.num_intervals)
+                if self.config.weighted
+                else 1.0
+            )
+            system.add(row, float(np.log(freq)), weight)
+        self._add_prior_equations(system, index)
+        solution = system.solve(upper_bound=0.0)
+        log_good = np.minimum(solution.values, 0.0)
+        good = np.exp(log_good)
+        estimates: Dict[FrozenSet[int], float] = {}
+        identifiable: Dict[FrozenSet[int], bool] = {}
+        for position, subset in enumerate(index.subsets):
+            estimates[subset] = float(good[position])
+            identifiable[subset] = bool(solution.identifiable[position])
+        model = CongestionProbabilityModel(
+            network,
+            estimates,
+            identifiable,
+            always_good_links=always_good,
+        )
+        report = FitReport(
+            num_unknowns=len(index),
+            num_equations=len(system),
+            rank=solution.rank,
+            num_identifiable=int(solution.identifiable.sum()),
+            residual=solution.residual,
+            path_sets=list(path_sets),
+        )
+        return self._attach_report(model, report)

@@ -1,0 +1,225 @@
+"""Queryable result of Probability Computation.
+
+A :class:`CongestionProbabilityModel` stores, per admitted correlation
+subset ``E``, the estimated probability that *all links of E are good*,
+``g_E = P(intersection_{e in E} X_e = 0)``, together with an identifiability
+flag. From these it answers the queries the paper's scenario needs:
+
+* per-link congestion probabilities (Fig. 4(a)-(c));
+* congestion probabilities of arbitrary link sets via inclusion–exclusion
+  within correlation sets and products across them (Fig. 4(d));
+* joint assignment probabilities
+  ``P(all of A congested, all of B good)`` — the quantity Bayesian
+  inference's Probabilistic Inference step maximises.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import IdentifiabilityError
+from repro.topology.graph import Network
+
+#: Floor applied to probabilities so logs stay finite.
+PROB_FLOOR = 1e-9
+
+
+class CongestionProbabilityModel:
+    """Estimated good-set probabilities with set-level queries.
+
+    Parameters
+    ----------
+    network:
+        The monitored topology (supplies correlation sets).
+    all_good_probability:
+        Map from correlation subset (frozenset of link indices) to the
+        estimated probability that all its links are good.
+    identifiable:
+        Map from subset to whether the estimate is uniquely determined by
+        the equation system. Missing subsets default to ``False``.
+    always_good_links:
+        Links with congestion probability exactly 0 (traversed by an
+        always-good path); they are transparent in every query.
+    independent:
+        When true (the Independence estimator), any set factorises into
+        per-link probabilities, so queries never need joint unknowns.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        all_good_probability: Dict[FrozenSet[int], float],
+        identifiable: Optional[Dict[FrozenSet[int], bool]] = None,
+        always_good_links: FrozenSet[int] = frozenset(),
+        independent: bool = False,
+    ) -> None:
+        self.network = network
+        self._good = {
+            subset: float(np.clip(value, PROB_FLOOR, 1.0))
+            for subset, value in all_good_probability.items()
+        }
+        self._identifiable = dict(identifiable or {})
+        self.always_good_links = always_good_links
+        self.independent = independent
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def subsets(self) -> List[FrozenSet[int]]:
+        """All correlation subsets with stored estimates."""
+        return list(self._good)
+
+    def is_identifiable(self, subset: Iterable[int]) -> bool:
+        """Whether the all-good probability of ``subset`` is identifiable."""
+        reduced = self._reduce(subset)
+        if reduced is None:
+            return True
+        if self.independent:
+            return all(
+                self._identifiable.get(frozenset({e}), False) for e in reduced
+            )
+        parts = self._partition(reduced)
+        if parts is None:
+            return False
+        return all(
+            self._identifiable.get(part, False) for part in parts if part
+        )
+
+    # ------------------------------------------------------------------
+    # Core queries
+    # ------------------------------------------------------------------
+    def _reduce(self, links: Iterable[int]) -> Optional[FrozenSet[int]]:
+        """Drop always-good links; None when nothing remains."""
+        reduced = frozenset(links) - self.always_good_links
+        return reduced if reduced else None
+
+    def _partition(
+        self, links: FrozenSet[int]
+    ) -> Optional[List[FrozenSet[int]]]:
+        """Split ``links`` by correlation set; None if a part is unknown."""
+        parts: List[FrozenSet[int]] = []
+        remaining = set(links)
+        for members in self.network.correlation_sets:
+            part = frozenset(members) & links
+            if part:
+                remaining -= part
+                if part not in self._good:
+                    return None
+                parts.append(part)
+        if remaining:
+            return None
+        return parts
+
+    def prob_all_good(self, links: Iterable[int], strict: bool = False) -> float:
+        """``P(all links in the set are good)``.
+
+        Under Correlation Sets the probability factorises across correlation
+        sets (Eq. 1); within a set the stored joint estimate is used (or the
+        per-link product when ``independent``).
+
+        Parameters
+        ----------
+        strict:
+            When true, raise :class:`IdentifiabilityError` if any needed
+            joint is missing or unidentifiable instead of silently falling
+            back to the per-link product.
+        """
+        reduced = self._reduce(links)
+        if reduced is None:
+            return 1.0
+        if self.independent:
+            return float(
+                np.prod([self._good.get(frozenset({e}), 1.0) for e in reduced])
+            )
+        total = 1.0
+        for members in self.network.correlation_sets:
+            part = frozenset(members) & reduced
+            if not part:
+                continue
+            stored = self._good.get(part)
+            if stored is None or (strict and not self._identifiable.get(part, False)):
+                if strict:
+                    raise IdentifiabilityError(
+                        f"P(all good) of {sorted(part)} is not identifiable"
+                    )
+                stored = float(
+                    np.prod([self._good.get(frozenset({e}), 1.0) for e in part])
+                )
+            total *= stored
+        return float(total)
+
+    def link_congestion_probability(self, link: int) -> float:
+        """``P(X_e = 1)`` for a single link."""
+        if link in self.always_good_links:
+            return 0.0
+        return 1.0 - self.prob_all_good([link])
+
+    def link_marginals(self) -> np.ndarray:
+        """Per-link congestion probabilities, shape (num_links,)."""
+        return np.array(
+            [
+                self.link_congestion_probability(e)
+                for e in range(self.network.num_links)
+            ]
+        )
+
+    def prob_all_congested(
+        self, links: Iterable[int], strict: bool = False
+    ) -> float:
+        """The paper's *congestion probability* of a link set.
+
+        Inclusion–exclusion over all-good probabilities:
+        ``P(all S congested) = sum_{A subset S} (-1)^|A| P(all A good)``.
+        Any always-good member makes the probability 0.
+        """
+        members = sorted(set(links))
+        if any(e in self.always_good_links for e in members):
+            return 0.0
+        total = 0.0
+        for size in range(len(members) + 1):
+            for subset in combinations(members, size):
+                total += (-1.0) ** size * self.prob_all_good(subset, strict=strict)
+        return float(min(max(total, 0.0), 1.0))
+
+    def assignment_log_prob(
+        self,
+        congested: Iterable[int],
+        good: Iterable[int],
+        strict: bool = False,
+    ) -> float:
+        """``log P(all of A congested, all of B good)`` for disjoint A, B.
+
+        Computed per correlation set via inclusion–exclusion over the
+        congested part with the good part held fixed:
+
+            P(A cong, B good) = sum_{A' subset A} (-1)^|A'| P(A' union B good)
+
+        and summed (log-product) across correlation sets. This is the score
+        Bayesian inference maximises over candidate solutions.
+        """
+        congested_set = frozenset(congested) - self.always_good_links
+        good_set = frozenset(good)
+        if congested_set & good_set:
+            raise ValueError("congested and good sets must be disjoint")
+        # Links asserted congested but known always-good: impossible event.
+        if frozenset(congested) & self.always_good_links:
+            return -np.inf
+        log_total = 0.0
+        for members in self.network.correlation_sets:
+            part_congested = sorted(frozenset(members) & congested_set)
+            part_good = frozenset(members) & good_set
+            if not part_congested and not part_good:
+                continue
+            probability = 0.0
+            for size in range(len(part_congested) + 1):
+                for subset in combinations(part_congested, size):
+                    probability += (-1.0) ** size * self.prob_all_good(
+                        frozenset(subset) | part_good, strict=strict
+                    )
+            probability = min(max(probability, PROB_FLOOR), 1.0)
+            log_total += float(np.log(probability))
+        return log_total

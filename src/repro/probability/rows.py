@@ -1,0 +1,38 @@
+"""The ``Row`` and ``Matrix`` functions of Section 5.2, as free functions.
+
+These are thin, name-faithful wrappers over :class:`SubsetIndex` so that code
+following the paper (and the worked-example tests) can read exactly like the
+text: ``Row(P, E^)`` and ``Matrix(P^, E^)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.probability.subsets import SubsetIndex
+
+
+def build_row(path_set: Iterable[int], index: SubsetIndex) -> np.ndarray:
+    """``Row(P, E^)`` — raises when the row is unusable.
+
+    The i-th entry is 1 iff the i-th correlation subset of ``E^`` appears in
+    Eq. 1 applied to ``path_set``.
+    """
+    row = index.row(path_set)
+    if row is None:
+        raise EstimationError(
+            "path set touches a correlation subset outside the index"
+        )
+    return row
+
+
+def build_matrix(
+    path_sets: Sequence[Iterable[int]], index: SubsetIndex
+) -> np.ndarray:
+    """``Matrix(P^, E^)`` — one row per path set, in order."""
+    if not path_sets:
+        return np.zeros((0, len(index)))
+    return np.vstack([build_row(path_set, index) for path_set in path_sets])

@@ -1,0 +1,222 @@
+"""Correlation subsets, potential congestion, and the unknown index.
+
+Section 5.2 of the paper defines, for the estimation machinery:
+
+* a **correlation subset** — a non-empty subset of a correlation set;
+* its **complement** within the correlation set;
+* **potentially congested** subsets — those none of whose links is traversed
+  by an always-good path (all other subsets have congestion probability 0
+  and are excluded from the unknowns);
+* the vector ``Row(P, E^)`` and matrix ``Matrix(P^, E^)`` mapping path sets
+  to equations over an ordering ``E^`` of the unknowns.
+
+:class:`SubsetIndex` realises ``E^``: a frozen ordering of the correlation
+subsets admitted as unknowns. Because the total number of correlation
+subsets is exponential ("there may be billions of such sets"), the index is
+*configurable* exactly as Section 4 prescribes: it admits requested subsets
+up to a target size plus every subset that actually occurs as
+``Links(P) intersect C`` for the candidate path sets, up to a hard size cap.
+Rows touching a subset outside the index are unusable and rejected.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.model.status import ObservationMatrix
+from repro.topology.graph import Network
+
+
+def potentially_congested_links(
+    network: Network,
+    observations: ObservationMatrix,
+    tolerance: float = 0.0,
+) -> FrozenSet[int]:
+    """Links not traversed by any (effectively) always-good path.
+
+    By Separability, every link on an always-good path is good in every
+    interval, so its congestion probability is 0 and it is excluded from the
+    unknowns (Section 5.2: "the congestion probability of any correlation
+    subset that is not potentially congested is 0"). ``tolerance`` absorbs
+    E2E-monitoring false positives — without it, a noisy monitor leaves no
+    path always-good over a long horizon and the pruning collapses.
+    """
+    always_good = observations.always_good_paths(tolerance)
+    surely_good = network.links_covered(always_good)
+    return frozenset(range(network.num_links)) - surely_good
+
+
+class SubsetIndex:
+    """Frozen ordering ``E^`` of admitted potentially-congested subsets.
+
+    Parameters
+    ----------
+    network:
+        Supplies correlation sets and coverage functions.
+    active_links:
+        The potentially congested links; all subsets are formed within this
+        set (always-good links contribute probability 1 and are projected
+        out of every equation).
+    subsets:
+        The admitted correlation subsets, in index (``E^``) order.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        active_links: FrozenSet[int],
+        subsets: Sequence[FrozenSet[int]],
+    ) -> None:
+        self.network = network
+        self.active_links = active_links
+        self.subsets: List[FrozenSet[int]] = list(subsets)
+        self._position: Dict[FrozenSet[int], int] = {
+            subset: i for i, subset in enumerate(self.subsets)
+        }
+        if len(self._position) != len(self.subsets):
+            raise EstimationError("SubsetIndex: duplicate subsets in ordering")
+        self._correlation_set_of: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        active_sets = self.active_correlation_sets()
+        for subset in self.subsets:
+            owner = None
+            for members in active_sets:
+                if subset <= members:
+                    owner = members
+                    break
+            if owner is None:
+                raise EstimationError(
+                    f"subset {sorted(subset)} crosses correlation-set boundaries"
+                )
+            self._correlation_set_of[subset] = owner
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: Network,
+        active_links: FrozenSet[int],
+        candidate_path_sets: Iterable[FrozenSet[int]],
+        requested_subset_size: int = 1,
+        hard_subset_cap: int = 6,
+        max_requested_per_set: Optional[int] = 2000,
+    ) -> "SubsetIndex":
+        """Assemble the unknown ordering.
+
+        Admits (a) every subset of each active correlation set up to
+        ``requested_subset_size`` (the caller's "compute sets of one, two,
+        or three links" knob from Section 4, optionally capped per
+        correlation set), and (b) every subset occurring as
+        ``Links(P) intersect C`` for a candidate path set ``P``, up to
+        ``hard_subset_cap`` links (rows needing anything larger are
+        unusable).
+        """
+        admitted: Dict[FrozenSet[int], None] = {}
+
+        def admit(subset: FrozenSet[int]) -> None:
+            if subset and subset not in admitted:
+                admitted[subset] = None
+
+        active_sets = [
+            frozenset(c & active_links)
+            for c in network.correlation_sets
+            if c & active_links
+        ]
+        for members in active_sets:
+            ordered = sorted(members)
+            count = 0
+            for size in range(1, min(requested_subset_size, len(ordered)) + 1):
+                for combo in combinations(ordered, size):
+                    admit(frozenset(combo))
+                    count += 1
+                    if max_requested_per_set is not None and count >= max_requested_per_set:
+                        break
+                if max_requested_per_set is not None and count >= max_requested_per_set:
+                    break
+        for path_set in candidate_path_sets:
+            links = network.links_covered(path_set) & active_links
+            for members in active_sets:
+                part = links & members
+                if part and len(part) <= hard_subset_cap:
+                    admit(part)
+        return cls(network, active_links, list(admitted))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subsets)
+
+    def __contains__(self, subset: FrozenSet[int]) -> bool:
+        return subset in self._position
+
+    def position(self, subset: FrozenSet[int]) -> int:
+        """Index of ``subset`` in the ordering ``E^``."""
+        try:
+            return self._position[subset]
+        except KeyError as exc:
+            raise EstimationError(f"subset {sorted(subset)} not indexed") from exc
+
+    def active_correlation_sets(self) -> List[FrozenSet[int]]:
+        """Correlation sets restricted to active links (non-empty only)."""
+        return [
+            frozenset(c & self.active_links)
+            for c in self.network.correlation_sets
+            if c & self.active_links
+        ]
+
+    def complement(self, subset: FrozenSet[int]) -> FrozenSet[int]:
+        """The paper's complement: the rest of the (active) correlation set.
+
+        Complementing within the *active* links is equivalent to the paper's
+        definition over the full correlation set, because paths through
+        always-good links contribute probability-1 factors.
+        """
+        return self._correlation_set_of[subset] - subset
+
+    # ------------------------------------------------------------------
+    # Row construction (Section 5.2)
+    # ------------------------------------------------------------------
+    def decompose(self, path_set: Iterable[int]) -> Optional[List[int]]:
+        """Unknown positions occurring in Eq. 1 applied to ``path_set``.
+
+        Returns ``None`` when the equation would touch a subset outside the
+        index (the row is unusable). The empty path set decomposes to no
+        unknowns.
+        """
+        links = self.network.links_covered(path_set) & self.active_links
+        positions: List[int] = []
+        for members in self.active_correlation_sets():
+            part = links & members
+            if not part:
+                continue
+            position = self._position.get(part)
+            if position is None:
+                return None
+            positions.append(position)
+        return positions
+
+    def row(self, path_set: Iterable[int]) -> Optional[np.ndarray]:
+        """``Row(P, E^)``: the 0/1 coefficient vector for ``path_set``."""
+        positions = self.decompose(path_set)
+        if positions is None:
+            return None
+        row = np.zeros(len(self.subsets))
+        row[positions] = 1.0
+        return row
+
+    def paths_selector(self, subset: FrozenSet[int]) -> FrozenSet[int]:
+        """The paper's path-set primitive ``Paths(E) \\ Paths(complement(E))``.
+
+        Paths that traverse ``subset`` but avoid the rest of its correlation
+        set, so Eq. 1 applied to them intersects the correlation set in
+        exactly ``subset``.
+        """
+        return self.network.paths_covering(subset) - self.network.paths_covering(
+            self.complement(subset)
+        )

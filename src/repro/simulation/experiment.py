@@ -1,0 +1,113 @@
+"""Experiment driver: sample T intervals and observe paths.
+
+Ties the ground-truth congestion model, the loss model, and the prober
+together into a single reproducible run, yielding both the true link states
+(for metric computation) and the path observations (the only thing the
+algorithms under test may look at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.model.status import IntervalRecord, ObservationMatrix
+from repro.simulation.congestion import GroundTruth
+from repro.simulation.probing import PathProber, oracle_path_status
+from repro.simulation.scenarios import Scenario
+from repro.topology.graph import Network
+from repro.util.rng import RandomState, as_generator, derive_rng
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a metric needs about one simulated experiment.
+
+    Attributes
+    ----------
+    network:
+        The monitored topology.
+    ground_truth:
+        The congestion model that generated the run.
+    link_states:
+        True link states, boolean (T, num_links) — metrics only.
+    observations:
+        Path observations, the algorithms' sole input.
+    """
+
+    network: Network
+    ground_truth: GroundTruth
+    link_states: np.ndarray
+    observations: ObservationMatrix
+
+    @property
+    def num_intervals(self) -> int:
+        """The number of simulated intervals ``T``."""
+        return self.link_states.shape[0]
+
+    def congested_links(self, interval: int) -> FrozenSet[int]:
+        """True congested link set ``E^c(t)``."""
+        return frozenset(np.flatnonzero(self.link_states[interval]).tolist())
+
+    def records(self) -> List[IntervalRecord]:
+        """Per-interval (truth, observation) records."""
+        return [
+            IntervalRecord(
+                interval=t,
+                congested_links=self.congested_links(t),
+                congested_paths=self.observations.congested_paths(t),
+            )
+            for t in range(self.num_intervals)
+        ]
+
+    def empirical_marginals(self) -> np.ndarray:
+        """Realised per-link congestion frequencies over the run.
+
+        The finite-T realisation of the ground-truth marginals; estimators
+        are compared against the *model* probabilities (the paper's "actual
+        congestion probability ... assigned by the simulator"), but the
+        realised frequencies bound how well any estimator can possibly do.
+        """
+        return self.link_states.mean(axis=0)
+
+
+def run_experiment(
+    scenario: Scenario,
+    num_intervals: int,
+    prober: Optional[PathProber] = None,
+    random_state: RandomState = None,
+    oracle: bool = False,
+) -> ExperimentResult:
+    """Simulate ``num_intervals`` intervals of ``scenario``.
+
+    Parameters
+    ----------
+    scenario:
+        The congestion scenario (network + ground truth).
+    num_intervals:
+        The experiment horizon ``T`` (the paper uses 1000).
+    prober:
+        Packet-level monitor; a default :class:`PathProber` is used when not
+        given. Ignored when ``oracle`` is true.
+    random_state:
+        Seed or generator; congestion sampling and probing use derived,
+        independent streams.
+    oracle:
+        When true, observations are noise-free (path congested iff a
+        traversed link is congested) — used to isolate algorithmic error.
+    """
+    rng = as_generator(random_state)
+    link_states = scenario.ground_truth.sample(num_intervals, derive_rng(rng, 0))
+    if oracle:
+        observations = oracle_path_status(scenario.network, link_states)
+    else:
+        prober = prober or PathProber()
+        observations = prober.observe(scenario.network, link_states, derive_rng(rng, 1))
+    return ExperimentResult(
+        network=scenario.network,
+        ground_truth=scenario.ground_truth,
+        link_states=link_states,
+        observations=observations,
+    )

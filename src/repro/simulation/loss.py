@@ -1,0 +1,113 @@
+"""Packet-loss model of Padmanabhan et al. [12], as used by the paper.
+
+Section 3.2: "if we determine that a link will be good (resp. congested) in
+this interval, we randomly assign to it a packet-loss rate between 0 and 0.01
+(resp. 0.01 and 1), according to the loss model in [12]".
+
+The good/congested threshold ``f`` therefore doubles as the per-link loss
+split point; the paper's Section 2 path-status definition uses the derived
+per-path threshold (see :mod:`repro.simulation.probing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ScenarioError
+from repro.util.rng import RandomState, as_generator
+
+#: The paper's per-link good/congested loss threshold.
+DEFAULT_THRESHOLD = 0.01
+
+
+@dataclass
+class LossModel:
+    """Per-interval link loss-rate assignment.
+
+    Attributes
+    ----------
+    threshold:
+        The fraction ``f``: good links lose at most ``f`` of their packets,
+        congested links more than ``f``.
+    congested_loss:
+        Distribution of congested-link loss rates on ``(f, 1]``:
+
+        * ``"lognormal"`` (default) — losses concentrate at small values
+          just above ``f``, following the empirical loss model of
+          Padmanabhan et al. [12] that the paper's simulator cites (most
+          congested links drop a few percent, heavy tail up to 1). Because
+          small losses sit near the per-path detection threshold, this is
+          the regime where E2E monitoring genuinely misclassifies paths —
+          one of the paper's inaccuracy sources for every algorithm.
+        * ``"uniform"`` — the simple U(f, 1) variant; congested links are
+          almost always far above the detection threshold, making E2E
+          monitoring nearly perfect.
+    sigma:
+        Log-standard-deviation of the lognormal variant.
+    median_excess:
+        Median of the lognormal excess loss above ``f`` (default 2%: half
+        the congested links lose less than ``f`` + 2%).
+    """
+
+    threshold: float = DEFAULT_THRESHOLD
+    congested_loss: str = "lognormal"
+    sigma: float = 1.2
+    median_excess: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ScenarioError(f"loss threshold {self.threshold} outside (0, 1)")
+        if self.congested_loss not in ("lognormal", "uniform"):
+            raise ScenarioError(
+                f"unknown congested_loss model {self.congested_loss!r}"
+            )
+        if self.sigma <= 0.0 or not 0.0 < self.median_excess < 1.0:
+            raise ScenarioError("invalid lognormal loss parameters")
+
+    def assign(
+        self, link_states: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Draw loss rates for every (interval, link) cell.
+
+        Parameters
+        ----------
+        link_states:
+            Boolean matrix (T, num_links); true means congested.
+
+        Returns
+        -------
+        numpy.ndarray
+            Float matrix (T, num_links): good cells draw U(0, f); congested
+            cells draw from the configured (f, 1] distribution.
+        """
+        link_states = np.asarray(link_states, dtype=bool)
+        rng = as_generator(random_state)
+        uniform = rng.random(link_states.shape)
+        good_loss = uniform * self.threshold
+        if self.congested_loss == "uniform":
+            congested = self.threshold + uniform * (1.0 - self.threshold)
+        else:
+            excess = rng.lognormal(
+                mean=float(np.log(self.median_excess)),
+                sigma=self.sigma,
+                size=link_states.shape,
+            )
+            congested = np.clip(self.threshold + excess, self.threshold, 1.0)
+            # Keep strictly above the good/congested split point.
+            congested = np.maximum(congested, np.nextafter(self.threshold, 1.0))
+        return np.where(link_states, congested, good_loss)
+
+    def path_good_threshold(self, path_length: int) -> float:
+        """Maximum loss fraction a *good* path of ``path_length`` links shows.
+
+        A path whose ``d`` links are all good (each losing at most ``f``)
+        delivers at least ``(1-f)^d`` of its packets, so the observable
+        good-path loss bound is ``1 - (1-f)^d`` (Duffield's rule [8]; the
+        paper states the threshold as a function ``f^d`` of the hop count
+        ``d``).
+        """
+        if path_length < 1:
+            raise ScenarioError("path_length must be >= 1")
+        return 1.0 - (1.0 - self.threshold) ** path_length

@@ -1,0 +1,100 @@
+"""End-to-end path probing (Assumption 2: E2E Monitoring).
+
+Section 3.2: "In each interval, packets are sent along each path; for each
+packet that arrives at a given link, we flip a biased coin to determine
+whether it will be dropped or not, such that we respect the packet-loss rate
+assigned to the link".
+
+A path delivers a packet iff every link forwards it; per-link drops are
+independent coin flips, so the delivered count over ``num_packets`` probes is
+Binomial(num_packets, prod(1 - loss_e)). We sample that binomial directly
+(statistically identical to looping over packets and links, but vectorised).
+The path is declared congested when its measured loss exceeds the good-path
+bound ``1 - (1-f)^d`` for its hop count ``d`` — this is where E2E monitoring
+false positives/negatives enter, exactly as the paper warns.
+
+:func:`oracle_path_status` provides the noise-free alternative (a path is
+congested iff it traverses a congested link), used by tests to isolate
+algorithmic error from measurement error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ScenarioError
+from repro.model.status import ObservationMatrix
+from repro.simulation.loss import LossModel
+from repro.topology.graph import Network
+from repro.util.rng import RandomState, as_generator
+
+
+def oracle_path_status(network: Network, link_states: np.ndarray) -> ObservationMatrix:
+    """Perfect observations: path congested iff some traversed link is.
+
+    This is Separability (Assumption 1) applied with a perfect monitor; it
+    bypasses packet sampling entirely.
+    """
+    link_states = np.asarray(link_states, dtype=bool)
+    congested = link_states @ network.incidence.T.astype(np.uint8) > 0
+    return ObservationMatrix(congested)
+
+
+@dataclass
+class PathProber:
+    """Packet-level path monitor.
+
+    Attributes
+    ----------
+    num_packets:
+        Probe packets sent along each path in each interval.
+    loss_model:
+        Supplies per-link loss rates and the per-path good threshold.
+    """
+
+    num_packets: int = 1000
+    loss_model: LossModel = field(default_factory=LossModel)
+
+    def __post_init__(self) -> None:
+        if self.num_packets < 1:
+            raise ScenarioError("num_packets must be >= 1")
+
+    def observe(
+        self,
+        network: Network,
+        link_states: np.ndarray,
+        random_state: RandomState = None,
+    ) -> ObservationMatrix:
+        """Probe every path in every interval and classify good/congested.
+
+        Parameters
+        ----------
+        network:
+            Supplies the incidence structure and path lengths.
+        link_states:
+            Boolean ground-truth matrix (T, num_links).
+        random_state:
+            Randomness for loss-rate draws and packet delivery.
+        """
+        link_states = np.asarray(link_states, dtype=bool)
+        if link_states.shape[1] != network.num_links:
+            raise ScenarioError(
+                "link_states width does not match the network's link count"
+            )
+        rng = as_generator(random_state)
+        loss = self.loss_model.assign(link_states, rng)
+        # Per-path transmission rate: product of (1 - loss) over traversed
+        # links, computed in log space against the incidence matrix.
+        log_forward = np.log1p(-np.clip(loss, 0.0, 1.0 - 1e-12))
+        path_log_rate = log_forward @ network.incidence.T.astype(float)
+        rates = np.exp(path_log_rate)
+        delivered = rng.binomial(self.num_packets, rates)
+        measured_loss = 1.0 - delivered / float(self.num_packets)
+        lengths = network.path_lengths()
+        thresholds = np.array(
+            [self.loss_model.path_good_threshold(int(d)) for d in lengths]
+        )
+        congested = measured_loss > thresholds[None, :]
+        return ObservationMatrix(congested)

@@ -1,0 +1,288 @@
+"""Congestion scenario builders (Section 3.2).
+
+Every experiment in the paper starts by choosing *which* 10% of the links
+have a non-zero congestion probability (drawn uniformly in (0, 1)), in one of
+three ways, optionally made non-stationary:
+
+* **Random Congestion** — the congestable links are chosen at random;
+* **Concentrated Congestion** — they are chosen "toward the edge of the
+  network" (no congestion at the core);
+* **No Independence** — they are chosen "such that each of them is
+  correlated with at least one other" (shares an underlying router-level
+  link);
+* **No Stationarity** — as No Independence, "plus the congestion
+  probabilities of links change every few time intervals";
+* the **Sparse Topology** scenario is Random Congestion applied to a sparse
+  (traceroute-derived) topology rather than a Brite one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ScenarioError
+from repro.simulation.congestion import (
+    CongestionModel,
+    GroundTruth,
+    NonStationaryModel,
+    build_congestion_model,
+)
+from repro.topology.graph import Network
+from repro.util.rng import RandomState, as_generator, derive_rng
+
+
+class ScenarioKind(Enum):
+    """The congestion-placement regimes of Section 3.2."""
+
+    RANDOM = "random"
+    CONCENTRATED = "concentrated"
+    NO_INDEPENDENCE = "no_independence"
+    NO_STATIONARITY = "no_stationarity"
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters shared by all scenario builders.
+
+    Attributes
+    ----------
+    kind:
+        Which placement regime to use.
+    congestable_fraction:
+        Fraction of links with non-zero congestion probability (paper: 10%).
+    correlation_strength:
+        Strength of shared-driver correlations (see
+        :func:`repro.simulation.congestion.build_congestion_model`).
+    min_marginal, max_marginal:
+        Range of the per-link congestion probabilities; the paper draws
+        uniformly "between 0 and 1" — we cap below 1 so calibration stays
+        feasible.
+    epoch_length:
+        For No Stationarity: number of intervals between probability
+        re-draws ("every few time intervals").
+    num_epochs:
+        For No Stationarity: how many distinct probability assignments the
+        experiment cycles through.
+    """
+
+    kind: ScenarioKind = ScenarioKind.RANDOM
+    congestable_fraction: float = 0.1
+    correlation_strength: float = 0.95
+    min_marginal: float = 0.05
+    max_marginal: float = 0.95
+    epoch_length: int = 25
+    num_epochs: int = 8
+    non_stationary: Optional[bool] = None
+
+    @property
+    def effective_non_stationary(self) -> bool:
+        """Whether probabilities are re-drawn every epoch.
+
+        ``ScenarioKind.NO_STATIONARITY`` implies it (Fig. 3's fifth column);
+        the explicit ``non_stationary`` flag layers it over any placement
+        (Fig. 4 adds "the 'No Stationarity' scenario on top of each of the
+        above scenarios").
+        """
+        if self.non_stationary is not None:
+            return self.non_stationary
+        return self.kind is ScenarioKind.NO_STATIONARITY
+
+    @property
+    def placement_kind(self) -> ScenarioKind:
+        """The congestable-link placement regime.
+
+        ``NO_STATIONARITY`` uses the No-Independence placement (the paper:
+        "This scenario is similar to the previous one, plus the congestion
+        probabilities ... change every few time intervals").
+        """
+        if self.kind is ScenarioKind.NO_STATIONARITY:
+            return ScenarioKind.NO_INDEPENDENCE
+        return self.kind
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` on inconsistent parameters."""
+        if not 0.0 < self.congestable_fraction <= 1.0:
+            raise ScenarioError("congestable_fraction must be in (0, 1]")
+        if not 0.0 <= self.min_marginal < self.max_marginal < 1.0:
+            raise ScenarioError("need 0 <= min_marginal < max_marginal < 1")
+        if self.epoch_length < 1 or self.num_epochs < 1:
+            raise ScenarioError("epoch_length and num_epochs must be >= 1")
+
+
+@dataclass
+class Scenario:
+    """A fully-specified congestion scenario bound to a network.
+
+    Attributes
+    ----------
+    name:
+        Human-readable scenario label.
+    network:
+        The monitored topology.
+    ground_truth:
+        The sampled-from congestion model (stationary or not).
+    congestable:
+        The links with non-zero congestion probability.
+    """
+
+    name: str
+    network: Network
+    ground_truth: GroundTruth
+    congestable: FrozenSet[int]
+
+    def true_marginals(self) -> np.ndarray:
+        """Per-link true congestion probabilities, shape (num_links,)."""
+        return np.array(
+            [self.ground_truth.marginal(e) for e in range(self.network.num_links)]
+        )
+
+
+# ----------------------------------------------------------------------
+# Congestable-link selection
+# ----------------------------------------------------------------------
+def _target_count(network: Network, fraction: float) -> int:
+    return max(1, int(round(fraction * network.num_links)))
+
+
+def _select_random(
+    network: Network, count: int, rng: np.random.Generator
+) -> List[int]:
+    return sorted(
+        int(i) for i in rng.choice(network.num_links, size=count, replace=False)
+    )
+
+
+def _select_concentrated(
+    network: Network, count: int, rng: np.random.Generator
+) -> List[int]:
+    """Pick congestable links at the network edge (first/last hops)."""
+    edge = network.edge_links()
+    if not edge:
+        raise ScenarioError("concentrated scenario: network has no edge links")
+    if len(edge) >= count:
+        chosen = rng.choice(edge, size=count, replace=False)
+        return sorted(int(i) for i in chosen)
+    # Not enough edge links: take all of them, fill with the links closest
+    # to the edge (lowest path-degree, i.e. least criss-crossed).
+    remaining = count - len(edge)
+    core = [e for e in range(network.num_links) if e not in set(edge)]
+    degrees = network.link_degrees()
+    core_sorted = sorted(core, key=lambda e: (degrees[e], e))
+    return sorted(set(edge) | set(core_sorted[:remaining]))
+
+
+def _select_correlated(
+    network: Network, count: int, rng: np.random.Generator
+) -> List[int]:
+    """Pick congestable links so each is correlated with at least one other.
+
+    Whole shared-router-link groups are added in random order until the
+    budget is met; a group is truncated to a pair rather than split to a
+    singleton, preserving the invariant.
+    """
+    groups = [sorted(g) for g in network.shared_router_links().values()]
+    if not groups:
+        raise ScenarioError(
+            "no_independence scenario: topology has no correlated link groups"
+        )
+    order = rng.permutation(len(groups))
+    chosen: Set[int] = set()
+    for group_index in order:
+        if len(chosen) >= count:
+            break
+        group = [e for e in groups[int(group_index)] if e not in chosen]
+        already = [e for e in groups[int(group_index)] if e in chosen]
+        if not group:
+            continue
+        room = count - len(chosen)
+        if already:
+            # The group already touches chosen links, so any prefix keeps
+            # every member correlated with at least one other chosen link.
+            chosen.update(group[:room])
+        else:
+            if room >= 2 and len(group) >= 2:
+                chosen.update(group[: max(2, min(room, len(group)))])
+            elif room >= len(group) and len(group) >= 2:
+                chosen.update(group)
+    if len(chosen) < min(count, 2):
+        raise ScenarioError(
+            "no_independence scenario: not enough correlated links "
+            f"(wanted {count}, found {len(chosen)})"
+        )
+    return sorted(chosen)
+
+
+def _draw_marginals(
+    links: Sequence[int], config: ScenarioConfig, rng: np.random.Generator
+) -> Dict[int, float]:
+    values = rng.uniform(config.min_marginal, config.max_marginal, size=len(links))
+    return {int(e): float(p) for e, p in zip(links, values)}
+
+
+# ----------------------------------------------------------------------
+# Public builder
+# ----------------------------------------------------------------------
+def build_scenario(
+    network: Network,
+    config: Optional[ScenarioConfig] = None,
+    random_state: RandomState = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Instantiate a congestion scenario on ``network``.
+
+    Parameters
+    ----------
+    network:
+        The monitored topology (Brite-style or Sparse).
+    config:
+        Scenario parameters; defaults to Random Congestion with the paper's
+        10% congestable fraction.
+    random_state:
+        Seed or generator controlling link selection and probability draws.
+    name:
+        Optional label override (defaults to the scenario kind).
+
+    Raises
+    ------
+    ScenarioError
+        If the requested placement is impossible on this topology (e.g.
+        No Independence on a topology without correlated links).
+    """
+    config = config or ScenarioConfig()
+    config.validate()
+    rng = as_generator(random_state)
+    count = _target_count(network, config.congestable_fraction)
+
+    placement = config.placement_kind
+    if placement is ScenarioKind.RANDOM:
+        links = _select_random(network, count, rng)
+    elif placement is ScenarioKind.CONCENTRATED:
+        links = _select_concentrated(network, count, rng)
+    else:
+        links = _select_correlated(network, count, rng)
+
+    if config.effective_non_stationary:
+        epochs = []
+        for epoch in range(config.num_epochs):
+            marginals = _draw_marginals(links, config, derive_rng(rng, epoch))
+            model = build_congestion_model(
+                network, marginals, config.correlation_strength
+            )
+            epochs.append((model, config.epoch_length))
+        ground_truth: GroundTruth = NonStationaryModel(epochs)
+    else:
+        marginals = _draw_marginals(links, config, rng)
+        ground_truth = build_congestion_model(
+            network, marginals, config.correlation_strength
+        )
+
+    return Scenario(
+        name=name or config.kind.value,
+        network=network,
+        ground_truth=ground_truth,
+        congestable=frozenset(links),
+    )

@@ -1,0 +1,47 @@
+"""Topology substrate: network model, generators, and AS-level derivation.
+
+The paper's network model (Section 2): a directed graph whose edges are
+*logical links*; a *path* is a loop-free sequence of links between end-hosts;
+links are grouped into *correlation sets* (one per Autonomous System).
+
+Submodules
+----------
+``graph``
+    Core :class:`~repro.topology.graph.Network` model with the path/link
+    coverage functions ``Paths()`` and ``Links()`` of Section 5.2.
+``builders``
+    Hand-built topologies, including the paper's Fig. 1 toy topology.
+``brite``
+    BRITE-like two-level synthetic topology generator (dense AS-level graphs).
+``traceroute``
+    Traceroute-collection simulator producing *Sparse* topologies, the
+    substitute for the source ISP's proprietary measurement campaign.
+``aslevel``
+    Router-level → AS-level graph derivation and correlation structure.
+``routing``
+    Path computation over router-level graphs.
+"""
+
+from repro.topology.graph import Link, Network, Path
+from repro.topology.builders import (
+    fig1_topology,
+    line_topology,
+    network_from_paths,
+    star_topology,
+)
+from repro.topology.brite import BriteConfig, generate_brite_network
+from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+__all__ = [
+    "Link",
+    "Network",
+    "Path",
+    "fig1_topology",
+    "line_topology",
+    "star_topology",
+    "network_from_paths",
+    "BriteConfig",
+    "generate_brite_network",
+    "TracerouteConfig",
+    "generate_sparse_network",
+]

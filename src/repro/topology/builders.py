@@ -1,0 +1,166 @@
+"""Hand-built topologies, including the paper's Fig. 1 toy example.
+
+These small networks back the library's unit tests and the paper's worked
+examples (Sections 2, 3.1 and 5.3 all reason about Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Link, Network, Path
+
+
+def fig1_topology(case: int = 1) -> Network:
+    """Build the toy topology of the paper's Fig. 1.
+
+    Links ``E* = {e1, e2, e3, e4}`` (0-indexed as 0..3) and paths
+    ``P* = {p1, p2, p3}`` with ``p1 = (e1, e2)``, ``p2 = (e1, e3)``,
+    ``p3 = (e4, e3)``.
+
+    Parameters
+    ----------
+    case:
+        * ``1`` — correlation sets ``{{e1}, {e2, e3}, {e4}}`` (Fig. 1 Case 1,
+          where Identifiability++ holds);
+        * ``2`` — correlation sets ``{{e1, e4}, {e2, e3}}`` (Fig. 1 Case 2,
+          where Identifiability++ fails: ``{e1, e4}`` and ``{e2, e3}`` are
+          traversed by the same paths ``{p1, p2, p3}``).
+
+    The correlation sets are expressed through the ``asn`` attribute of each
+    link (one AS per correlation set).
+    """
+    if case == 1:
+        asns = {0: 0, 1: 1, 2: 1, 3: 2}
+    elif case == 2:
+        asns = {0: 0, 1: 1, 2: 1, 3: 0}
+    else:
+        raise TopologyError(f"fig1_topology: case must be 1 or 2, got {case}")
+
+    # Vertices: 0, 1 are source end-hosts; 2, 3 intermediate; 4, 5 destinations.
+    links = [
+        Link(index=0, src=0, dst=2, asn=asns[0]),  # e1
+        Link(index=1, src=2, dst=4, asn=asns[1]),  # e2
+        Link(index=2, src=2, dst=5, asn=asns[2]),  # e3
+        Link(index=3, src=1, dst=2, asn=asns[3]),  # e4
+    ]
+    paths = [
+        Path(index=0, links=(0, 1)),  # p1 = e1 e2
+        Path(index=1, links=(0, 2)),  # p2 = e1 e3
+        Path(index=2, links=(3, 2)),  # p3 = e4 e3
+    ]
+    return Network(links, paths, name=f"fig1-case{case}")
+
+
+def line_topology(num_links: int, asn_of: Optional[Sequence[int]] = None) -> Network:
+    """A single path traversing ``num_links`` links in a row.
+
+    The canonical *unidentifiable* topology for Condition 1: every link is
+    traversed by exactly the same (single) path.
+    """
+    if num_links < 1:
+        raise TopologyError("line_topology requires at least one link")
+    asn_of = list(asn_of) if asn_of is not None else [0] * num_links
+    if len(asn_of) != num_links:
+        raise TopologyError("asn_of must have one entry per link")
+    links = [
+        Link(index=i, src=i, dst=i + 1, asn=asn_of[i]) for i in range(num_links)
+    ]
+    paths = [Path(index=0, links=tuple(range(num_links)))]
+    return Network(links, paths, name=f"line-{num_links}")
+
+
+def star_topology(num_spokes: int, distinct_asns: bool = True) -> Network:
+    """A hub with ``num_spokes`` in-links and one monitored path per pair.
+
+    Every pair of spokes (i, j) produces a two-link path i -> hub -> j using
+    an out-link shared per destination; with ``num_spokes >= 3`` this yields
+    a dense, fully identifiable topology.
+    """
+    if num_spokes < 2:
+        raise TopologyError("star_topology requires at least two spokes")
+    links: List[Link] = []
+    hub = 0
+    # In-links: vertex (i+1) -> hub; out-links: hub -> vertex (num_spokes+1+j).
+    for i in range(num_spokes):
+        links.append(
+            Link(index=i, src=i + 1, dst=hub, asn=i if distinct_asns else 0)
+        )
+    for j in range(num_spokes):
+        links.append(
+            Link(
+                index=num_spokes + j,
+                src=hub,
+                dst=num_spokes + 1 + j,
+                asn=(num_spokes + j) if distinct_asns else 0,
+            )
+        )
+    paths: List[Path] = []
+    index = 0
+    for i in range(num_spokes):
+        for j in range(num_spokes):
+            if i == j:
+                continue
+            paths.append(Path(index=index, links=(i, num_spokes + j)))
+            index += 1
+    return Network(links, paths, name=f"star-{num_spokes}")
+
+
+def network_from_paths(
+    path_links: Sequence[Sequence[str]],
+    asn_of: Optional[Dict[str, int]] = None,
+    router_links_of: Optional[Dict[str, Sequence[int]]] = None,
+    name: str = "custom",
+) -> Network:
+    """Build a network from named links arranged into paths.
+
+    A convenience constructor for tests and examples: links are referred to
+    by string names; indices, vertices and the incidence structure are
+    derived automatically.
+
+    Parameters
+    ----------
+    path_links:
+        One sequence of link names per path, in traversal order.
+    asn_of:
+        Optional mapping from link name to AS number (defaults to a distinct
+        AS per link, i.e. all links independent).
+    router_links_of:
+        Optional mapping from link name to the underlying router-level link
+        identifiers (defaults to a private router-level link per logical
+        link, i.e. no induced correlations).
+
+    Example
+    -------
+    >>> net = network_from_paths([["a", "b"], ["a", "c"]])
+    >>> net.num_links, net.num_paths
+    (3, 2)
+    """
+    order: List[str] = []
+    seen = set()
+    for links in path_links:
+        for name_ in links:
+            if name_ not in seen:
+                seen.add(name_)
+                order.append(name_)
+    index_of = {link_name: i for i, link_name in enumerate(order)}
+    asn_of = asn_of or {}
+    router_links_of = router_links_of or {}
+    links_out = [
+        Link(
+            index=i,
+            src=2 * i,
+            dst=2 * i + 1,
+            asn=asn_of.get(link_name, 10_000 + i),
+            router_links=frozenset(
+                router_links_of.get(link_name, (100_000 + i,))
+            ),
+        )
+        for i, link_name in enumerate(order)
+    ]
+    paths_out = [
+        Path(index=p, links=tuple(index_of[link_name] for link_name in links))
+        for p, links in enumerate(path_links)
+    ]
+    return Network(links_out, paths_out, name=name)

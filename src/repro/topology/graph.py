@@ -1,0 +1,312 @@
+"""Core network model: links, paths, correlation sets, coverage functions.
+
+This module implements the model of Section 2 of the paper:
+
+* the network is a directed graph of logical links (``Link``);
+* a path (``Path``) is a loop-free sequence of links between end-hosts;
+* links are partitioned into *correlation sets* — in the paper's scenario,
+  one correlation set per Autonomous System (Assumption 5);
+* each AS-level link maps to a set of underlying *router-level* links; two
+  AS-level links that share a router-level link become congested together
+  (this is how the paper's simulator derives correlations, Section 3.2).
+
+It also implements the coverage functions of Section 5.2:
+
+* ``Paths(E)`` — the set of paths traversing at least one link of ``E``
+  (:meth:`Network.paths_covering`);
+* ``Links(P)`` — the set of links traversed by at least one path of ``P``
+  (:meth:`Network.links_covered`).
+
+The path-link *incidence matrix* (paths x links, boolean) backs both
+functions with vectorised numpy operations; the same matrix is the "routing
+matrix" every tomography algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A logical (AS-level) link.
+
+    Attributes
+    ----------
+    index:
+        Position of the link in the network's arbitrary ordering (``e_i``).
+    src, dst:
+        Vertex identifiers (border routers or end-hosts).
+    asn:
+        The Autonomous System this link belongs to. Links sharing an ``asn``
+        form one correlation set (Assumption 5 instantiated per the paper:
+        "all links that belong to one AS are assigned to a separate
+        correlation set").
+    router_links:
+        Identifiers of the underlying router-level links this logical link
+        traverses. Two logical links sharing a router-level link are
+        *correlated*: congestion of the shared router-level link congests
+        both simultaneously.
+    """
+
+    index: int
+    src: int
+    dst: int
+    asn: int = 0
+    router_links: FrozenSet[int] = frozenset()
+
+    def shares_router_link(self, other: "Link") -> bool:
+        """Return whether this link and ``other`` share a router-level link."""
+        return bool(self.router_links & other.router_links)
+
+
+@dataclass(frozen=True)
+class Path:
+    """An end-to-end path: a loop-free sequence of link indices (``p_i``)."""
+
+    index: int
+    links: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise TopologyError(f"path {self.index} is empty")
+        if len(set(self.links)) != len(self.links):
+            raise TopologyError(
+                f"path {self.index} traverses a link twice; the model forbids loops"
+            )
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def traverses(self, link_index: int) -> bool:
+        """Return whether this path traverses link ``link_index``."""
+        return link_index in self.links
+
+
+class Network:
+    """An observed network: links, monitored paths, and correlation sets.
+
+    Parameters
+    ----------
+    links:
+        The set of all links ``E*`` in arbitrary (index) order.
+    paths:
+        The set of all monitored paths ``P*`` in arbitrary (index) order.
+    name:
+        Optional human-readable label (used in experiment reports).
+
+    Raises
+    ------
+    TopologyError
+        If link/path indices are inconsistent or a path references an
+        unknown link.
+    """
+
+    def __init__(
+        self,
+        links: Sequence[Link],
+        paths: Sequence[Path],
+        name: str = "network",
+    ) -> None:
+        self.name = name
+        self.links: List[Link] = list(links)
+        self.paths: List[Path] = list(paths)
+        self._validate()
+        self._incidence = self._build_incidence()
+        self._correlation_sets = self._build_correlation_sets()
+        self._paths_by_link: List[FrozenSet[int]] = [
+            frozenset(np.flatnonzero(self._incidence[:, e]).tolist())
+            for e in range(self.num_links)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for position, link in enumerate(self.links):
+            if link.index != position:
+                raise TopologyError(
+                    f"link at position {position} has index {link.index}; "
+                    "links must be supplied in index order"
+                )
+        for position, path in enumerate(self.paths):
+            if path.index != position:
+                raise TopologyError(
+                    f"path at position {position} has index {path.index}; "
+                    "paths must be supplied in index order"
+                )
+            for link_index in path.links:
+                if not 0 <= link_index < len(self.links):
+                    raise TopologyError(
+                        f"path {path.index} references unknown link {link_index}"
+                    )
+
+    def _build_incidence(self) -> np.ndarray:
+        incidence = np.zeros((len(self.paths), len(self.links)), dtype=bool)
+        for path in self.paths:
+            incidence[path.index, list(path.links)] = True
+        return incidence
+
+    def _build_correlation_sets(self) -> List[FrozenSet[int]]:
+        by_asn: Dict[int, List[int]] = {}
+        for link in self.links:
+            by_asn.setdefault(link.asn, []).append(link.index)
+        return [frozenset(members) for _, members in sorted(by_asn.items())]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Number of links ``|E*|``."""
+        return len(self.links)
+
+    @property
+    def num_paths(self) -> int:
+        """Number of monitored paths ``|P*|``."""
+        return len(self.paths)
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """Boolean path-link incidence matrix of shape (num_paths, num_links).
+
+        ``incidence[p, e]`` is true iff path ``p`` traverses link ``e``.
+        The returned array is the internal one; treat it as read-only.
+        """
+        return self._incidence
+
+    @property
+    def correlation_sets(self) -> List[FrozenSet[int]]:
+        """The correlation sets ``C*`` (one per AS), as frozensets of link indices."""
+        return list(self._correlation_sets)
+
+    def correlation_set_of(self, link_index: int) -> FrozenSet[int]:
+        """Return the correlation set containing link ``link_index``."""
+        asn = self.links[link_index].asn
+        for members in self._correlation_sets:
+            if link_index in members:
+                return members
+        raise TopologyError(f"link {link_index} (asn {asn}) is in no correlation set")
+
+    def path_lengths(self) -> np.ndarray:
+        """Return the number of links ``d`` of each path, shape (num_paths,)."""
+        return self._incidence.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Coverage functions of Section 5.2
+    # ------------------------------------------------------------------
+    def paths_covering(self, link_set: Iterable[int]) -> FrozenSet[int]:
+        """``Paths(E)``: paths traversing at least one link of ``link_set``."""
+        result: FrozenSet[int] = frozenset()
+        for link_index in link_set:
+            result = result | self._paths_by_link[link_index]
+        return result
+
+    def links_covered(self, path_set: Iterable[int]) -> FrozenSet[int]:
+        """``Links(P)``: links traversed by at least one path of ``path_set``."""
+        indices = list(path_set)
+        if not indices:
+            return frozenset()
+        mask = self._incidence[indices].any(axis=0)
+        return frozenset(np.flatnonzero(mask).tolist())
+
+    def paths_through_all(self, link_set: Iterable[int]) -> FrozenSet[int]:
+        """Paths traversing *every* link of ``link_set`` (used by Condition 1)."""
+        indices = list(link_set)
+        if not indices:
+            return frozenset(range(self.num_paths))
+        mask = self._incidence[:, indices].all(axis=1)
+        return frozenset(np.flatnonzero(mask).tolist())
+
+    # ------------------------------------------------------------------
+    # Correlation structure
+    # ------------------------------------------------------------------
+    def shared_router_links(self) -> Dict[int, FrozenSet[int]]:
+        """Map each router-level link shared by >= 2 logical links to those links.
+
+        This is the correlation structure the paper derives from the
+        router-level graph: "if a router-level link becomes congested, then
+        all the AS-level links that share this router-level link become
+        congested at the same time".
+        """
+        owners: Dict[int, List[int]] = {}
+        for link in self.links:
+            for router_link in link.router_links:
+                owners.setdefault(router_link, []).append(link.index)
+        return {
+            router_link: frozenset(members)
+            for router_link, members in owners.items()
+            if len(members) >= 2
+        }
+
+    def correlated_link_pairs(self) -> List[Tuple[int, int]]:
+        """All pairs of distinct logical links sharing a router-level link."""
+        pairs = set()
+        for members in self.shared_router_links().values():
+            ordered = sorted(members)
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1 :]:
+                    pairs.add((a, b))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------
+    # Structural statistics (used by scenario builders and reports)
+    # ------------------------------------------------------------------
+    def link_degrees(self) -> np.ndarray:
+        """Number of monitored paths traversing each link, shape (num_links,)."""
+        return self._incidence.sum(axis=0)
+
+    def edge_links(self) -> List[int]:
+        """Links at the destination edge of the network (last hops).
+
+        The Concentrated-Congestion scenario places congestion "toward the
+        edge of the network, i.e., there is no congestion at the core": we
+        take edge links to be the final hops of monitored paths — the links
+        adjacent to destination end-hosts, which few paths share. (First
+        hops sit next to the monitoring ISP's vantage points and are shared
+        by many paths, i.e. they behave like core links.)
+        """
+        edge: set = set()
+        for path in self.paths:
+            edge.add(path.links[-1])
+        return sorted(edge)
+
+    def core_links(self) -> List[int]:
+        """Links that are never the last hop of a monitored path."""
+        edge = set(self.edge_links())
+        return [link.index for link in self.links if link.index not in edge]
+
+    def routing_rank(self) -> int:
+        """Rank of the real-valued incidence matrix.
+
+        Sparse topologies produce low-rank systems (Section 3.2: "the sparser
+        the topology, the lower the rank of the resulting system of
+        equations").
+        """
+        if self.num_paths == 0 or self.num_links == 0:
+            return 0
+        return int(np.linalg.matrix_rank(self._incidence.astype(float)))
+
+    def describe(self) -> Mapping[str, float]:
+        """Summary statistics used by experiment reports."""
+        degrees = self.link_degrees()
+        return {
+            "num_links": float(self.num_links),
+            "num_paths": float(self.num_paths),
+            "num_correlation_sets": float(len(self._correlation_sets)),
+            "mean_path_length": float(self.path_lengths().mean()) if self.paths else 0.0,
+            "mean_link_degree": float(degrees.mean()) if self.num_links else 0.0,
+            "routing_rank": float(self.routing_rank()),
+            "num_correlated_pairs": float(len(self.correlated_link_pairs())),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self.name!r}, links={self.num_links}, "
+            f"paths={self.num_paths}, correlation_sets={len(self._correlation_sets)})"
+        )

@@ -1,0 +1,83 @@
+"""Path computation over router-level graphs.
+
+The topology generators produce a router-level :mod:`networkx` graph; this
+module selects end-to-end router-level routes (shortest paths, with optional
+load-balanced alternatives) which :mod:`repro.topology.aslevel` then abstracts
+into the AS-level network the tomography algorithms observe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.util.rng import RandomState, as_generator
+
+#: A router-level route: a sequence of router identifiers.
+RouterRoute = Tuple[int, ...]
+
+
+def shortest_route(graph: nx.Graph, source: int, target: int) -> Optional[RouterRoute]:
+    """Return a shortest route from ``source`` to ``target``, or ``None``.
+
+    Ties are broken deterministically by networkx's BFS ordering; use
+    :func:`load_balanced_route` when per-flow path diversity is needed.
+    """
+    try:
+        return tuple(nx.shortest_path(graph, source, target))
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+def load_balanced_route(
+    graph: nx.Graph,
+    source: int,
+    target: int,
+    random_state: RandomState = None,
+) -> Optional[RouterRoute]:
+    """Return one of the shortest routes chosen uniformly at random.
+
+    Models equal-cost multi-path (ECMP) forwarding: different probe flows
+    between the same endpoints may take different equal-length routes, which
+    is one of the traceroute artefacts the paper's operators fought with
+    ("load-balancing interferes with traceroute results").
+    """
+    rng = as_generator(random_state)
+    try:
+        routes = list(nx.all_shortest_paths(graph, source, target))
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    return tuple(routes[int(rng.integers(0, len(routes)))])
+
+
+def route_links(route: RouterRoute) -> List[Tuple[int, int]]:
+    """Return the router-level (directed) edges traversed by ``route``."""
+    return [(route[i], route[i + 1]) for i in range(len(route) - 1)]
+
+
+def select_endpoint_pairs(
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    count: int,
+    random_state: RandomState = None,
+) -> List[Tuple[int, int]]:
+    """Pick ``count`` distinct (source, destination) pairs.
+
+    Raises
+    ------
+    TopologyError
+        If fewer than ``count`` distinct pairs exist.
+    """
+    if not sources or not destinations:
+        raise TopologyError("select_endpoint_pairs: empty source/destination pool")
+    rng = as_generator(random_state)
+    all_pairs = [(s, d) for s in sources for d in destinations if s != d]
+    if len(all_pairs) < count:
+        raise TopologyError(
+            f"requested {count} endpoint pairs but only {len(all_pairs)} exist"
+        )
+    chosen = rng.choice(len(all_pairs), size=count, replace=False)
+    return [all_pairs[int(i)] for i in chosen]

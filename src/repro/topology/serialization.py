@@ -1,0 +1,91 @@
+"""Topology persistence: save/load :class:`Network` objects as JSON.
+
+Operators collect topologies once (an expensive traceroute campaign) and
+monitor them for a long time; persisting the derived AS-level view decouples
+the two. The format is stable, human-inspectable JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+from typing import Any, Dict, Union
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Link, Network, Path
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialise ``network`` to plain JSON-compatible data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "links": [
+            {
+                "index": link.index,
+                "src": link.src,
+                "dst": link.dst,
+                "asn": link.asn,
+                "router_links": sorted(link.router_links),
+            }
+            for link in network.links
+        ],
+        "paths": [
+            {"index": path.index, "links": list(path.links)}
+            for path in network.paths
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_dict` data.
+
+    Raises
+    ------
+    TopologyError
+        On version mismatch or malformed content.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        links = [
+            Link(
+                index=int(entry["index"]),
+                src=int(entry["src"]),
+                dst=int(entry["dst"]),
+                asn=int(entry["asn"]),
+                router_links=frozenset(int(r) for r in entry["router_links"]),
+            )
+            for entry in data["links"]
+        ]
+        paths = [
+            Path(index=int(entry["index"]), links=tuple(int(e) for e in entry["links"]))
+            for entry in data["paths"]
+        ]
+        name = str(data.get("name", "network"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyError(f"malformed topology data: {exc}") from exc
+    return Network(links, paths, name=name)
+
+
+def save_network(network: Network, path: Union[str, FilePath]) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    FilePath(path).write_text(
+        json.dumps(network_to_dict(network), indent=2, sort_keys=True)
+    )
+
+
+def load_network(path: Union[str, FilePath]) -> Network:
+    """Read a :class:`Network` previously written by :func:`save_network`."""
+    try:
+        data = json.loads(FilePath(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"not a topology JSON file: {path}") from exc
+    return network_from_dict(data)

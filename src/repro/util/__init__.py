@@ -1,0 +1,15 @@
+"""Small shared utilities: seeded RNG helpers, subset enumeration, timers."""
+
+from repro.util.rng import RandomState, derive_rng, spawn_seeds
+from repro.util.subsets import bounded_subsets, nonempty_subsets, powerset
+from repro.util.timer import Timer
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "spawn_seeds",
+    "bounded_subsets",
+    "nonempty_subsets",
+    "powerset",
+    "Timer",
+]

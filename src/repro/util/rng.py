@@ -1,0 +1,50 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (topology generation, congestion
+sampling, packet probing, heuristic tie-breaking) takes an explicit
+``numpy.random.Generator``. These helpers create and derive such generators
+from integer seeds so that whole experiments are reproducible from a single
+seed while sub-components remain statistically independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+#: Anything acceptable as a source of randomness in the public API.
+RandomState = Union[int, np.random.Generator, None]
+
+
+def as_generator(random_state: RandomState) -> np.random.Generator:
+    """Coerce ``random_state`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a nondeterministically-seeded generator; an ``int`` is
+    used as a seed; an existing generator is returned unchanged.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def derive_rng(parent: RandomState, stream: int) -> np.random.Generator:
+    """Derive an independent generator for sub-stream ``stream``.
+
+    Deriving (rather than sharing) generators keeps components independent:
+    e.g. changing the number of packets drawn by the prober does not perturb
+    the congestion sample sequence.
+    """
+    if isinstance(parent, np.random.Generator):
+        seed = int(parent.integers(0, 2**63 - 1))
+    elif parent is None:
+        seed = int(np.random.default_rng().integers(0, 2**63 - 1))
+    else:
+        seed = int(parent)
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(stream,)))
+
+
+def spawn_seeds(seed: Optional[int], count: int) -> List[int]:
+    """Produce ``count`` independent integer seeds derived from ``seed``."""
+    sequence = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in sequence.spawn(count)]

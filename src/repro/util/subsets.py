@@ -1,0 +1,67 @@
+"""Bounded subset enumeration.
+
+Algorithm 1 of the paper iterates over subsets of a path set
+(``Paths(E) \\ Paths(complement(E))``); naive enumeration is exponential.
+The paper controls this blow-up via its complexity parameter ``n2`` and by
+computing a *configurable* subset of the computable probabilities (Section 4).
+We expose the same control through :func:`bounded_subsets`, which yields
+subsets in increasing size up to configurable size and count caps.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Iterator, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def powerset(items: Iterable[T]) -> Iterator[Tuple[T, ...]]:
+    """Yield every subset of ``items`` (including the empty set) by size."""
+    seq = list(items)
+    return chain.from_iterable(combinations(seq, k) for k in range(len(seq) + 1))
+
+
+def nonempty_subsets(items: Iterable[T], max_size: int | None = None) -> Iterator[Tuple[T, ...]]:
+    """Yield every non-empty subset of ``items`` of size at most ``max_size``."""
+    seq = list(items)
+    top = len(seq) if max_size is None else min(max_size, len(seq))
+    return chain.from_iterable(combinations(seq, k) for k in range(1, top + 1))
+
+
+def bounded_subsets(
+    items: Sequence[T],
+    max_size: int | None = None,
+    max_count: int | None = None,
+    include_full: bool = True,
+) -> Iterator[Tuple[T, ...]]:
+    """Yield non-empty subsets of ``items`` in increasing size, bounded.
+
+    Parameters
+    ----------
+    items:
+        Ground set (order defines enumeration order, so pass a sorted
+        sequence for determinism).
+    max_size:
+        Largest subset size enumerated exhaustively. ``None`` means no limit.
+    max_count:
+        Hard cap on the number of subsets yielded. ``None`` means no limit.
+    include_full:
+        If true and the full set was not already yielded, yield it last
+        (subject to ``max_count``). Algorithm 1's initial path sets are full
+        sets of the form ``Paths(E) \\ Paths(complement(E))``, so the full set
+        frequently carries rank.
+    """
+    seq = list(items)
+    yielded = 0
+    full_emitted = False
+    for subset in nonempty_subsets(seq, max_size):
+        if max_count is not None and yielded >= max_count:
+            return
+        if len(subset) == len(seq):
+            full_emitted = True
+        yield subset
+        yielded += 1
+    if include_full and seq and not full_emitted:
+        if max_count is None or yielded < max_count:
+            yield tuple(seq)

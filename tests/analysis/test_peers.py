@@ -1,0 +1,92 @@
+"""Tests for per-peer reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.peers import build_peer_report
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.query import CongestionProbabilityModel
+from repro.simulation.congestion import CongestionModel, Driver
+from repro.simulation.probing import oracle_path_status
+from repro.topology.builders import fig1_topology
+
+
+@pytest.fixture
+def fitted(fig1_case1):
+    truth = CongestionModel(
+        4,
+        [
+            Driver(0.2, frozenset({0})),
+            Driver(0.4, frozenset({1, 2})),
+        ],
+    )
+    states = truth.sample(6000, np.random.default_rng(1))
+    observations = oracle_path_status(fig1_case1, states)
+    model = CorrelationCompleteEstimator(
+        EstimatorConfig(requested_subset_size=2, pruning_tolerance=0.0)
+    ).fit(fig1_case1, observations)
+    return truth, model
+
+
+def test_summaries_cover_every_peer(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    assert {s.asn for s in report.summaries} == {0, 1, 2}
+
+
+def test_worst_peer_ranked_first(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    # AS 1 = {e2, e3} with p = 0.4 is the worst peer.
+    assert report.ranked()[0].asn == 1
+
+
+def test_any_link_congestion(fig1_case1, fitted):
+    truth, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    summary = report.summary_for(1)
+    assert summary is not None
+    expected = 1.0 - truth.prob_all_good([1, 2])
+    assert summary.any_link_congestion == pytest.approx(expected, abs=0.05)
+
+
+def test_correlated_group_found(fig1_case1, fitted):
+    truth, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    groups = [g for g in report.correlated_groups if g.links == frozenset({1, 2})]
+    assert groups
+    assert groups[0].asn == 1
+    assert groups[0].joint_probability == pytest.approx(
+        truth.prob_all_congested([1, 2]), abs=0.05
+    )
+    assert groups[0].identifiable
+
+
+def test_min_joint_probability_filters(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model, min_joint_probability=0.99)
+    assert report.correlated_groups == []
+
+
+def test_missing_peer(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    assert report.summary_for(42) is None
+
+
+def test_table_rendering(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    table = report.to_table()
+    assert "peer" in table
+    assert "AS1" in table
+
+
+def test_identifiable_fraction_bounds(fig1_case1, fitted):
+    _, model = fitted
+    report = build_peer_report(fig1_case1, model)
+    for summary in report.summaries:
+        assert 0.0 <= summary.identifiable_fraction <= 1.0

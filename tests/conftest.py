@@ -1,0 +1,82 @@
+"""Shared fixtures: toy topologies, small generated networks, observations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.congestion import CongestionModel, Driver
+from repro.simulation.probing import oracle_path_status
+from repro.topology.brite import BriteConfig, generate_brite_network
+from repro.topology.builders import fig1_topology
+from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+
+@pytest.fixture
+def fig1_case1():
+    """The paper's Fig. 1 toy topology, correlation sets of Case 1."""
+    return fig1_topology(case=1)
+
+
+@pytest.fixture
+def fig1_case2():
+    """The paper's Fig. 1 toy topology, correlation sets of Case 2."""
+    return fig1_topology(case=2)
+
+
+@pytest.fixture
+def fig1_model():
+    """Ground truth on Fig. 1: e2, e3 perfectly correlated, e1 independent.
+
+    e4 is never congested, so path p3 is good whenever e3 is good.
+    """
+    return CongestionModel(
+        4,
+        [
+            Driver(probability=0.3, links=frozenset({1, 2})),
+            Driver(probability=0.2, links=frozenset({0})),
+        ],
+    )
+
+
+@pytest.fixture
+def fig1_observations(fig1_case1, fig1_model):
+    """Long oracle observation window on Fig. 1 Case 1."""
+    states = fig1_model.sample(8000, np.random.default_rng(42))
+    return oracle_path_status(fig1_case1, states)
+
+
+@pytest.fixture(scope="session")
+def small_brite():
+    """A small dense Brite-style network (deterministic)."""
+    config = BriteConfig(
+        num_ases=10,
+        as_attachment=2,
+        routers_per_as=4,
+        inter_as_links=2,
+        num_vantage_points=3,
+        num_destinations=30,
+        num_paths=80,
+    )
+    return generate_brite_network(config, 7)
+
+
+@pytest.fixture(scope="session")
+def small_sparse():
+    """A small sparse traceroute-derived network (deterministic)."""
+    config = TracerouteConfig(
+        underlay=BriteConfig(
+            num_ases=24,
+            as_attachment=1,
+            routers_per_as=4,
+            inter_as_links=1,
+            num_vantage_points=2,
+            num_destinations=40,
+            num_paths=80,
+        ),
+        num_probes=400,
+        response_prob=0.95,
+        load_balance_prob=0.3,
+        max_kept_paths=80,
+    )
+    return generate_sparse_network(config, 7)

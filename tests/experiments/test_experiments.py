@@ -1,0 +1,142 @@
+"""Integration tests for the experiment drivers and the CLI.
+
+Full-size experiment shapes are checked by the benchmark harness; here the
+drivers are run on tiny instances to verify plumbing (rows present, tables
+render, CLI wires up).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, SCALES, scale_by_name
+from repro.experiments.figure3 import SCENARIO_ORDER, run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.scaling import run_algorithm1_scaling
+from repro.topology.brite import BriteConfig
+from repro.topology.traceroute import TracerouteConfig
+
+TINY = ExperimentScale(
+    name="tiny",
+    brite=BriteConfig(
+        num_ases=10,
+        as_attachment=2,
+        routers_per_as=4,
+        inter_as_links=2,
+        num_vantage_points=3,
+        num_destinations=30,
+        num_paths=80,
+    ),
+    traceroute=TracerouteConfig(
+        underlay=BriteConfig(
+            num_ases=24,
+            as_attachment=1,
+            routers_per_as=4,
+            inter_as_links=1,
+            num_vantage_points=2,
+            num_destinations=40,
+            num_paths=80,
+        ),
+        num_probes=400,
+        response_prob=0.95,
+        load_balance_prob=0.3,
+        max_kept_paths=80,
+    ),
+    num_intervals=120,
+    num_packets=1500,
+    inference_intervals=15,
+)
+
+
+def test_scale_lookup():
+    assert scale_by_name("small").name == "small"
+    assert scale_by_name("paper").name == "paper"
+    with pytest.raises(KeyError):
+        scale_by_name("bogus")
+    assert set(SCALES) == {"small", "paper"}
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return run_figure3(TINY, seed=1)
+
+
+@pytest.fixture(scope="module")
+def figure4_result():
+    return run_figure4(TINY, seed=2)
+
+
+def test_figure3_all_rows_present(figure3_result):
+    algorithms = {
+        "Sparsity",
+        "Bayesian-Independence",
+        "Bayesian-Correlation",
+    }
+    for scenario in SCENARIO_ORDER:
+        for algorithm in algorithms:
+            metrics = figure3_result.rows[(scenario, algorithm)]
+            assert 0.0 <= metrics.detection_rate <= 1.0
+            assert 0.0 <= metrics.false_positive_rate <= 1.0
+
+
+def test_figure3_tables_render(figure3_result):
+    detection = figure3_result.to_table("detection")
+    fp = figure3_result.to_table("fp")
+    assert "Random Congestion" in detection
+    assert "Sparse Topology" in fp
+
+
+def test_figure3_topology_stats(figure3_result):
+    assert "brite" in figure3_result.topology_stats
+    assert "sparse" in figure3_result.topology_stats
+
+
+def test_figure4_all_rows_present(figure4_result):
+    for topology in ("brite", "sparse"):
+        for scenario in (
+            "Random Congestion",
+            "Concentrated Congestion",
+            "No Independence",
+        ):
+            for estimator in (
+                "Independence",
+                "Correlation-heuristic",
+                "Correlation-complete",
+            ):
+                metrics = figure4_result.rows[(topology, scenario, estimator)]
+                assert 0.0 <= metrics.mean_absolute_error <= 1.0
+
+
+def test_figure4_cdf(figure4_result):
+    grid, cdf = figure4_result.cdf(
+        "sparse", "No Independence", "Correlation-complete", points=21
+    )
+    assert grid.shape == cdf.shape == (21,)
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_figure4_subset_rows(figure4_result):
+    assert set(figure4_result.subset_rows) == {"brite", "sparse"}
+    tables = figure4_result.to_subset_table()
+    assert "brite" in tables
+
+
+def test_figure4_tables_render(figure4_result):
+    assert "No Independence" in figure4_result.to_table("brite")
+    assert "Correlation-complete" in figure4_result.to_table("sparse")
+
+
+def test_scaling_driver():
+    result = run_algorithm1_scaling(TINY, seed=3, subset_sizes=[1, 2])
+    assert len(result.rows) == 2
+    assert result.rows[0].num_unknowns <= result.rows[1].num_unknowns
+    assert "naive bound" in result.to_table()
+
+
+def test_cli_table2(capsys):
+    from repro.cli import main
+
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Sparsity" in out
+    assert "Identifiability++" in out

@@ -1,0 +1,155 @@
+"""Tests for the three Boolean-inference algorithms.
+
+The Section 3.1 toy behaviours are the anchor: on Fig. 1 with all three
+paths congested, Sparsity picks {e1, e3}; with e2, e3 perfectly correlated,
+Bayesian-Independence still picks {e1, e3} while Bayesian-Correlation picks
+{e2, e3}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InferenceError
+from repro.inference.base import candidate_links
+from repro.inference.bayesian_correlation import BayesianCorrelationInference
+from repro.inference.bayesian_independence import BayesianIndependenceInference
+from repro.inference.sparsity import SparsityInference
+from repro.metrics.boolean import evaluate_inference
+from repro.probability.base import EstimatorConfig
+from repro.simulation.congestion import CongestionModel, Driver
+from repro.simulation.experiment import run_experiment
+from repro.simulation.probing import oracle_path_status
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+
+
+@pytest.fixture
+def correlated_observations(fig1_case1):
+    """e2, e3 perfectly correlated (p = 0.3); e1, e4 always good."""
+    model = CongestionModel(4, [Driver(0.3, frozenset({1, 2}))])
+    states = model.sample(3000, np.random.default_rng(2))
+    return oracle_path_status(fig1_case1, states)
+
+
+def test_candidate_links_reduction(fig1_case1):
+    # p1, p2 congested, p3 good: e3, e4 exonerated by p3; e1, e2 remain.
+    candidates = candidate_links(fig1_case1, frozenset({0, 1}))
+    assert candidates == frozenset({0, 1})
+
+
+def test_candidate_links_all_congested(fig1_case1):
+    candidates = candidate_links(fig1_case1, frozenset({0, 1, 2}))
+    assert candidates == frozenset({0, 1, 2, 3})
+
+
+def test_candidate_links_empty(fig1_case1):
+    assert candidate_links(fig1_case1, frozenset()) == frozenset()
+
+
+def test_sparsity_picks_covering_links(fig1_case1):
+    # Section 3.1: congested paths {p1, p2, p3} -> Sparsity infers {e1, e3}.
+    inferred = SparsityInference().infer(fig1_case1, frozenset({0, 1, 2}))
+    assert inferred == frozenset({0, 2})
+
+
+def test_sparsity_single_path(fig1_case1):
+    # Only p3 congested: candidates are e4, e3 minus links on good paths
+    # (e3 is on good p2) -> {e4}.
+    inferred = SparsityInference().infer(fig1_case1, frozenset({2}))
+    assert inferred == frozenset({3})
+
+
+def test_sparsity_nothing_congested(fig1_case1):
+    assert SparsityInference().infer(fig1_case1, frozenset()) == frozenset()
+
+
+def test_bayesian_independence_requires_prepare(fig1_case1):
+    algorithm = BayesianIndependenceInference()
+    with pytest.raises(InferenceError):
+        algorithm.infer(fig1_case1, frozenset({0}))
+
+
+def test_bayesian_correlation_requires_prepare(fig1_case1):
+    algorithm = BayesianCorrelationInference()
+    with pytest.raises(InferenceError):
+        algorithm.infer(fig1_case1, frozenset({0}))
+
+
+def test_bayesian_independence_fooled_by_correlation(
+    fig1_case1, correlated_observations
+):
+    # Section 3.1: "Bayesian-Independence incorrectly determines that
+    # {e1, e3} is the solution with the highest probability and always
+    # picks it over the correct one, {e2, e3}".
+    algorithm = BayesianIndependenceInference(
+        EstimatorConfig(pruning_tolerance=0.0)
+    )
+    algorithm.prepare(fig1_case1, correlated_observations)
+    inferred = algorithm.infer(fig1_case1, frozenset({0, 1, 2}))
+    assert inferred == frozenset({0, 2})
+
+
+def test_bayesian_correlation_handles_correlation(
+    fig1_case1, correlated_observations
+):
+    algorithm = BayesianCorrelationInference(
+        EstimatorConfig(requested_subset_size=2, pruning_tolerance=0.0),
+        random_state=3,
+    )
+    algorithm.prepare(fig1_case1, correlated_observations)
+    inferred = algorithm.infer(fig1_case1, frozenset({0, 1, 2}))
+    assert inferred == frozenset({1, 2})
+
+
+def test_infer_all_returns_one_set_per_interval(fig1_case1, correlated_observations):
+    algorithm = SparsityInference()
+    results = algorithm.infer_all(fig1_case1, correlated_observations)
+    assert len(results) == correlated_observations.num_intervals
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [
+        SparsityInference,
+        lambda: BayesianIndependenceInference(EstimatorConfig(seed=1)),
+        lambda: BayesianCorrelationInference(EstimatorConfig(seed=1), random_state=1),
+    ],
+)
+def test_inference_decent_on_dense_topology(algorithm_factory, small_brite):
+    scenario = build_scenario(
+        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
+    )
+    experiment = run_experiment(scenario, 80, random_state=5, oracle=True)
+    metrics = evaluate_inference(algorithm_factory(), experiment)
+    # Dense topology + perfect observations: the favourable regime.
+    assert metrics.detection_rate > 0.85
+    assert metrics.false_positive_rate < 0.15
+
+
+def test_inference_inferred_sets_within_candidates(small_brite):
+    scenario = build_scenario(
+        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
+    )
+    experiment = run_experiment(scenario, 30, random_state=5, oracle=True)
+    algorithm = BayesianIndependenceInference(EstimatorConfig(seed=1))
+    algorithm.prepare(small_brite, experiment.observations)
+    for t in range(experiment.num_intervals):
+        congested_paths = experiment.observations.congested_paths(t)
+        inferred = algorithm.infer(small_brite, congested_paths)
+        assert inferred <= candidate_links(small_brite, congested_paths)
+
+
+def test_inference_explains_all_congested_paths(small_brite):
+    scenario = build_scenario(
+        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
+    )
+    experiment = run_experiment(scenario, 30, random_state=6, oracle=True)
+    algorithm = SparsityInference()
+    for t in range(experiment.num_intervals):
+        congested_paths = experiment.observations.congested_paths(t)
+        inferred = algorithm.infer(small_brite, congested_paths)
+        for p in congested_paths:
+            # With oracle observations every congested path has a candidate,
+            # so the cover must explain it.
+            assert frozenset(small_brite.paths[p].links) & inferred

@@ -1,0 +1,122 @@
+"""Tests for null spaces and the Algorithm 2 incremental update."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.nullspace import (
+    null_space,
+    null_space_update,
+    rank,
+    rank_increases,
+)
+
+
+def test_null_space_of_full_rank():
+    basis = null_space(np.eye(3))
+    assert basis.shape == (3, 0)
+
+
+def test_null_space_of_zero_matrix():
+    basis = null_space(np.zeros((2, 3)))
+    assert basis.shape == (3, 3)
+
+
+def test_null_space_orthogonal_to_rows():
+    matrix = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    basis = null_space(matrix)
+    assert basis.shape == (3, 1)
+    assert np.allclose(matrix @ basis, 0.0, atol=1e-9)
+
+
+def test_null_space_empty_rows():
+    basis = null_space(np.zeros((0, 4)))
+    assert basis.shape == (4, 4)
+
+
+def test_rank():
+    assert rank(np.eye(3)) == 3
+    assert rank(np.zeros((3, 3))) == 0
+    assert rank(np.array([[1.0, 2.0], [2.0, 4.0]])) == 1
+
+
+def test_rank_increases_detects_new_direction():
+    matrix = np.array([[1.0, 0.0, 0.0]])
+    basis = null_space(matrix)
+    assert rank_increases(basis, np.array([0.0, 1.0, 0.0]))
+    assert not rank_increases(basis, np.array([5.0, 0.0, 0.0]))
+
+
+def test_rank_increases_empty_null_space():
+    basis = null_space(np.eye(2))
+    assert not rank_increases(basis, np.array([1.0, 1.0]))
+
+
+def test_update_matches_recompute_simple():
+    matrix = np.array([[1.0, 1.0, 0.0, 0.0]])
+    basis = null_space(matrix)
+    row = np.array([0.0, 0.0, 1.0, 1.0])
+    updated = null_space_update(basis, row)
+    recomputed = null_space(np.vstack([matrix, row]))
+    assert updated.shape == recomputed.shape
+    # Same subspace: each updated column lies in the recomputed span.
+    projector = recomputed @ recomputed.T
+    assert np.allclose(projector @ updated, updated, atol=1e-8)
+
+
+def test_update_no_op_for_dependent_row():
+    matrix = np.array([[1.0, 0.0, 0.0]])
+    basis = null_space(matrix)
+    updated = null_space_update(basis, np.array([2.0, 0.0, 0.0]))
+    assert updated.shape == basis.shape
+
+
+def test_update_empty_basis():
+    basis = np.zeros((3, 0))
+    updated = null_space_update(basis, np.array([1.0, 0.0, 0.0]))
+    assert updated.shape == (3, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    matrix=arrays(
+        np.float64,
+        (4, 6),
+        elements=st.sampled_from([0.0, 1.0]),
+    ),
+    row=arrays(
+        np.float64,
+        (6,),
+        elements=st.sampled_from([0.0, 1.0]),
+    ),
+)
+def test_update_equals_recompute_property(matrix, row):
+    """Algorithm 2 invariant: the incrementally-updated null space spans
+    exactly the null space of the extended matrix (when the row adds rank)."""
+    basis = null_space(matrix)
+    if not rank_increases(basis, row):
+        return
+    updated = null_space_update(basis, row)
+    recomputed = null_space(np.vstack([matrix, row]))
+    assert updated.shape[1] == recomputed.shape[1] == basis.shape[1] - 1
+    extended = np.vstack([matrix, row])
+    assert np.allclose(extended @ updated, 0.0, atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    matrix=arrays(
+        np.float64,
+        (5, 5),
+        elements=st.sampled_from([0.0, 1.0]),
+    )
+)
+def test_null_space_columns_orthonormal(matrix):
+    basis = null_space(matrix)
+    if basis.shape[1]:
+        gram = basis.T @ basis
+        assert np.allclose(gram, np.eye(basis.shape[1]), atol=1e-8)

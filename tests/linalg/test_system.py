@@ -1,0 +1,99 @@
+"""Tests for the equation-system container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.linalg.system import EquationSystem
+
+
+def test_solve_determined_system():
+    system = EquationSystem(2)
+    system.add(np.array([1.0, 0.0]), 3.0)
+    system.add(np.array([0.0, 1.0]), -2.0)
+    solution = system.solve()
+    assert np.allclose(solution.values, [3.0, -2.0])
+    assert solution.identifiable.all()
+    assert solution.rank == 2
+    assert solution.residual == pytest.approx(0.0, abs=1e-9)
+
+
+def test_solve_underdetermined_flags_unidentifiable():
+    system = EquationSystem(3)
+    system.add(np.array([1.0, 1.0, 0.0]), 2.0)
+    system.add(np.array([0.0, 0.0, 1.0]), 5.0)
+    solution = system.solve()
+    assert not solution.identifiable[0]
+    assert not solution.identifiable[1]
+    assert solution.identifiable[2]
+    assert solution.values[2] == pytest.approx(5.0)
+
+
+def test_solve_upper_bound():
+    system = EquationSystem(1)
+    system.add(np.array([1.0]), 1.5)  # wants x = 1.5 but bound is 0
+    solution = system.solve(upper_bound=0.0)
+    assert solution.values[0] <= 1e-9
+
+
+def test_weights_tilt_inconsistent_equations():
+    system = EquationSystem(1)
+    system.add(np.array([1.0]), 0.0, weight=10.0)
+    system.add(np.array([1.0]), 1.0, weight=0.1)
+    solution = system.solve()
+    assert abs(solution.values[0]) < 0.01
+
+
+def test_prior_rows_excluded_from_identifiability():
+    system = EquationSystem(2)
+    system.add(np.array([1.0, 1.0]), -1.0)
+    # Prior pinning the difference; without it the split is ambiguous.
+    system.add(np.array([1.0, -1.0]), 0.0, weight=0.5, prior=True)
+    solution = system.solve()
+    # Values are pinned by the prior (even split)...
+    assert solution.values[0] == pytest.approx(-0.5, abs=1e-6)
+    # ...but identifiability reflects data only.
+    assert not solution.identifiable.any()
+    assert solution.rank == 1
+
+
+def test_only_prior_equations_rejected():
+    system = EquationSystem(1)
+    system.add(np.array([1.0]), 0.0, prior=True)
+    with pytest.raises(EstimationError):
+        system.solve()
+
+
+def test_empty_system_rejected():
+    system = EquationSystem(2)
+    with pytest.raises(EstimationError):
+        system.solve()
+
+
+def test_zero_unknowns():
+    system = EquationSystem(0)
+    solution = system.solve()
+    assert solution.values.shape == (0,)
+    assert solution.rank == 0
+
+
+def test_row_width_checked():
+    system = EquationSystem(2)
+    with pytest.raises(EstimationError):
+        system.add(np.array([1.0]), 0.0)
+
+
+def test_nonpositive_weight_rejected():
+    system = EquationSystem(1)
+    with pytest.raises(EstimationError):
+        system.add(np.array([1.0]), 0.0, weight=0.0)
+
+
+def test_matrix_and_rhs_accessors():
+    system = EquationSystem(2)
+    system.add(np.array([1.0, 0.0]), 4.0)
+    assert system.matrix.shape == (1, 2)
+    assert system.rhs.tolist() == [4.0]
+    assert len(system) == 1

@@ -1,0 +1,104 @@
+"""Tests for the Boolean and probability metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.boolean import (
+    BooleanMetrics,
+    detection_rate,
+    false_positive_rate,
+    summarize,
+)
+from repro.metrics.probability import (
+    absolute_errors,
+    error_cdf,
+    subset_absolute_errors,
+)
+from repro.metrics.reporting import format_table
+from repro.probability.query import CongestionProbabilityModel
+from repro.simulation.congestion import CongestionModel, Driver
+from repro.topology.builders import fig1_topology
+
+
+def test_detection_rate():
+    assert detection_rate(frozenset({1, 2}), frozenset({1})) == 0.5
+    assert detection_rate(frozenset({1}), frozenset({1, 9})) == 1.0
+    assert detection_rate(frozenset(), frozenset({1})) is None
+
+
+def test_false_positive_rate():
+    assert false_positive_rate(frozenset({1}), frozenset({1, 2})) == 0.5
+    assert false_positive_rate(frozenset({1}), frozenset({1})) == 0.0
+    assert false_positive_rate(frozenset({1}), frozenset()) is None
+
+
+def test_summarize_averages_over_defined_intervals():
+    actual = [frozenset({1}), frozenset(), frozenset({2})]
+    inferred = [frozenset({1}), frozenset(), frozenset({3})]
+    metrics = summarize("x", actual, inferred)
+    assert metrics.detection_rate == pytest.approx(0.5)
+    assert metrics.false_positive_rate == pytest.approx(0.5)
+    assert metrics.intervals_scored == 2
+
+
+def test_summarize_length_mismatch():
+    with pytest.raises(ValueError):
+        summarize("x", [frozenset()], [])
+
+
+def test_boolean_metrics_str():
+    metrics = BooleanMetrics("Sparsity", 0.9, 0.1, 100)
+    assert "Sparsity" in str(metrics)
+
+
+def test_absolute_errors():
+    network = fig1_topology(1)
+    truth = CongestionModel(4, [Driver(0.4, frozenset({0}))])
+    model = CongestionProbabilityModel(
+        network, {frozenset({0}): 0.7}, {frozenset({0}): True}
+    )
+    errors = absolute_errors(model, truth, [0])
+    assert errors[0] == pytest.approx(abs(0.3 - 0.4))
+
+
+def test_subset_absolute_errors():
+    network = fig1_topology(1)
+    truth = CongestionModel(4, [Driver(0.4, frozenset({1, 2}))])
+    model = CongestionProbabilityModel(
+        network,
+        {
+            frozenset({1}): 0.6,
+            frozenset({2}): 0.6,
+            frozenset({1, 2}): 0.6,
+        },
+        {
+            frozenset({1}): True,
+            frozenset({2}): True,
+            frozenset({1, 2}): True,
+        },
+    )
+    errors = subset_absolute_errors(model, truth, [frozenset({1, 2})])
+    assert errors[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_error_cdf_shape():
+    grid, cdf = error_cdf(np.array([0.05, 0.15, 0.5]), points=11)
+    assert grid.shape == cdf.shape == (11,)
+    assert cdf[0] == 0.0
+    assert cdf[-1] == 1.0
+    assert (np.diff(cdf) >= 0).all()
+
+
+def test_error_cdf_empty():
+    grid, cdf = error_cdf(np.array([]))
+    assert (cdf == 1.0).all()
+
+
+def test_format_table():
+    text = format_table(["a", "b"], [["x", 0.12345], ["yy", 1.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "0.123" in text
+    assert lines[1].startswith("-")

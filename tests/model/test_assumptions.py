@@ -1,0 +1,78 @@
+"""Tests for assumptions/conditions machinery and Table 2."""
+
+from __future__ import annotations
+
+from repro.model.assumptions import (
+    Assumption,
+    Condition,
+    TABLE2_MATRIX,
+    check_identifiability,
+    check_identifiability_pp,
+    table2_rows,
+)
+from repro.topology.builders import fig1_topology, line_topology
+
+
+def test_identifiability_holds_on_fig1(fig1_case1):
+    assert check_identifiability(fig1_case1) == []
+
+
+def test_identifiability_fails_on_line():
+    # Every link of a line is traversed by exactly the same (single) path.
+    network = line_topology(3)
+    violations = check_identifiability(network)
+    assert len(violations) == 2  # links 1 and 2 collide with link 0
+
+
+def test_identifiability_pp_holds_case1(fig1_case1):
+    assert check_identifiability_pp(fig1_case1) == []
+
+
+def test_identifiability_pp_fails_case2(fig1_case2):
+    # The paper's example: {e1, e4} and {e2, e3} are both traversed by
+    # {p1, p2, p3}.
+    violations = check_identifiability_pp(fig1_case2)
+    assert (frozenset({0, 3}), frozenset({1, 2})) in violations or (
+        frozenset({1, 2}),
+        frozenset({0, 3}),
+    ) in violations
+
+
+def test_identifiability_pp_respects_max_size(fig1_case2):
+    # Bounding to singletons hides the size-2 violation.
+    assert check_identifiability_pp(fig1_case2, max_subset_size=1) == []
+
+
+def test_table2_sparsity_column():
+    sources = TABLE2_MATRIX["Sparsity"]
+    assert Assumption.HOMOGENEITY.value in sources
+    assert Assumption.INDEPENDENCE.value not in sources
+    assert Condition.IDENTIFIABILITY.value in sources
+    assert "Other approx./heuristic" in sources
+
+
+def test_table2_bayesian_independence_columns():
+    step1 = TABLE2_MATRIX["Bayesian-Indep. Step 1"]
+    step2 = TABLE2_MATRIX["Bayesian-Indep. Step 2"]
+    assert Assumption.INDEPENDENCE.value in step1
+    assert Assumption.INDEPENDENCE.value in step2
+    # The approximation/heuristic row is checked only for step 2.
+    assert "Other approx./heuristic" not in step1
+    assert "Other approx./heuristic" in step2
+
+
+def test_table2_bayesian_correlation_columns():
+    step1 = TABLE2_MATRIX["Bayesian-Corr. Step 1"]
+    assert Assumption.CORRELATION_SETS.value in step1
+    assert Condition.IDENTIFIABILITY_PP.value in step1
+    assert Assumption.INDEPENDENCE.value not in step1
+
+
+def test_table2_rows_rendering():
+    rows = table2_rows()
+    labels = [label for label, _ in rows]
+    assert labels[0] == "Separability"
+    assert labels[-1] == "Other approx./heuristic"
+    # Separability and E2E Monitoring are sources for every algorithm.
+    for label, checked in rows[:2]:
+        assert all(checked.values())

@@ -1,0 +1,85 @@
+"""Tests for ObservationMatrix (repro.model.status)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.status import ObservationMatrix
+
+
+def _obs(matrix):
+    return ObservationMatrix(np.asarray(matrix, dtype=bool))
+
+
+def test_dimensions():
+    obs = _obs([[0, 1], [1, 0], [0, 0]])
+    assert obs.num_intervals == 3
+    assert obs.num_paths == 2
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        ObservationMatrix(np.zeros(3, dtype=bool))
+
+
+def test_congested_paths_per_interval():
+    obs = _obs([[0, 1, 1], [0, 0, 0]])
+    assert obs.congested_paths(0) == frozenset({1, 2})
+    assert obs.congested_paths(1) == frozenset()
+
+
+def test_path_congestion_frequency():
+    obs = _obs([[0, 1], [1, 1], [0, 1], [0, 1]])
+    assert obs.path_congestion_frequency().tolist() == [0.25, 1.0]
+
+
+def test_all_good_frequency_single():
+    obs = _obs([[0, 1], [1, 0], [0, 0], [0, 0]])
+    assert obs.all_good_frequency([0]) == 0.75
+    assert obs.all_good_frequency([1]) == 0.75
+
+
+def test_all_good_frequency_joint():
+    obs = _obs([[0, 1], [1, 0], [0, 0], [0, 0]])
+    assert obs.all_good_frequency([0, 1]) == 0.5
+
+
+def test_all_good_frequency_empty_set():
+    obs = _obs([[1, 1]])
+    assert obs.all_good_frequency([]) == 1.0
+
+
+def test_always_good_paths_strict():
+    obs = _obs([[0, 1], [0, 0], [0, 1]])
+    assert obs.always_good_paths() == frozenset({0})
+
+
+def test_always_good_paths_tolerance():
+    # Path 1 congested once in 10 intervals: within a 0.15 tolerance.
+    matrix = np.zeros((10, 2), dtype=bool)
+    matrix[3, 1] = True
+    obs = ObservationMatrix(matrix)
+    assert obs.always_good_paths() == frozenset({0})
+    assert obs.always_good_paths(0.15) == frozenset({0, 1})
+
+
+def test_always_congested_paths():
+    obs = _obs([[1, 1], [1, 0], [1, 1]])
+    assert obs.always_congested_paths() == frozenset({0})
+
+
+def test_always_congested_tolerance():
+    matrix = np.ones((10, 1), dtype=bool)
+    matrix[0, 0] = False
+    obs = ObservationMatrix(matrix)
+    assert obs.always_congested_paths() == frozenset()
+    assert obs.always_congested_paths(0.15) == frozenset({0})
+
+
+def test_tolerance_validation():
+    obs = _obs([[0]])
+    with pytest.raises(ValueError):
+        obs.always_good_paths(1.0)
+    with pytest.raises(ValueError):
+        obs.always_congested_paths(-0.1)

@@ -1,0 +1,119 @@
+"""Tests for the queryable probability model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IdentifiabilityError
+from repro.probability.query import CongestionProbabilityModel
+from repro.topology.builders import fig1_topology
+
+
+@pytest.fixture
+def model_case1(fig1_case1):
+    # Ground truth: e1 p=0.2, e2=e3 perfectly correlated p=0.3, e4 good.
+    estimates = {
+        frozenset({0}): 0.8,
+        frozenset({1}): 0.7,
+        frozenset({2}): 0.7,
+        frozenset({1, 2}): 0.7,
+    }
+    identifiable = {subset: True for subset in estimates}
+    return CongestionProbabilityModel(
+        fig1_case1,
+        estimates,
+        identifiable,
+        always_good_links=frozenset({3}),
+    )
+
+
+def test_link_probabilities(model_case1):
+    assert model_case1.link_congestion_probability(0) == pytest.approx(0.2)
+    assert model_case1.link_congestion_probability(1) == pytest.approx(0.3)
+    assert model_case1.link_congestion_probability(3) == 0.0
+
+
+def test_link_marginals_vector(model_case1):
+    marginals = model_case1.link_marginals()
+    assert marginals.shape == (4,)
+    assert marginals[3] == 0.0
+
+
+def test_prob_all_good_uses_joint(model_case1):
+    # Correlated pair: joint 0.7, not 0.49.
+    assert model_case1.prob_all_good([1, 2]) == pytest.approx(0.7)
+
+
+def test_prob_all_good_factorises_across_sets(model_case1):
+    assert model_case1.prob_all_good([0, 1, 2]) == pytest.approx(0.8 * 0.7)
+
+
+def test_prob_all_good_empty_and_always_good(model_case1):
+    assert model_case1.prob_all_good([]) == 1.0
+    assert model_case1.prob_all_good([3]) == 1.0
+    assert model_case1.prob_all_good([3, 0]) == pytest.approx(0.8)
+
+
+def test_prob_all_congested_perfectly_correlated(model_case1):
+    # P(e2, e3 congested) = 1 - 0.7 - 0.7 + 0.7 = 0.3.
+    assert model_case1.prob_all_congested([1, 2]) == pytest.approx(0.3)
+
+
+def test_prob_all_congested_with_always_good(model_case1):
+    assert model_case1.prob_all_congested([1, 3]) == 0.0
+
+
+def test_assignment_log_prob(model_case1):
+    # P(e1 congested, e2 good, e3 good) = 0.2 * 0.7.
+    value = model_case1.assignment_log_prob([0], [1, 2])
+    assert value == pytest.approx(np.log(0.2 * 0.7))
+
+
+def test_assignment_log_prob_impossible(model_case1):
+    assert model_case1.assignment_log_prob([3], []) == -np.inf
+
+
+def test_assignment_rejects_overlap(model_case1):
+    with pytest.raises(ValueError):
+        model_case1.assignment_log_prob([1], [1])
+
+
+def test_strict_unidentifiable_raises(fig1_case1):
+    model = CongestionProbabilityModel(
+        fig1_case1,
+        {frozenset({1}): 0.7, frozenset({2}): 0.7, frozenset({1, 2}): 0.49},
+        {frozenset({1}): True, frozenset({2}): True, frozenset({1, 2}): False},
+    )
+    with pytest.raises(IdentifiabilityError):
+        model.prob_all_good([1, 2], strict=True)
+    assert not model.is_identifiable([1, 2])
+
+
+def test_missing_joint_falls_back_to_product(fig1_case1):
+    model = CongestionProbabilityModel(
+        fig1_case1,
+        {frozenset({1}): 0.8, frozenset({2}): 0.5},
+        {frozenset({1}): True, frozenset({2}): True},
+    )
+    assert model.prob_all_good([1, 2]) == pytest.approx(0.4)
+    assert not model.is_identifiable([1, 2])
+
+
+def test_independent_model_factorises(fig1_case1):
+    model = CongestionProbabilityModel(
+        fig1_case1,
+        {frozenset({1}): 0.8, frozenset({2}): 0.5},
+        {frozenset({1}): True, frozenset({2}): True},
+        independent=True,
+    )
+    assert model.prob_all_good([1, 2]) == pytest.approx(0.4)
+    assert model.is_identifiable([1, 2])
+
+
+def test_probability_clipping(fig1_case1):
+    model = CongestionProbabilityModel(
+        fig1_case1, {frozenset({0}): 1.7, frozenset({1}): -0.2}
+    )
+    assert model.prob_all_good([0]) == 1.0
+    assert model.prob_all_good([1]) > 0.0

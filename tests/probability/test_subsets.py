@@ -1,0 +1,165 @@
+"""Tests for correlation subsets, potential congestion, and Row/Matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.model.status import ObservationMatrix
+from repro.probability.rows import build_matrix, build_row
+from repro.probability.subsets import SubsetIndex, potentially_congested_links
+from repro.topology.builders import fig1_topology
+
+
+def _full_index(network, active=None):
+    active = active if active is not None else frozenset(range(network.num_links))
+    # Admit everything (toy scale): request subsets up to the largest set.
+    return SubsetIndex.build(
+        network,
+        active,
+        candidate_path_sets=[],
+        requested_subset_size=4,
+    )
+
+
+def test_potentially_congested_all_when_nothing_good(fig1_case1):
+    obs = ObservationMatrix(np.ones((5, 3), dtype=bool))
+    assert potentially_congested_links(fig1_case1, obs) == frozenset({0, 1, 2, 3})
+
+
+def test_potentially_congested_prunes_good_path(fig1_case1):
+    # p3 always good -> e3, e4 surely good (the paper's Section 5.2 example:
+    # "suppose path p3 is always good ... the potentially congested
+    # correlation subsets are {e1} and {e2}").
+    matrix = np.zeros((6, 3), dtype=bool)
+    matrix[:, 0] = [1, 0, 1, 0, 1, 0]
+    matrix[:, 1] = [0, 1, 1, 0, 0, 1]
+    obs = ObservationMatrix(matrix)
+    assert potentially_congested_links(fig1_case1, obs) == frozenset({0, 1})
+
+
+def test_index_case1_subsets(fig1_case1):
+    index = _full_index(fig1_case1)
+    expected = {
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({3}),
+        frozenset({1, 2}),
+    }
+    assert set(index.subsets) == expected
+
+
+def test_index_case2_subsets(fig1_case2):
+    index = _full_index(fig1_case2)
+    expected = {
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({3}),
+        frozenset({1, 2}),
+        frozenset({0, 3}),
+    }
+    assert set(index.subsets) == expected
+
+
+def test_complement_matches_paper(fig1_case1):
+    # Section 5.2: complement({e2}) = {e3}, complement({e2, e3}) = {}.
+    index = _full_index(fig1_case1)
+    assert index.complement(frozenset({1})) == frozenset({2})
+    assert index.complement(frozenset({2})) == frozenset({1})
+    assert index.complement(frozenset({1, 2})) == frozenset()
+    assert index.complement(frozenset({0})) == frozenset()
+
+
+def test_paths_selector_matches_paper_table(fig1_case1):
+    # The table in Section 5.3: selectors for the ordering
+    # <{e1},{e2},{e3},{e4},{e2,e3}>.
+    index = _full_index(fig1_case1)
+    assert index.paths_selector(frozenset({0})) == frozenset({0, 1})
+    assert index.paths_selector(frozenset({1})) == frozenset({0})
+    assert index.paths_selector(frozenset({2})) == frozenset({1, 2})
+    assert index.paths_selector(frozenset({3})) == frozenset({2})
+    assert index.paths_selector(frozenset({1, 2})) == frozenset({0, 1, 2})
+
+
+def test_row_matches_paper_matrix(fig1_case1):
+    # Section 5.2's example matrix for P^ = <{p1}, {p1, p2}> over
+    # E^ = <{e1},{e2},{e3},{e4},{e2,e3}>.
+    network = fig1_case1
+    active = frozenset(range(4))
+    ordering = [
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({3}),
+        frozenset({1, 2}),
+    ]
+    index = SubsetIndex(network, active, ordering)
+    matrix = build_matrix([[0], [0, 1]], index)
+    expected = np.array(
+        [
+            [1, 1, 0, 0, 0],
+            [1, 0, 0, 0, 1],
+        ],
+        dtype=float,
+    )
+    assert np.array_equal(matrix, expected)
+
+
+def test_row_unusable_outside_index(fig1_case1):
+    # Index admitting only singletons: {p1, p2} needs the pair {e2, e3}.
+    active = frozenset(range(4))
+    ordering = [frozenset({i}) for i in range(4)]
+    index = SubsetIndex(fig1_case1, active, ordering)
+    assert index.row([0, 1]) is None
+    with pytest.raises(EstimationError):
+        build_row([0, 1], index)
+
+
+def test_decompose_ignores_always_good_links(fig1_case1):
+    # With e2 inactive, path p1 = (e1, e2) decomposes to {e1} only.
+    active = frozenset({0, 2, 3})
+    index = SubsetIndex.build(
+        fig1_case1, active, candidate_path_sets=[], requested_subset_size=2
+    )
+    row = index.row([0])
+    assert row is not None
+    assert row[index.position(frozenset({0}))] == 1.0
+    assert row.sum() == 1.0
+
+
+def test_duplicate_subsets_rejected(fig1_case1):
+    with pytest.raises(EstimationError):
+        SubsetIndex(
+            fig1_case1,
+            frozenset(range(4)),
+            [frozenset({0}), frozenset({0})],
+        )
+
+
+def test_cross_set_subset_rejected(fig1_case1):
+    with pytest.raises(EstimationError):
+        SubsetIndex(fig1_case1, frozenset(range(4)), [frozenset({0, 1})])
+
+
+def test_position_lookup(fig1_case1):
+    index = _full_index(fig1_case1)
+    for i, subset in enumerate(index.subsets):
+        assert index.position(subset) == i
+    with pytest.raises(EstimationError):
+        index.position(frozenset({0, 1}))
+
+
+def test_hard_cap_limits_discovered_subsets(fig1_case1):
+    active = frozenset(range(4))
+    index = SubsetIndex.build(
+        fig1_case1,
+        active,
+        candidate_path_sets=[frozenset({0, 1, 2})],
+        requested_subset_size=1,
+        hard_subset_cap=1,
+    )
+    # The pair {e2, e3} exceeds the cap, so only singletons are admitted.
+    assert all(len(subset) == 1 for subset in index.subsets)

@@ -1,0 +1,110 @@
+"""Tests for windowed probability computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.model.status import ObservationMatrix
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.windowed import WindowedEstimator
+from repro.simulation.congestion import CongestionModel, Driver, NonStationaryModel
+from repro.simulation.probing import oracle_path_status
+from repro.topology.builders import fig1_topology
+
+
+@pytest.fixture
+def shifting_truth():
+    """e1 quiet then busy: 0.1 for 400 intervals, 0.7 for the next 400."""
+    quiet = CongestionModel(4, [Driver(0.1, frozenset({0}))])
+    busy = CongestionModel(4, [Driver(0.7, frozenset({0}))])
+    return NonStationaryModel([(quiet, 400), (busy, 400)])
+
+
+@pytest.fixture
+def timeline(fig1_case1, shifting_truth):
+    states = shifting_truth.sample(800, np.random.default_rng(4))
+    observations = oracle_path_status(fig1_case1, states)
+    estimator = CorrelationCompleteEstimator(
+        EstimatorConfig(pruning_tolerance=0.0)
+    )
+    windowed = WindowedEstimator(estimator, window=200)
+    return windowed.fit(fig1_case1, observations)
+
+
+def test_window_count_and_spans(timeline):
+    assert len(timeline.windows) == 4
+    assert timeline.window_spans() == [(0, 200), (200, 400), (400, 600), (600, 800)]
+
+
+def test_link_series_tracks_level_shift(timeline):
+    series = timeline.link_series(0)
+    assert series.shape == (4,)
+    # Quiet epochs first, busy epochs afterwards.
+    assert series[0] == pytest.approx(0.1, abs=0.06)
+    assert series[1] == pytest.approx(0.1, abs=0.06)
+    assert series[2] == pytest.approx(0.7, abs=0.06)
+    assert series[3] == pytest.approx(0.7, abs=0.06)
+
+
+def test_change_point_detected(timeline):
+    assert timeline.change_points(0, threshold=0.2) == [2]
+    assert timeline.change_points(3, threshold=0.2) == []
+
+
+def test_peer_series(timeline):
+    # AS 0 contains only e1 in Case 1.
+    series = timeline.peer_series(0)
+    assert series[2] > series[0]
+    with pytest.raises(EstimationError):
+        timeline.peer_series(99)
+
+
+def test_set_series(timeline):
+    series = timeline.set_series([0])
+    assert series.shape == (4,)
+
+
+def test_stride_overlapping_windows(fig1_case1, shifting_truth):
+    states = shifting_truth.sample(600, np.random.default_rng(5))
+    observations = oracle_path_status(fig1_case1, states)
+    windowed = WindowedEstimator(
+        CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0)),
+        window=200,
+        stride=100,
+    )
+    timeline = windowed.fit(fig1_case1, observations)
+    assert len(timeline.windows) == 5
+    assert timeline.window_spans()[1] == (100, 300)
+
+
+def test_horizon_shorter_than_window(fig1_case1):
+    observations = ObservationMatrix(np.zeros((50, 3), dtype=bool))
+    windowed = WindowedEstimator(window=200)
+    with pytest.raises(EstimationError):
+        windowed.fit(fig1_case1, observations)
+
+
+def test_validation():
+    with pytest.raises(EstimationError):
+        WindowedEstimator(window=1)
+    with pytest.raises(EstimationError):
+        WindowedEstimator(window=10, stride=0)
+
+
+def test_unusable_windows_skipped(fig1_case1):
+    # First half all congested (unusable), second half all good (usable but
+    # empty model), third chunk mixed.
+    blocks = [
+        np.ones((100, 3), dtype=bool),
+        np.zeros((100, 3), dtype=bool),
+    ]
+    observations = ObservationMatrix(np.vstack(blocks))
+    windowed = WindowedEstimator(
+        CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0)),
+        window=100,
+    )
+    timeline = windowed.fit(fig1_case1, observations)
+    assert timeline.window_spans() == [(100, 200)]

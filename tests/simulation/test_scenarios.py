@@ -1,0 +1,137 @@
+"""Tests for the congestion scenario builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.simulation.congestion import NonStationaryModel
+from repro.simulation.experiment import run_experiment
+from repro.simulation.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioKind,
+    build_scenario,
+)
+from repro.topology.builders import network_from_paths
+
+
+def test_config_validation():
+    with pytest.raises(ScenarioError):
+        ScenarioConfig(congestable_fraction=0.0).validate()
+    with pytest.raises(ScenarioError):
+        ScenarioConfig(min_marginal=0.5, max_marginal=0.4).validate()
+    with pytest.raises(ScenarioError):
+        ScenarioConfig(epoch_length=0).validate()
+
+
+def test_placement_kind_for_no_stationarity():
+    config = ScenarioConfig(kind=ScenarioKind.NO_STATIONARITY)
+    assert config.placement_kind is ScenarioKind.NO_INDEPENDENCE
+    assert config.effective_non_stationary
+
+
+def test_non_stationary_flag_overlays_any_kind():
+    config = ScenarioConfig(kind=ScenarioKind.RANDOM, non_stationary=True)
+    assert config.placement_kind is ScenarioKind.RANDOM
+    assert config.effective_non_stationary
+
+
+def test_random_scenario_fraction(small_brite):
+    config = ScenarioConfig(kind=ScenarioKind.RANDOM, congestable_fraction=0.1)
+    scenario = build_scenario(small_brite, config, 0)
+    expected = max(1, round(0.1 * small_brite.num_links))
+    assert len(scenario.congestable) == expected
+    assert scenario.ground_truth.congestable_links() == scenario.congestable
+
+
+def test_random_scenario_deterministic(small_brite):
+    config = ScenarioConfig(kind=ScenarioKind.RANDOM)
+    a = build_scenario(small_brite, config, 3)
+    b = build_scenario(small_brite, config, 3)
+    assert a.congestable == b.congestable
+    assert a.true_marginals().tolist() == b.true_marginals().tolist()
+
+
+def test_concentrated_scenario_prefers_edge(small_brite):
+    config = ScenarioConfig(kind=ScenarioKind.CONCENTRATED)
+    scenario = build_scenario(small_brite, config, 0)
+    edge = set(small_brite.edge_links())
+    covered = len(scenario.congestable & frozenset(edge))
+    assert covered >= len(scenario.congestable) * 0.8
+
+
+def test_no_independence_links_are_correlated(small_brite):
+    config = ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE)
+    scenario = build_scenario(small_brite, config, 0)
+    groups = small_brite.shared_router_links().values()
+    for link in scenario.congestable:
+        partners = set()
+        for group in groups:
+            if link in group:
+                partners |= set(group) - {link}
+        assert partners & scenario.congestable, f"link {link} uncorrelated"
+
+
+def test_no_independence_requires_correlated_topology():
+    network = network_from_paths([["a", "b"], ["c", "d"]])
+    config = ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE)
+    with pytest.raises(ScenarioError):
+        build_scenario(network, config, 0)
+
+
+def test_no_stationarity_builds_epochs(small_brite):
+    config = ScenarioConfig(
+        kind=ScenarioKind.NO_STATIONARITY, epoch_length=10, num_epochs=3
+    )
+    scenario = build_scenario(small_brite, config, 0)
+    assert isinstance(scenario.ground_truth, NonStationaryModel)
+    assert len(scenario.ground_truth.epochs) == 3
+
+
+def test_marginal_range(small_brite):
+    config = ScenarioConfig(
+        kind=ScenarioKind.RANDOM, min_marginal=0.2, max_marginal=0.6
+    )
+    scenario = build_scenario(small_brite, config, 1)
+    marginals = scenario.true_marginals()
+    positive = marginals[marginals > 0]
+    assert (positive >= 0.15).all()
+    assert (positive <= 0.65).all()
+
+
+def test_run_experiment_shapes(small_brite):
+    scenario = build_scenario(small_brite, ScenarioConfig(), 0)
+    result = run_experiment(scenario, 50, random_state=1, oracle=True)
+    assert result.num_intervals == 50
+    assert result.link_states.shape == (50, small_brite.num_links)
+    assert result.observations.num_paths == small_brite.num_paths
+
+
+def test_run_experiment_records(small_brite):
+    scenario = build_scenario(small_brite, ScenarioConfig(), 0)
+    result = run_experiment(scenario, 10, random_state=1, oracle=True)
+    records = result.records()
+    assert len(records) == 10
+    for record in records:
+        # Oracle observations: congested paths are exactly those crossing a
+        # congested link.
+        expected = small_brite.paths_covering(record.congested_links)
+        assert record.congested_paths == expected
+
+
+def test_run_experiment_deterministic(small_brite):
+    scenario = build_scenario(small_brite, ScenarioConfig(), 0)
+    a = run_experiment(scenario, 20, random_state=9)
+    b = run_experiment(scenario, 20, random_state=9)
+    assert (a.link_states == b.link_states).all()
+    assert (a.observations.matrix == b.observations.matrix).all()
+
+
+def test_empirical_marginals_close_to_truth(small_brite):
+    scenario = build_scenario(small_brite, ScenarioConfig(), 0)
+    result = run_experiment(scenario, 4000, random_state=2, oracle=True)
+    truth = scenario.true_marginals()
+    measured = result.empirical_marginals()
+    assert np.abs(truth - measured).max() < 0.05

@@ -1,0 +1,87 @@
+"""Unit tests for hand-built topologies (repro.topology.builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.builders import (
+    fig1_topology,
+    line_topology,
+    network_from_paths,
+    star_topology,
+)
+
+
+def test_fig1_invalid_case():
+    with pytest.raises(TopologyError):
+        fig1_topology(case=3)
+
+
+def test_line_topology_structure():
+    network = line_topology(4)
+    assert network.num_links == 4
+    assert network.num_paths == 1
+    assert network.paths[0].links == (0, 1, 2, 3)
+
+
+def test_line_topology_asns():
+    network = line_topology(3, asn_of=[0, 0, 1])
+    assert sorted(network.correlation_sets, key=sorted) == [
+        frozenset({0, 1}),
+        frozenset({2}),
+    ]
+
+
+def test_line_topology_rejects_bad_asn_length():
+    with pytest.raises(TopologyError):
+        line_topology(3, asn_of=[0, 1])
+
+
+def test_line_topology_rejects_zero_links():
+    with pytest.raises(TopologyError):
+        line_topology(0)
+
+
+def test_star_topology_counts():
+    network = star_topology(3)
+    assert network.num_links == 6
+    # One path per ordered spoke pair.
+    assert network.num_paths == 6
+    assert all(len(path) == 2 for path in network.paths)
+
+
+def test_star_topology_rejects_single_spoke():
+    with pytest.raises(TopologyError):
+        star_topology(1)
+
+
+def test_network_from_paths_basic():
+    network = network_from_paths([["a", "b"], ["a", "c"]])
+    assert network.num_links == 3
+    assert network.num_paths == 2
+    # Link "a" (index 0) is shared.
+    assert network.paths_covering([0]) == frozenset({0, 1})
+
+
+def test_network_from_paths_asn_grouping():
+    network = network_from_paths(
+        [["a", "b"], ["c"]], asn_of={"a": 5, "b": 5, "c": 9}
+    )
+    assert sorted(network.correlation_sets, key=sorted) == [
+        frozenset({0, 1}),
+        frozenset({2}),
+    ]
+
+
+def test_network_from_paths_router_links():
+    network = network_from_paths(
+        [["a", "b"]], router_links_of={"a": [1, 2], "b": [2, 3]}
+    )
+    assert network.correlated_link_pairs() == [(0, 1)]
+
+
+def test_network_from_paths_default_independent():
+    network = network_from_paths([["a", "b", "c"]])
+    assert network.correlated_link_pairs() == []
+    assert len(network.correlation_sets) == 3

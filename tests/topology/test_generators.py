@@ -1,0 +1,122 @@
+"""Tests for the BRITE-like and traceroute topology generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.brite import BriteConfig, build_router_internet, generate_brite_network
+from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+
+def test_brite_determinism():
+    config = BriteConfig(num_ases=8, num_paths=40, num_destinations=20)
+    a = generate_brite_network(config, 5)
+    b = generate_brite_network(config, 5)
+    assert a.num_links == b.num_links
+    assert [p.links for p in a.paths] == [p.links for p in b.paths]
+
+
+def test_brite_different_seeds_differ():
+    config = BriteConfig(num_ases=8, num_paths=40, num_destinations=20)
+    a = generate_brite_network(config, 5)
+    b = generate_brite_network(config, 6)
+    assert [p.links for p in a.paths] != [p.links for p in b.paths]
+
+
+def test_brite_excludes_source_as_intra_links(small_brite):
+    source_asn = 0
+    for link in small_brite.links:
+        # Inter-domain links are attributed to the entered AS, so no link
+        # should belong to the source AS except inter-domain links *into* it
+        # (there are none, since all paths leave the source).
+        assert link.asn != source_asn or link.router_links
+
+
+def test_brite_paths_are_loop_free(small_brite):
+    for path in small_brite.paths:
+        assert len(set(path.links)) == len(path.links)
+
+
+def test_brite_no_duplicate_paths(small_brite):
+    sequences = [p.links for p in small_brite.paths]
+    assert len(sequences) == len(set(sequences))
+
+
+def test_brite_has_correlated_pairs(small_brite):
+    # The router-level substrate must induce AS-level correlations, or the
+    # No-Independence scenarios cannot be built.
+    assert len(small_brite.correlated_link_pairs()) > 0
+
+
+def test_brite_validation():
+    with pytest.raises(TopologyError):
+        BriteConfig(num_ases=2).validate()
+    with pytest.raises(TopologyError):
+        BriteConfig(num_ases=8, as_attachment=9).validate()
+    with pytest.raises(TopologyError):
+        BriteConfig(routers_per_as=1).validate()
+    with pytest.raises(TopologyError):
+        BriteConfig(num_paths=0).validate()
+    with pytest.raises(TopologyError):
+        BriteConfig(source_asn=99).validate()
+
+
+def test_router_internet_as_mapping():
+    config = BriteConfig(num_ases=6, routers_per_as=3)
+    graph, asn_of = build_router_internet(config, 1)
+    assert len(asn_of) == 18
+    assert set(asn_of.values()) == set(range(6))
+    # Every AS's routers form a connected subgraph.
+    import networkx as nx
+
+    for asn in range(6):
+        nodes = [r for r, a in asn_of.items() if a == asn]
+        assert nx.is_connected(graph.subgraph(nodes))
+
+
+def test_sparse_determinism():
+    config = TracerouteConfig(num_probes=150, max_kept_paths=60)
+    a = generate_sparse_network(config, 3)
+    b = generate_sparse_network(config, 3)
+    assert [p.links for p in a.paths] == [p.links for p in b.paths]
+
+
+def test_sparse_campaign_discards(small_sparse):
+    config = TracerouteConfig(
+        num_probes=300, response_prob=0.85, max_kept_paths=100
+    )
+    network, campaign = generate_sparse_network(config, 1, return_campaign=True)
+    # With imperfect responders a substantial share is discarded, mirroring
+    # the paper's "most traceroutes ... had to be discarded".
+    assert campaign.incomplete_discarded > 0
+    assert campaign.discard_rate > 0.2
+    assert campaign.kept == network.num_paths or campaign.kept >= network.num_paths
+
+
+def test_sparse_is_rank_deficient(small_sparse):
+    # The defining property of the Sparse topologies (Section 3.2): the
+    # system of equations has low rank relative to the number of links.
+    assert small_sparse.routing_rank() < small_sparse.num_links
+
+
+def test_sparse_is_sparser_than_brite(small_brite, small_sparse):
+    brite_ratio = small_brite.routing_rank() / small_brite.num_links
+    sparse_ratio = small_sparse.routing_rank() / small_sparse.num_links
+    assert sparse_ratio < brite_ratio
+
+
+def test_sparse_validation():
+    with pytest.raises(TopologyError):
+        TracerouteConfig(response_prob=0.0).validate()
+    with pytest.raises(TopologyError):
+        TracerouteConfig(load_balance_prob=1.5).validate()
+    with pytest.raises(TopologyError):
+        TracerouteConfig(num_probes=0).validate()
+
+
+def test_sparse_raises_when_nothing_kept():
+    config = TracerouteConfig(num_probes=5, response_prob=0.01)
+    with pytest.raises(TopologyError):
+        generate_sparse_network(config, 0)
