@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark run against the committed BENCH_baseline.json.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=bench_current.json
+    python benchmarks/compare_baseline.py bench_current.json
+
+    # refresh the committed snapshot from a fresh run
+    python benchmarks/compare_baseline.py bench_current.json --update
+
+Prints a per-benchmark table of baseline vs current mean times and exits
+non-zero when any benchmark regressed by more than ``--threshold``
+(default 1.5x), so the perf trajectory of the repo stays visible PR over
+PR. Benchmarks sharing a result cache report ~0s after the first of their
+group; those are compared only when both sides are non-trivial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+
+#: Timings under this many seconds are cache hits of a shared result (see
+#: benchmarks/test_bench_figure4.py's _RESULT_CACHE) and carry no signal.
+TRIVIAL_S = 0.05
+
+
+def load_current(path: Path) -> dict:
+    """Map fullname -> mean seconds from a pytest-benchmark JSON file."""
+    raw = json.loads(path.read_text())
+    return {
+        bench["fullname"]: {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+            "group": bench.get("group"),
+        }
+        for bench in raw["benchmarks"]
+    }
+
+
+def update_baseline(current: dict, raw_path: Path) -> None:
+    raw = json.loads(raw_path.read_text())
+    snapshot = {
+        "note": (
+            "Benchmark timing snapshot; regenerate with "
+            "benchmarks/compare_baseline.py --update"
+        ),
+        "machine": raw.get("machine_info", {})
+        .get("cpu", {})
+        .get("brand_raw", "unknown"),
+        "datetime": raw.get("datetime"),
+        "benchmarks": {
+            name: {
+                "mean_s": round(stats["mean_s"], 4),
+                "min_s": round(stats["min_s"], 4),
+                "group": stats["group"],
+            }
+            for name, stats in current.items()
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"baseline updated: {BASELINE_PATH}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when current/baseline mean exceeds this ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite BENCH_baseline.json"
+    )
+    args = parser.parse_args(argv)
+
+    current = load_current(args.current)
+    if args.update:
+        update_baseline(current, args.current)
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
+    width = max(len(n) for n in set(baseline) | set(current))
+    print(f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  ratio")
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        base_mean = baseline.get(name, {}).get("mean_s")
+        cur_mean = current.get(name, {}).get("mean_s")
+        if base_mean is None or cur_mean is None:
+            status = "baseline-only" if cur_mean is None else "new"
+            print(f"{name:<{width}}  {'-':>9}  {'-':>9}  ({status})")
+            continue
+        if base_mean < TRIVIAL_S or cur_mean < TRIVIAL_S:
+            print(f"{name:<{width}}  {base_mean:>8.3f}s  {cur_mean:>8.3f}s  (cached)")
+            continue
+        ratio = cur_mean / base_mean
+        marker = ""
+        if ratio > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:<{width}}  {base_mean:>8.3f}s  {cur_mean:>8.3f}s  {ratio:5.2f}x{marker}")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond {args.threshold}x")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.exit(0)

@@ -22,7 +22,7 @@ from repro.simulation.probing import PathProber
 from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
 from repro.topology.brite import generate_brite_network
 from repro.topology.traceroute import generate_sparse_network
-from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.rng import derive_rng, spawn_seeds, stable_hash
 
 
 class _NoRedundancyEstimator(CorrelationCompleteEstimator):
@@ -97,7 +97,7 @@ def run_ablation(
         scenario = build_scenario(
             network,
             ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE),
-            derive_rng(seeds[2], hash(topology_name) % (2**31)),
+            derive_rng(seeds[2], stable_hash(topology_name)),
         )
         experiment = run_experiment(
             scenario,

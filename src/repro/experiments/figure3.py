@@ -26,7 +26,7 @@ from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scena
 from repro.topology.brite import generate_brite_network
 from repro.topology.graph import Network
 from repro.topology.traceroute import generate_sparse_network
-from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.rng import derive_rng, spawn_seeds, stable_hash
 
 #: Scenario labels in the paper's x-axis order.
 SCENARIO_ORDER: Tuple[str, ...] = (
@@ -145,7 +145,7 @@ def run_figure3(
             scenario,
             scale.inference_intervals,
             prober=PathProber(num_packets=scale.num_packets),
-            random_state=derive_rng(seeds[3], hash(label) % (2**31)),
+            random_state=derive_rng(seeds[3], stable_hash(label)),
             oracle=oracle,
         )
         for algorithm in _algorithms(seed):

@@ -32,7 +32,7 @@ from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scena
 from repro.topology.brite import generate_brite_network
 from repro.topology.graph import Network
 from repro.topology.traceroute import generate_sparse_network
-from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.rng import derive_rng, spawn_seeds, stable_hash
 
 #: Congestion scenarios of Fig. 4(a)/(b), in the paper's order.
 SCENARIO_ORDER: Tuple[str, ...] = (
@@ -142,7 +142,7 @@ def run_figure4(
                 scale.num_intervals,
                 prober=PathProber(num_packets=scale.num_packets),
                 random_state=derive_rng(
-                    seeds[3], hash((topology_name, label)) % (2**31)
+                    seeds[3], stable_hash((topology_name, label))
                 ),
                 oracle=oracle,
             )

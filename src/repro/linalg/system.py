@@ -3,10 +3,12 @@
 Taking logarithms of Eq. 1 turns every "all paths in P good" observation into
 a *linear* equation over the unknown log-probabilities of correlation
 subsets. This module hosts those equations: rows are appended as Algorithm 1
-selects path sets, the system is solved by (min-norm) least squares, and each
-unknown is classified *identifiable* iff its coordinate is constant across
-the solution affine subspace — i.e. iff the corresponding row of the final
-null-space basis vanishes.
+selects path sets — individually or as whole batches, which is how the
+batched estimation stack feeds vectorized frequency/weight arrays in — the
+system is solved by (min-norm) least squares, and each unknown is classified
+*identifiable* iff its coordinate is constant across the solution affine
+subspace — i.e. iff the corresponding row of the final null-space basis
+vanishes.
 """
 
 from __future__ import annotations
@@ -15,10 +17,33 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
-from scipy.optimize import lsq_linear
+from scipy.optimize import lsq_linear, nnls
 
 from repro.exceptions import EstimationError
-from repro.linalg.nullspace import DEFAULT_TOL, null_space
+from repro.linalg.nullspace import DEFAULT_TOL
+
+
+def _group_duplicate_rows(matrix: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Group identical rows by hashing their raw bytes.
+
+    Returns ``(first_of_group, inverse)``: the index of each group's first
+    occurrence (in first-seen order) and, per original row, its group id.
+    Linear in the matrix size — far cheaper than a lexicographic
+    ``np.unique(axis=0)`` on wide float rows.
+    """
+    matrix = np.ascontiguousarray(matrix)
+    groups: dict = {}
+    first_of_group: List[int] = []
+    inverse = np.empty(matrix.shape[0], dtype=np.intp)
+    for i, row in enumerate(matrix):
+        key = row.tobytes()
+        group = groups.get(key)
+        if group is None:
+            group = len(groups)
+            groups[key] = group
+            first_of_group.append(i)
+        inverse[i] = group
+    return np.asarray(first_of_group, dtype=np.intp), inverse
 
 
 @dataclass
@@ -55,19 +80,24 @@ class EquationSystem:
     ``sigma`` should be weighted ``1/sigma`` so that precise equations
     dominate the solve. Weights scale rows and right-hand sides together, so
     the row space — and therefore identifiability — is unchanged.
+
+    Equations are stored as blocks: :meth:`add` appends a 1-row block,
+    :meth:`add_batch` appends a whole matrix at once (no per-row Python
+    overhead), which is the entry point the batched estimators use.
     """
 
     def __init__(self, num_unknowns: int) -> None:
         if num_unknowns < 0:
             raise EstimationError("num_unknowns must be non-negative")
         self.num_unknowns = num_unknowns
-        self._rows: List[np.ndarray] = []
-        self._rhs: List[float] = []
-        self._weights: List[float] = []
-        self._is_prior: List[bool] = []
+        self._blocks: List[np.ndarray] = []
+        self._rhs_blocks: List[np.ndarray] = []
+        self._weight_blocks: List[np.ndarray] = []
+        self._prior_blocks: List[np.ndarray] = []
+        self._num_equations = 0
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._num_equations
 
     def add(
         self, row: np.ndarray, rhs: float, weight: float = 1.0, prior: bool = False
@@ -81,28 +111,102 @@ class EquationSystem:
         when the *data* pins it down.
         """
         row = np.asarray(row, dtype=float).reshape(-1)
-        if row.shape[0] != self.num_unknowns:
+        self.add_batch(
+            row[None, :],
+            np.array([float(rhs)]),
+            np.array([float(weight)]),
+            prior=prior,
+        )
+
+    def add_batch(
+        self,
+        rows: np.ndarray,
+        rhs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        prior: bool = False,
+    ) -> None:
+        """Append a block of equations in one call.
+
+        Parameters
+        ----------
+        rows:
+            Coefficient matrix, shape (k, num_unknowns).
+        rhs:
+            Right-hand sides, shape (k,).
+        weights:
+            Per-equation precisions, shape (k,); defaults to 1.
+        prior:
+            Marks the whole block as regulariser rows (see :meth:`add`).
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        rhs = np.asarray(rhs, dtype=float).reshape(-1)
+        if rows.shape[1] != self.num_unknowns:
             raise EstimationError(
-                f"row has {row.shape[0]} coefficients, expected {self.num_unknowns}"
+                f"row has {rows.shape[1]} coefficients, expected {self.num_unknowns}"
             )
-        if weight <= 0.0:
+        if rows.shape[0] != rhs.shape[0]:
+            raise EstimationError("rows and rhs lengths differ")
+        if rows.shape[0] == 0:
+            return
+        if weights is None:
+            weights = np.ones(rows.shape[0])
+        else:
+            weights = np.asarray(weights, dtype=float).reshape(-1)
+            if weights.shape[0] != rows.shape[0]:
+                raise EstimationError("rows and weights lengths differ")
+        if np.any(weights <= 0.0):
             raise EstimationError("equation weight must be positive")
-        self._rows.append(row)
-        self._rhs.append(float(rhs))
-        self._weights.append(float(weight))
-        self._is_prior.append(bool(prior))
+        self._blocks.append(rows)
+        self._rhs_blocks.append(rhs)
+        self._weight_blocks.append(weights)
+        self._prior_blocks.append(np.full(rows.shape[0], bool(prior)))
+        self._num_equations += rows.shape[0]
 
     @property
     def matrix(self) -> np.ndarray:
         """The system matrix A, shape (num_equations, num_unknowns)."""
-        if not self._rows:
+        if not self._blocks:
             return np.zeros((0, self.num_unknowns))
-        return np.vstack(self._rows)
+        return np.concatenate(self._blocks, axis=0)
 
     @property
     def rhs(self) -> np.ndarray:
         """The right-hand side b, shape (num_equations,)."""
-        return np.asarray(self._rhs, dtype=float)
+        if not self._rhs_blocks:
+            return np.zeros(0)
+        return np.concatenate(self._rhs_blocks)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-equation precisions, shape (num_equations,)."""
+        if not self._weight_blocks:
+            return np.zeros(0)
+        return np.concatenate(self._weight_blocks)
+
+    @staticmethod
+    def _solve_bounded(
+        matrix: np.ndarray, rhs: np.ndarray, upper_bound: float
+    ) -> np.ndarray:
+        """Least squares subject to ``x_i <= upper_bound`` for all i.
+
+        Substituting ``x = upper_bound + d`` with ``d <= 0`` turns the
+        problem into non-negative least squares on ``-d``, which scipy
+        solves with the compiled Lawson–Hanson active-set method — far
+        faster than the generic bounded solvers on these systems. Falls
+        back to ``lsq_linear`` if NNLS hits its iteration limit.
+        """
+        shifted_rhs = rhs - upper_bound * matrix.sum(axis=1)
+        try:
+            negated, _ = nnls(-matrix, shifted_rhs)
+            return upper_bound - negated
+        except RuntimeError:
+            outcome = lsq_linear(
+                matrix,
+                rhs,
+                bounds=(-np.inf, upper_bound),
+                method="bvls" if matrix.shape[0] >= matrix.shape[1] else "trf",
+            )
+            return outcome.x
 
     def solve(
         self, tol: float = DEFAULT_TOL, upper_bound: Optional[float] = None
@@ -131,31 +235,68 @@ class EquationSystem:
                 rank=0,
                 residual=0.0,
             )
-        if not self._rows:
+        if self._num_equations == 0:
             raise EstimationError("cannot solve an empty equation system")
         matrix = self.matrix
         rhs = self.rhs
-        weights = np.asarray(self._weights, dtype=float)
-        weighted_matrix = matrix * weights[:, None]
-        weighted_rhs = rhs * weights
+        weights = self.weights
+        # Equations from different path sets frequently share a coefficient
+        # row; a duplicate group {(r, b_i, w_i)} contributes
+        # ``sum w_i^2 (r.x - b_i)^2 = W^2 (r.x - b_bar)^2 + const`` with
+        # ``W^2 = sum w_i^2`` and ``b_bar`` the precision-weighted mean, so
+        # merging duplicates leaves the minimiser set exactly unchanged
+        # while shrinking the factorizations below.
+        first_of_group, inverse = _group_duplicate_rows(matrix)
+        unique_rows = matrix[first_of_group]
+        if unique_rows.shape[0] < matrix.shape[0]:
+            precision = weights * weights
+            group_precision = np.bincount(inverse, weights=precision)
+            group_rhs = (
+                np.bincount(inverse, weights=precision * rhs) / group_precision
+            )
+            group_weight = np.sqrt(group_precision)
+            weighted_matrix = unique_rows * group_weight[:, None]
+            weighted_rhs = group_rhs * group_weight
+        else:
+            weighted_matrix = matrix * weights[:, None]
+            weighted_rhs = rhs * weights
+        # Compress the least-squares problem through a thin QR: with
+        # A = Q R, ``||A x - b|| = ||R x - Q' b||`` up to a constant, so
+        # every solver below works on the (n, n) triangle instead of the
+        # (num_equations, n) stack. Minimiser sets are identical.
+        q_factor, r_factor = np.linalg.qr(weighted_matrix)
+        compressed_rhs = q_factor.T @ weighted_rhs
         if upper_bound is None:
             values, _, _, _ = np.linalg.lstsq(
-                weighted_matrix, weighted_rhs, rcond=None
+                r_factor, compressed_rhs, rcond=None
             )
         else:
-            outcome = lsq_linear(
-                weighted_matrix,
-                weighted_rhs,
-                bounds=(-np.inf, upper_bound),
-                method="bvls" if weighted_matrix.shape[0] >= weighted_matrix.shape[1] else "trf",
-            )
-            values = outcome.x
-        data_mask = ~np.asarray(self._is_prior, dtype=bool)
+            # NNLS solves the bounded problem exactly whether or not the
+            # bound binds, so no unconstrained pre-solve is needed (on the
+            # log-probability systems the bound almost always binds).
+            values = self._solve_bounded(r_factor, compressed_rhs, upper_bound)
+        data_mask = ~np.concatenate(self._prior_blocks)
         data_matrix = matrix[data_mask]
         data_rhs = rhs[data_mask]
         if data_matrix.shape[0] == 0:
             raise EstimationError("cannot solve a system with only prior equations")
-        basis = null_space(data_matrix, tol)
+        # Rank and null space of the data rows, via SVD of their QR
+        # triangle: A'A = R'R, so singular values and right singular
+        # vectors coincide while the decomposition runs on (n, n).
+        # Duplicate rows don't change the row space, so only one
+        # representative per group enters the factorization — the groups
+        # come from the pass above restricted to data rows (rows within a
+        # group are identical, so any representative works).
+        data_groups = np.unique(inverse[data_mask])
+        data_unique = matrix[first_of_group[data_groups]]
+        data_triangle = np.linalg.qr(data_unique, mode="r")
+        _, singular_values, vt = np.linalg.svd(data_triangle, full_matrices=True)
+        if singular_values.size and singular_values.max() > 0:
+            cutoff = tol * max(data_unique.shape) * singular_values.max()
+            rank = int((singular_values > cutoff).sum())
+        else:
+            rank = 0
+        basis = vt[rank:].T
         if basis.shape[1] == 0:
             identifiable = np.ones(self.num_unknowns, dtype=bool)
         else:
@@ -171,6 +312,6 @@ class EquationSystem:
         return Solution(
             values=values,
             identifiable=identifiable,
-            rank=int(np.linalg.matrix_rank(data_matrix)),
+            rank=rank,
             residual=residual,
         )

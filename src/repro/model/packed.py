@@ -1,0 +1,263 @@
+"""Bit-packed columnar observation storage and the batched frequency kernel.
+
+Every Probability Computation algorithm in this package reduces to one hot
+query — the empirical all-good frequency of a path set (the left-hand side
+of the paper's Eq. 1). Evaluated against a dense boolean ``(T, paths)``
+matrix, each query is an O(T * k) scan; evaluated against this backend it is
+a handful of word operations: path statuses are stored as ``uint64`` words
+(64 intervals per word, one row of words per path), a path set's congested
+intervals are the bitwise OR of its rows, and the all-good count is
+``T - popcount(OR)``.
+
+The same layout yields the other frequency queries for free (per-path
+congestion counts are per-row popcounts) and supports cheap interval
+slicing for windowed estimation: a word-aligned window is a column slice of
+the word matrix plus a tail mask, with no re-packing of the horizon.
+
+Two interchangeable backends implement the storage contract:
+
+* :class:`PackedBackend` — the ``uint64`` columnar store (default);
+* :class:`DenseBackend` — the original boolean matrix, kept for tests,
+  tiny inputs, and as the executable specification the packed kernels are
+  property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Intervals per storage word.
+WORD_BITS = 64
+
+#: Bytes per storage word.
+WORD_BYTES = 8
+
+
+def pack_bool_matrix(congested: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(T, paths)`` matrix into ``uint64`` words.
+
+    Returns an array of shape ``(paths, ceil(T / 64))``; bit ``j`` (MSB
+    first within each byte, bytes in little-endian word order is *not*
+    assumed anywhere — only popcounts and ORs are taken) of row ``p`` is the
+    status of path ``p`` in interval ``64 * w + j``. Padding bits beyond
+    ``T`` are zero (good), so they never contribute to congestion counts.
+    """
+    congested = np.asarray(congested, dtype=bool)
+    if congested.ndim != 2:
+        raise ValueError("pack_bool_matrix expects a 2-D (T, paths) matrix")
+    num_intervals, num_paths = congested.shape
+    num_words = max(1, -(-num_intervals // WORD_BITS))
+    # Pack along time per path; pad the byte dimension out to whole words.
+    packed_bytes = np.packbits(congested.T, axis=1)
+    padded = np.zeros((num_paths, num_words * WORD_BYTES), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view(np.uint64)
+
+
+def unpack_words(
+    words: np.ndarray, num_intervals: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`: back to boolean ``(T, paths)``."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, count=num_intervals)
+    return bits.T.astype(bool)
+
+
+def _tail_mask(num_intervals: int, num_words: int) -> np.ndarray:
+    """Per-word mask with ones on the first ``num_intervals`` bit slots."""
+    total_bits = num_words * WORD_BITS
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    bits[:num_intervals] = 1
+    return np.packbits(bits).view(np.uint64)
+
+
+class PackedBackend:
+    """``uint64`` columnar path-status store with popcount kernels.
+
+    Parameters
+    ----------
+    words:
+        ``(num_paths, num_words)`` uint64 array; see
+        :func:`pack_bool_matrix` for the bit layout. Padding bits must be 0.
+    num_intervals:
+        The observation horizon ``T`` (``<= num_words * 64``).
+    """
+
+    name = "packed"
+
+    def __init__(self, words: np.ndarray, num_intervals: int) -> None:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError("PackedBackend expects a 2-D (paths, words) array")
+        if num_intervals > words.shape[1] * WORD_BITS:
+            raise ValueError("num_intervals exceeds packed capacity")
+        self.words = words
+        self._num_intervals = int(num_intervals)
+        # Lazily-built copy of `words` with a trailing all-good dummy row:
+        # the batched kernel pads ragged path sets with the dummy index,
+        # which is a no-op under OR. Deferred so backends that never run a
+        # batch query (e.g. short-lived window slices) skip the copy.
+        self._words_padded: "np.ndarray | None" = None
+
+    @classmethod
+    def from_dense(cls, congested: np.ndarray) -> "PackedBackend":
+        congested = np.asarray(congested, dtype=bool)
+        return cls(pack_bool_matrix(congested), congested.shape[0])
+
+    # -- storage contract ------------------------------------------------
+    @property
+    def num_intervals(self) -> int:
+        return self._num_intervals
+
+    @property
+    def num_paths(self) -> int:
+        return self.words.shape[0]
+
+    def dense(self) -> np.ndarray:
+        """Materialise the boolean ``(T, paths)`` matrix."""
+        return unpack_words(self.words, self._num_intervals)
+
+    def congested_in_interval(self, interval: int) -> np.ndarray:
+        """Boolean vector over paths for one interval ``t``."""
+        if not 0 <= interval < self._num_intervals:
+            raise IndexError(f"interval {interval} outside horizon")
+        byte_index, bit_index = divmod(interval, 8)
+        column = self.words.view(np.uint8)[:, byte_index]
+        return (column >> np.uint8(7 - bit_index)) & np.uint8(1) > 0
+
+    def congestion_counts(self) -> np.ndarray:
+        """Per-path congested-interval counts, shape (num_paths,)."""
+        return np.bitwise_count(self.words).sum(axis=1, dtype=np.int64)
+
+    def all_good_counts(self, path_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Batched Eq. 1 numerator: all-good interval counts per path set.
+
+        The kernel of the whole estimation stack: for each path set, OR the
+        packed rows of its members and popcount the union. The whole batch
+        runs as a single padded gather + OR-reduction + popcount — no Python
+        per-set work. The empty set counts every interval. Returns an int64
+        array of len(path_sets).
+        """
+        num_sets = len(path_sets)
+        total = self._num_intervals
+        if num_sets == 0:
+            return np.zeros(0, dtype=np.int64)
+        members: List[List[int]] = [list(s) for s in path_sets]
+        widest = max(len(m) for m in members)
+        if widest == 0:
+            return np.full(num_sets, total, dtype=np.int64)
+        if self._words_padded is None:
+            self._words_padded = np.concatenate(
+                [self.words, np.zeros((1, self.words.shape[1]), dtype=np.uint64)]
+            )
+        dummy = self.num_paths  # the all-good dummy row appended above
+        indices = np.full((num_sets, widest), dummy, dtype=np.intp)
+        for i, m in enumerate(members):
+            indices[i, : len(m)] = m
+        counts = np.empty(num_sets, dtype=np.int64)
+        num_words = self.words.shape[1]
+        # Bound the gather's working set: chunk the batch so the padded
+        # (chunk, widest, words) cube stays small enough to live in cache.
+        chunk = max(1, (1 << 21) // max(1, widest * num_words * WORD_BYTES))
+        for lo in range(0, num_sets, chunk):
+            block = indices[lo : lo + chunk]
+            union = np.bitwise_or.reduce(self._words_padded[block], axis=1)
+            counts[lo : lo + chunk] = np.bitwise_count(union).sum(
+                axis=1, dtype=np.int64
+            )
+        return total - counts
+
+    def slice_intervals(self, start: int, stop: int) -> "PackedBackend":
+        """The window ``[start, stop)`` as a new backend.
+
+        Word-aligned starts reuse the existing words (a column slice plus a
+        tail mask); unaligned starts shift bits across words — both avoid
+        re-packing from a dense matrix.
+        """
+        if not 0 <= start <= stop <= self._num_intervals:
+            raise IndexError(f"window [{start}, {stop}) outside horizon")
+        length = stop - start
+        if length == 0:
+            return PackedBackend(
+                np.zeros((self.num_paths, 1), dtype=np.uint64), 0
+            )
+        num_words = -(-length // WORD_BITS)
+        first_word, offset = divmod(start, WORD_BITS)
+        if offset == 0:
+            window = self.words[:, first_word : first_word + num_words].copy()
+            window &= _tail_mask(length, num_words)
+        else:
+            # Unaligned window: unpack only the touched byte range, slice
+            # at bit granularity, and repack — still no dense (T, paths)
+            # matrix and no re-scan of the full horizon.
+            byte_start = start // 8
+            byte_stop = -(-stop // 8)
+            raw = self.words.view(np.uint8)[:, byte_start:byte_stop]
+            bits = np.unpackbits(np.ascontiguousarray(raw), axis=1)
+            head = start - byte_start * 8
+            packed = np.packbits(bits[:, head : head + length], axis=1)
+            window_bytes = np.zeros(
+                (self.num_paths, num_words * WORD_BYTES), dtype=np.uint8
+            )
+            window_bytes[:, : packed.shape[1]] = packed
+            window = window_bytes.view(np.uint64)
+        return PackedBackend(window, length)
+
+
+class DenseBackend:
+    """The original boolean ``(T, paths)`` store — reference semantics.
+
+    Kept as the executable specification for the packed kernels (the
+    equivalence suite checks every query agrees between backends) and for
+    callers that want the plain matrix without the packing round-trip.
+    """
+
+    name = "dense"
+
+    def __init__(self, congested: np.ndarray) -> None:
+        congested = np.asarray(congested, dtype=bool)
+        if congested.ndim != 2:
+            raise ValueError("DenseBackend expects a 2-D (T, paths) matrix")
+        self._congested = congested
+
+    @classmethod
+    def from_dense(cls, congested: np.ndarray) -> "DenseBackend":
+        return cls(congested)
+
+    @property
+    def num_intervals(self) -> int:
+        return self._congested.shape[0]
+
+    @property
+    def num_paths(self) -> int:
+        return self._congested.shape[1]
+
+    def dense(self) -> np.ndarray:
+        return self._congested
+
+    def congested_in_interval(self, interval: int) -> np.ndarray:
+        if not 0 <= interval < self.num_intervals:
+            raise IndexError(f"interval {interval} outside horizon")
+        return self._congested[interval]
+
+    def congestion_counts(self) -> np.ndarray:
+        return self._congested.sum(axis=0, dtype=np.int64)
+
+    def all_good_counts(self, path_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        counts = np.empty(len(path_sets), dtype=np.int64)
+        total = self.num_intervals
+        for i, path_set in enumerate(path_sets):
+            indices = list(path_set)
+            if not indices:
+                counts[i] = total
+                continue
+            congested_any = self._congested[:, indices].any(axis=1)
+            counts[i] = total - int(congested_any.sum())
+        return counts
+
+    def slice_intervals(self, start: int, stop: int) -> "DenseBackend":
+        if not 0 <= start <= stop <= self.num_intervals:
+            raise IndexError(f"window [{start}, {stop}) outside horizon")
+        return DenseBackend(self._congested[start:stop])

@@ -14,6 +14,7 @@ The algorithms differ in steps 2-3; the common plumbing lives here.
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
@@ -109,6 +110,11 @@ class FitReport:
     path_sets:
         The path sets whose Eq. 1 equations entered the system, in
         selection order (Algorithm 1's output ``P^``).
+    frequency_cache_hits, frequency_cache_misses:
+        :class:`FrequencyCache` traffic during the fit — how often an
+        empirical all-good frequency was re-used vs computed by the packed
+        kernel. Misses count distinct path sets evaluated against the
+        observations; a hot windowed rerun should show hits dominating.
     """
 
     num_unknowns: int = 0
@@ -117,27 +123,96 @@ class FitReport:
     num_identifiable: int = 0
     residual: float = 0.0
     path_sets: List[FrozenSet[int]] = field(default_factory=list)
+    frequency_cache_hits: int = 0
+    frequency_cache_misses: int = 0
 
 
 class FrequencyCache:
-    """Memoised empirical all-good frequencies over path sets."""
+    """Batch-aware, bounded memo over empirical all-good frequencies.
 
-    def __init__(self, observations: ObservationMatrix) -> None:
+    A thin facade over the observation backend's batched Eq. 1 kernel
+    (:meth:`repro.model.status.ObservationMatrix.all_good_frequencies`):
+    single queries memoise through ``__call__``, and :meth:`query_many`
+    evaluates a whole batch of path sets in one packed-kernel invocation,
+    only computing the sets the memo has not seen.
+
+    The memo is *bounded* (``max_entries``, FIFO eviction) so that windowed
+    and long-horizon reruns cannot grow it without limit, and it counts
+    hits/misses/evictions for diagnosability — estimators surface the
+    counters in :class:`FitReport`.
+    """
+
+    #: Default bound on memoised path sets (~a few MB of keys at worst).
+    DEFAULT_MAX_ENTRIES = 65536
+
+    def __init__(
+        self,
+        observations: ObservationMatrix,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise EstimationError("FrequencyCache max_entries must be >= 1")
         self._observations = observations
         self._cache: Dict[FrozenSet[int], float] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def num_intervals(self) -> int:
         """Observation horizon ``T`` backing the frequencies."""
         return self._observations.num_intervals
 
+    def _store(self, key: FrozenSet[int], value: float) -> None:
+        if len(self._cache) >= self._max_entries:
+            # FIFO eviction: drop the oldest insertion (dicts preserve
+            # insertion order). Estimators touch a path set in bursts, so
+            # recency-of-insertion is a good enough proxy for usefulness.
+            self._cache.pop(next(iter(self._cache)))
+            self.evictions += 1
+        self._cache[key] = value
+
     def __call__(self, path_set: Iterable[int]) -> float:
         key = frozenset(path_set)
         value = self._cache.get(key)
         if value is None:
+            self.misses += 1
             value = self._observations.all_good_frequency(key)
-            self._cache[key] = value
+            self._store(key, value)
+        else:
+            self.hits += 1
         return value
+
+    def query_many(self, path_sets: Sequence[Iterable[int]]) -> np.ndarray:
+        """Frequencies for a batch of path sets, one kernel call for misses.
+
+        Returns a float array aligned with ``path_sets``. Duplicate keys
+        within the batch are evaluated once.
+        """
+        keys = [frozenset(path_set) for path_set in path_sets]
+        resolved: Dict[FrozenSet[int], float] = {}
+        missing: List[FrozenSet[int]] = []
+        for key in keys:
+            if key in resolved:
+                continue
+            value = self._cache.get(key)
+            if value is None:
+                missing.append(key)
+            else:
+                self.hits += 1
+                resolved[key] = value
+        if missing:
+            self.misses += len(missing)
+            values = self._observations.all_good_frequencies(missing)
+            for key, value in zip(missing, values):
+                resolved[key] = float(value)
+                self._store(key, float(value))
+        return np.array([resolved[key] for key in keys])
+
+    def prefetch(self, path_sets: Sequence[Iterable[int]]) -> None:
+        """Warm the memo for ``path_sets`` without returning values."""
+        self.query_many(path_sets)
 
 
 def log_frequency_weight(frequency: float, num_intervals: int) -> float:
@@ -148,8 +223,19 @@ def log_frequency_weight(frequency: float, num_intervals: int) -> float:
     ``sqrt(f T / (1 - f))``. ``f`` is clipped away from 0 and 1 to keep the
     weight finite.
     """
-    clipped = float(np.clip(frequency, 1.0 / (2.0 * num_intervals), 0.999))
-    return float(np.sqrt(num_intervals * clipped / (1.0 - clipped)))
+    return float(log_frequency_weights(np.array([frequency]), num_intervals)[0])
+
+
+def log_frequency_weights(
+    frequencies: np.ndarray, num_intervals: int
+) -> np.ndarray:
+    """Vectorised :func:`log_frequency_weight` over a frequency array."""
+    clipped = np.clip(
+        np.asarray(frequencies, dtype=float),
+        1.0 / (2.0 * num_intervals),
+        0.999,
+    )
+    return np.sqrt(num_intervals * clipped / (1.0 - clipped))
 
 
 def singleton_path_sets(
@@ -188,26 +274,90 @@ def sampled_path_combinations(
     if len(usable) < 2:
         return []
     results: Set[FrozenSet[int]] = set()
-    attempts = 0
     max_attempts = count * 6
-    while len(results) < count and attempts < max_attempts:
-        attempts += 1
-        pivot = int(rng.choice(usable))
-        pivot_links = network.links_covered([pivot])
-        neighbours = network.paths_covering(pivot_links) - {pivot}
-        neighbours = sorted(p for p in neighbours if p not in always_congested)
-        size = int(rng.integers(2, max_size + 1)) if max_size >= 2 else 2
+    # All pivot and size draws happen as two vectorized RNG calls up front;
+    # the loop then only draws neighbour picks. Pivot neighbourhoods are
+    # deterministic and memoised, so repeated pivots cost dict lookups
+    # instead of coverage set algebra.
+    pivots = rng.integers(0, len(usable), size=max_attempts)
+    if max_size >= 2:
+        sizes = rng.integers(2, max_size + 1, size=max_attempts)
+    else:
+        sizes = np.full(max_attempts, 2)
+    incidence = network.incidence
+    usable_mask = np.zeros(observations.num_paths, dtype=bool)
+    usable_mask[usable] = True
+    neighbour_cache: Dict[int, List[int]] = {}
+    for attempt in range(max_attempts):
+        if len(results) >= count:
+            break
+        pivot = usable[pivots[attempt]]
+        neighbours = neighbour_cache.get(pivot)
+        if neighbours is None:
+            # Paths sharing a link with the pivot, restricted to usable
+            # paths: one boolean slice of the incidence matrix.
+            covering_mask = incidence[:, incidence[pivot]].any(axis=1)
+            covering_mask &= usable_mask
+            covering_mask[pivot] = False
+            neighbours = np.flatnonzero(covering_mask).tolist()
+            neighbour_cache[pivot] = neighbours
+        size = int(sizes[attempt])
         members = {pivot}
         if neighbours:
-            picks = rng.choice(
-                neighbours, size=min(size - 1, len(neighbours)), replace=False
-            )
-            members.update(int(p) for p in picks)
+            want = min(size - 1, len(neighbours))
+            if want >= len(neighbours):
+                members.update(neighbours)
+            else:
+                # Distinct picks by rejection on fast integer draws; path
+                # sets are tiny relative to the neighbourhood, so repeats
+                # are rare and each draw is a single cheap rng call.
+                while len(members) < want + 1:
+                    members.add(neighbours[rng.integers(len(neighbours))])
         else:
-            members.add(int(rng.choice(usable)))
+            members.add(usable[rng.integers(len(usable))])
         if len(members) >= 2:
             results.add(frozenset(members))
     return sorted(results, key=sorted)
+
+
+#: Sampled candidate pools per observation set; weak keys so a pool (and
+#: the Network objects in its keys) never outlives its observations.
+_SAMPLED_POOLS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_sampled_pool(
+    network: Network,
+    observations: ObservationMatrix,
+    count: int,
+    max_size: int,
+    seed: Optional[int],
+) -> List[FrozenSet[int]]:
+    """Seed-keyed memo around :func:`sampled_path_combinations`.
+
+    Estimators with the same config draw the same candidate pool (the
+    sampler is a pure function of network, observations, bounds, and seed),
+    so the pool is computed once per observation set and shared. Unseeded
+    estimators bypass the memo. Entries live exactly as long as their
+    observation set (weak keys), so neither pools nor networks outlive it.
+    """
+    if seed is None:
+        return sampled_path_combinations(
+            network, observations, count, max_size, as_generator(None)
+        )
+    cache = _SAMPLED_POOLS.get(observations)
+    if cache is None:
+        cache = {}
+        _SAMPLED_POOLS[observations] = cache
+    key = (network, count, max_size, seed)
+    pool = cache.get(key)
+    if pool is None:
+        pool = sampled_path_combinations(
+            network, observations, count, max_size, as_generator(seed)
+        )
+        cache[key] = pool
+    # Copy so an in-place mutation by one estimator cannot corrupt the
+    # pool every later same-seed estimator receives.
+    return list(pool)
 
 
 class ProbabilityEstimator(ABC):
@@ -237,9 +387,6 @@ class ProbabilityEstimator(ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def _rng(self) -> np.random.Generator:
-        return as_generator(self.config.seed)
-
     def _active_links(
         self, network: Network, observations: ObservationMatrix
     ) -> FrozenSet[int]:

@@ -32,7 +32,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.exceptions import EstimationError
-from repro.linalg.nullspace import null_space, null_space_update, rank_increases
+from repro.linalg.nullspace import DEFAULT_TOL, null_space, null_space_update
 from repro.linalg.system import EquationSystem
 from repro.model.status import ObservationMatrix
 from repro.probability.base import (
@@ -40,8 +40,8 @@ from repro.probability.base import (
     FitReport,
     FrequencyCache,
     ProbabilityEstimator,
-    log_frequency_weight,
-    sampled_path_combinations,
+    log_frequency_weights,
+    shared_sampled_pool,
     singleton_path_sets,
 )
 from repro.probability.query import CongestionProbabilityModel
@@ -67,7 +67,6 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             When no usable equation exists (e.g. every path was congested
             in every interval).
         """
-        rng = self._rng()
         active = self._active_links(network, observations)
         frequency = FrequencyCache(observations)
         always_good = frozenset(range(network.num_links)) - active
@@ -77,7 +76,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             )
             return self._attach_report(model, FitReport())
 
-        index, pool = self._build_index(network, observations, active, rng)
+        index, pool = self._build_index(network, observations, active)
         path_sets = self._select_path_sets(index, frequency)
         if not path_sets:
             raise EstimationError(
@@ -97,17 +96,16 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
         network: Network,
         observations: ObservationMatrix,
         active: FrozenSet[int],
-        rng: np.random.Generator,
     ) -> Tuple[SubsetIndex, List[FrozenSet[int]]]:
         """Assemble ``E^`` plus the candidate path-set pool that shaped it."""
         candidates: List[FrozenSet[int]] = list(singleton_path_sets(observations))
         candidates.extend(
-            sampled_path_combinations(
+            shared_sampled_pool(
                 network,
                 observations,
                 count=self.config.pair_sample,
                 max_size=self.config.path_set_max_size,
-                rng=rng,
+                seed=self.config.seed,
             )
         )
         # Selectors of singleton subsets make per-link equations usable even
@@ -158,9 +156,14 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
         rows: List[np.ndarray] = []
         seen: Set[FrozenSet[int]] = set()
 
-        # Lines 1-5: one selector path set per correlation subset.
-        for subset in index.subsets:
-            path_set = frozenset(index.paths_selector(subset))
+        # Lines 1-5: one selector path set per correlation subset. All
+        # selector frequencies are prefetched through one batched kernel
+        # call before the sequential admission loop runs.
+        selectors = [
+            frozenset(index.paths_selector(subset)) for subset in index.subsets
+        ]
+        frequency.prefetch([s for s in selectors if s])
+        for path_set in selectors:
             if path_set in seen:
                 continue
             row = self._usable_row(index, frequency, path_set)
@@ -212,22 +215,40 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             base = sorted(index.paths_selector(subset))
             if not base:
                 continue
-            for combo in bounded_subsets(
-                base,
-                max_size=self.config.path_set_max_size,
-                max_count=self.config.path_set_max_count,
-            ):
-                path_set = frozenset(combo)
-                if path_set in seen:
+            combos = [
+                frozenset(combo)
+                for combo in bounded_subsets(
+                    base,
+                    max_size=self.config.path_set_max_size,
+                    max_count=self.config.path_set_max_count,
+                )
+            ]
+            fresh = [c for c in combos if c not in seen]
+            # Candidates are evaluated in small batches — frequencies via
+            # one kernel call, rows via one index sweep, rank tests via one
+            # matrix product per batch — and the first usable
+            # rank-increasing candidate wins, exactly as a sequential
+            # line-by-line scan would choose. Chunking keeps the common
+            # case (an early candidate wins) from paying for the full
+            # slate.
+            chunk = 16
+            for start in range(0, len(fresh), chunk):
+                block = fresh[start : start + chunk]
+                frequencies = frequency.query_many(block)
+                rows, usable = index.rows_matrix(block)
+                if rows.shape[0] == 0:
                     continue
-                row = self._usable_row(index, frequency, path_set)
-                if row is None:
-                    continue
-                if not rank_increases(basis, row):
-                    continue
-                seen.add(path_set)
-                chosen.append(path_set)
-                return row
+                gains = np.linalg.norm(rows @ basis, axis=1)
+                candidate_ok = frequencies[usable] > self.config.min_frequency
+                candidates = [c for c, keep in zip(block, usable) if keep]
+                for candidate, ok, gain, row in zip(
+                    candidates, candidate_ok, gains, rows
+                ):
+                    if not ok or gain <= DEFAULT_TOL:
+                        continue
+                    seen.add(candidate)
+                    chosen.append(candidate)
+                    return row
         return None
 
     # ------------------------------------------------------------------
@@ -251,14 +272,17 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
         over the paper's listing, documented in DESIGN.md.
         """
         seen = set(selected)
-        extras: List[FrozenSet[int]] = []
-        for path_set in pool:
-            if path_set in seen:
-                continue
-            seen.add(path_set)
-            if self._usable_row(index, frequency, path_set) is not None:
-                extras.append(path_set)
-        return extras
+        fresh = [
+            path_set
+            for path_set in dict.fromkeys(pool)
+            if path_set and path_set not in seen
+        ]
+        if not fresh:
+            return []
+        frequencies = frequency.query_many(fresh)
+        _, usable = index.rows_matrix(fresh)
+        keep = usable & (frequencies > self.config.min_frequency)
+        return [path_set for path_set, ok in zip(fresh, keep) if ok]
 
     # ------------------------------------------------------------------
     def _add_prior_equations(
@@ -324,18 +348,18 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
         always_good: FrozenSet[int],
     ) -> CongestionProbabilityModel:
         """Least-squares solve of the log-domain Eq. 1 system."""
+        all_sets = list(path_sets) + list(extra_path_sets)
+        rows, usable = index.rows_matrix(all_sets)
+        if not usable.all():
+            raise EstimationError("selected path set became unusable")
+        freqs = frequency.query_many(all_sets)
+        weights = (
+            log_frequency_weights(freqs, frequency.num_intervals)
+            if self.config.weighted
+            else np.ones(len(all_sets))
+        )
         system = EquationSystem(len(index))
-        for path_set in list(path_sets) + list(extra_path_sets):
-            row = index.row(path_set)
-            if row is None:
-                raise EstimationError("selected path set became unusable")
-            freq = frequency(path_set)
-            weight = (
-                log_frequency_weight(freq, frequency.num_intervals)
-                if self.config.weighted
-                else 1.0
-            )
-            system.add(row, float(np.log(freq)), weight)
+        system.add_batch(rows, np.log(freqs), weights)
         self._add_prior_equations(system, index)
         solution = system.solve(upper_bound=0.0)
         log_good = np.minimum(solution.values, 0.0)
@@ -358,5 +382,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             num_identifiable=int(solution.identifiable.sum()),
             residual=solution.residual,
             path_sets=list(path_sets),
+            frequency_cache_hits=frequency.hits,
+            frequency_cache_misses=frequency.misses,
         )
         return self._attach_report(model, report)

@@ -28,7 +28,7 @@ from repro.probability.base import (
     FitReport,
     FrequencyCache,
     ProbabilityEstimator,
-    sampled_path_combinations,
+    shared_sampled_pool,
     singleton_path_sets,
 )
 from repro.probability.query import CongestionProbabilityModel
@@ -55,7 +55,6 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
         self, network: Network, observations: ObservationMatrix
     ) -> CongestionProbabilityModel:
         """Estimate per-link good probabilities with joint nuisance unknowns."""
-        rng = self._rng()
         active = self._active_links(network, observations)
         always_good = frozenset(range(network.num_links)) - active
         frequency = FrequencyCache(observations)
@@ -67,14 +66,14 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
 
         pool: List[FrozenSet[int]] = list(singleton_path_sets(observations))
         pool.extend(
-            sampled_path_combinations(
+            shared_sampled_pool(
                 network,
                 observations,
                 count=self.config.pair_sample * self.POOL_FACTOR,
                 # Larger sets than Correlation-complete enumerates: their
                 # small all-good frequencies carry most of the extra noise.
                 max_size=self.config.path_set_max_size + 2,
-                rng=rng,
+                seed=self.config.seed,
             )
         )
         active_sets = [
@@ -95,25 +94,22 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
             requested_subset_size=1,
             hard_subset_cap=self.config.hard_subset_cap + 2,
         )
-        system = EquationSystem(len(index))
-        used: List[FrozenSet[int]] = []
-        seen = set()
-        for path_set in pool:
-            if path_set in seen:
-                continue
-            seen.add(path_set)
-            freq = frequency(path_set)
-            if freq <= self.config.min_frequency:
-                continue
-            row = index.row(path_set)
-            if row is None or not row.any():
-                continue
-            system.add(row, float(np.log(freq)))
-            used.append(path_set)
-        if not len(system):
+        # Deduplicate the pool, then evaluate every frequency in one batched
+        # kernel call and every equation row in one index sweep.
+        deduped: List[FrozenSet[int]] = list(dict.fromkeys(pool))
+        frequencies = frequency.query_many(deduped)
+        frequent = frequencies > self.config.min_frequency
+        candidates = [s for s, keep in zip(deduped, frequent) if keep]
+        rows, usable = index.rows_matrix(candidates)
+        if rows.shape[0] == 0:
             raise EstimationError(
                 "Correlation-heuristic: no usable path-set equations"
             )
+        used: List[FrozenSet[int]] = [
+            s for s, keep in zip(candidates, usable) if keep
+        ]
+        system = EquationSystem(len(index))
+        system.add_batch(rows, np.log(frequencies[frequent][usable]))
         solution = system.solve(upper_bound=0.0)
         good = np.exp(np.minimum(solution.values, 0.0))
         estimates: Dict[FrozenSet[int], float] = {}
@@ -136,5 +132,7 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
             num_identifiable=int(solution.identifiable.sum()),
             residual=solution.residual,
             path_sets=used,
+            frequency_cache_hits=frequency.hits,
+            frequency_cache_misses=frequency.misses,
         )
         return self._attach_report(model, report)

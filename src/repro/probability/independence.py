@@ -28,8 +28,8 @@ from repro.probability.base import (
     FitReport,
     FrequencyCache,
     ProbabilityEstimator,
-    log_frequency_weight,
-    sampled_path_combinations,
+    log_frequency_weights,
+    shared_sampled_pool,
     singleton_path_sets,
 )
 from repro.probability.query import CongestionProbabilityModel
@@ -56,7 +56,6 @@ class IndependenceEstimator(ProbabilityEstimator):
         self, network: Network, observations: ObservationMatrix
     ) -> CongestionProbabilityModel:
         """Estimate per-link good probabilities from path observations."""
-        rng = self._rng()
         active = sorted(self._active_links(network, observations))
         always_good = frozenset(range(network.num_links)) - frozenset(active)
         frequency = FrequencyCache(observations)
@@ -65,42 +64,45 @@ class IndependenceEstimator(ProbabilityEstimator):
                 network, {}, {}, always_good_links=always_good, independent=True
             )
             return self._attach_report(model, FitReport())
-        position = {link: i for i, link in enumerate(active)}
 
         path_sets: List[FrozenSet[int]] = list(singleton_path_sets(observations))
         path_sets.extend(
-            sampled_path_combinations(
+            shared_sampled_pool(
                 network,
                 observations,
                 count=self.config.pair_sample,
                 max_size=self.config.path_set_max_size,
-                rng=rng,
+                seed=self.config.seed,
             )
         )
 
-        system = EquationSystem(len(active))
-        used: List[FrozenSet[int]] = []
-        for path_set in path_sets:
-            freq = frequency(path_set)
-            if freq <= self.config.min_frequency:
-                continue
-            links = network.links_covered(path_set) & frozenset(active)
-            if not links:
-                continue
-            row = np.zeros(len(active))
-            row[[position[e] for e in links]] = 1.0
-            weight = (
-                log_frequency_weight(freq, frequency.num_intervals)
-                if self.config.weighted
-                else 1.0
-            )
-            system.add(row, float(np.log(freq)), weight)
-            used.append(frozenset(path_set))
-        if not len(system):
+        # One batched frequency-kernel call for the whole pool, then a
+        # vectorized coverage pass builds every equation row at once.
+        frequencies = frequency.query_many(path_sets)
+        incidence = network.incidence[:, active]
+        coverage = np.zeros((len(path_sets), len(active)), dtype=bool)
+        for i, path_set in enumerate(path_sets):
+            coverage[i] = incidence[list(path_set)].any(axis=0)
+        usable = (frequencies > self.config.min_frequency) & coverage.any(axis=1)
+        if not usable.any():
             raise EstimationError(
                 "Independence: no usable path-set equations "
                 "(were all paths always congested?)"
             )
+        rows = coverage[usable].astype(float)
+        freqs = frequencies[usable]
+        weights = (
+            log_frequency_weights(freqs, frequency.num_intervals)
+            if self.config.weighted
+            else np.ones(len(freqs))
+        )
+        system = EquationSystem(len(active))
+        system.add_batch(rows, np.log(freqs), weights)
+        used: List[FrozenSet[int]] = [
+            frozenset(path_set)
+            for path_set, keep in zip(path_sets, usable)
+            if keep
+        ]
         solution = system.solve(upper_bound=0.0)
         good = np.exp(np.minimum(solution.values, 0.0))
         estimates: Dict[FrozenSet[int], float] = {}
@@ -122,5 +124,7 @@ class IndependenceEstimator(ProbabilityEstimator):
             num_identifiable=int(solution.identifiable.sum()),
             residual=solution.residual,
             path_sets=used,
+            frequency_cache_hits=frequency.hits,
+            frequency_cache_misses=frequency.misses,
         )
         return self._attach_report(model, report)

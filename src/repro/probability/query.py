@@ -16,6 +16,7 @@ flag. From these it answers the queries the paper's scenario needs:
 from __future__ import annotations
 
 from itertools import combinations
+from math import prod
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -132,9 +133,18 @@ class CongestionProbabilityModel:
         if reduced is None:
             return 1.0
         if self.independent:
-            return float(
-                np.prod([self._good.get(frozenset({e}), 1.0) for e in reduced])
+            return prod(
+                (self._good.get(frozenset({e}), 1.0) for e in reduced), start=1.0
             )
+        if len(reduced) == 1:
+            # Fast path for the dominant query (per-link marginals): a
+            # stored singleton is its own intersection with its correlation
+            # set, so the set sweep below is unnecessary.
+            stored = self._good.get(reduced)
+            if stored is not None and (
+                not strict or self._identifiable.get(reduced, False)
+            ):
+                return stored
         total = 1.0
         for members in self.network.correlation_sets:
             part = frozenset(members) & reduced
@@ -146,8 +156,9 @@ class CongestionProbabilityModel:
                     raise IdentifiabilityError(
                         f"P(all good) of {sorted(part)} is not identifiable"
                     )
-                stored = float(
-                    np.prod([self._good.get(frozenset({e}), 1.0) for e in part])
+                stored = prod(
+                    (self._good.get(frozenset({e}), 1.0) for e in part),
+                    start=1.0,
                 )
             total *= stored
         return float(total)

@@ -50,6 +50,24 @@ def potentially_congested_links(
     return frozenset(range(network.num_links)) - surely_good
 
 
+def _mask_of(links: Iterable[int]) -> int:
+    """Integer bitmask with bit ``e`` set for every link ``e``."""
+    mask = 0
+    for link_index in links:
+        mask |= 1 << link_index
+    return mask
+
+
+def _links_of_mask(mask: int) -> FrozenSet[int]:
+    """Inverse of :func:`_mask_of`."""
+    links = []
+    while mask:
+        low = mask & -mask
+        links.append(low.bit_length() - 1)
+        mask ^= low
+    return frozenset(links)
+
+
 class SubsetIndex:
     """Frozen ordering ``E^`` of admitted potentially-congested subsets.
 
@@ -80,10 +98,14 @@ class SubsetIndex:
         if len(self._position) != len(self.subsets):
             raise EstimationError("SubsetIndex: duplicate subsets in ordering")
         self._correlation_set_of: Dict[FrozenSet[int], FrozenSet[int]] = {}
-        active_sets = self.active_correlation_sets()
+        self._active_sets: List[FrozenSet[int]] = [
+            frozenset(c & active_links)
+            for c in network.correlation_sets
+            if c & active_links
+        ]
         for subset in self.subsets:
             owner = None
-            for members in active_sets:
+            for members in self._active_sets:
                 if subset <= members:
                     owner = members
                     break
@@ -92,6 +114,17 @@ class SubsetIndex:
                     f"subset {sorted(subset)} crosses correlation-set boundaries"
                 )
             self._correlation_set_of[subset] = owner
+        # Bitmask mirrors of the frozenset structures: decomposing a path
+        # set into Eq. 1 unknowns becomes a few integer AND/ORs instead of
+        # per-query frozenset algebra.
+        self._active_mask = _mask_of(active_links)
+        self._set_masks = [_mask_of(members) for members in self._active_sets]
+        self._position_by_mask: Dict[int, int] = {
+            _mask_of(subset): i for i, subset in enumerate(self.subsets)
+        }
+        self._path_masks = network.path_link_masks()
+        self._selector_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._decompose_cache: Dict[FrozenSet[int], Optional[Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -138,12 +171,26 @@ class SubsetIndex:
                         break
                 if max_requested_per_set is not None and count >= max_requested_per_set:
                     break
+        # Mask arithmetic for the candidate sweep: the pool may hold
+        # thousands of path sets, and each only needs a few integer ANDs.
+        path_masks = network.path_link_masks()
+        active_mask = _mask_of(active_links)
+        set_masks = [_mask_of(members) for members in active_sets]
+        known_parts: Dict[int, FrozenSet[int]] = {}
         for path_set in candidate_path_sets:
-            links = network.links_covered(path_set) & active_links
-            for members in active_sets:
-                part = links & members
-                if part and len(part) <= hard_subset_cap:
-                    admit(part)
+            links_mask = 0
+            for path_index in path_set:
+                links_mask |= path_masks[path_index]
+            links_mask &= active_mask
+            for set_mask in set_masks:
+                part_mask = links_mask & set_mask
+                if not part_mask or part_mask.bit_count() > hard_subset_cap:
+                    continue
+                part = known_parts.get(part_mask)
+                if part is None:
+                    part = _links_of_mask(part_mask)
+                    known_parts[part_mask] = part
+                admit(part)
         return cls(network, active_links, list(admitted))
 
     # ------------------------------------------------------------------
@@ -164,11 +211,7 @@ class SubsetIndex:
 
     def active_correlation_sets(self) -> List[FrozenSet[int]]:
         """Correlation sets restricted to active links (non-empty only)."""
-        return [
-            frozenset(c & self.active_links)
-            for c in self.network.correlation_sets
-            if c & self.active_links
-        ]
+        return list(self._active_sets)
 
     def complement(self, subset: FrozenSet[int]) -> FrozenSet[int]:
         """The paper's complement: the rest of the (active) correlation set.
@@ -187,18 +230,36 @@ class SubsetIndex:
 
         Returns ``None`` when the equation would touch a subset outside the
         index (the row is unusable). The empty path set decomposes to no
-        unknowns.
+        unknowns. Memoised per path set: the estimators revisit the same
+        sets across selection, redundancy, and solve passes.
         """
-        links = self.network.links_covered(path_set) & self.active_links
+        key = (
+            path_set
+            if isinstance(path_set, frozenset)
+            else frozenset(path_set)
+        )
+        try:
+            cached = self._decompose_cache[key]
+        except KeyError:
+            pass
+        else:
+            return None if cached is None else list(cached)
+        path_masks = self._path_masks
+        links_mask = 0
+        for path_index in key:
+            links_mask |= path_masks[path_index]
+        links_mask &= self._active_mask
         positions: List[int] = []
-        for members in self.active_correlation_sets():
-            part = links & members
+        for set_mask in self._set_masks:
+            part = links_mask & set_mask
             if not part:
                 continue
-            position = self._position.get(part)
+            position = self._position_by_mask.get(part)
             if position is None:
+                self._decompose_cache[key] = None
                 return None
             positions.append(position)
+        self._decompose_cache[key] = tuple(positions)
         return positions
 
     def row(self, path_set: Iterable[int]) -> Optional[np.ndarray]:
@@ -210,13 +271,44 @@ class SubsetIndex:
         row[positions] = 1.0
         return row
 
+    def rows_matrix(
+        self, path_sets: Sequence[Iterable[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``Matrix(P^, E^)`` for the *usable* path sets of a batch.
+
+        Returns ``(matrix, usable)`` where ``usable`` is a boolean mask of
+        length ``len(path_sets)`` and ``matrix`` has one row per usable path
+        set, in batch order. Unusable rows (touching subsets outside the
+        index, or touching no unknown at all) are dropped from the matrix.
+        """
+        usable = np.zeros(len(path_sets), dtype=bool)
+        flat_positions: List[int] = []
+        row_lengths: List[int] = []
+        for i, path_set in enumerate(path_sets):
+            positions = self.decompose(path_set)
+            if not positions:
+                continue
+            usable[i] = True
+            flat_positions.extend(positions)
+            row_lengths.append(len(positions))
+        matrix = np.zeros((len(row_lengths), len(self.subsets)))
+        if row_lengths:
+            row_ids = np.repeat(np.arange(len(row_lengths)), row_lengths)
+            matrix[row_ids, flat_positions] = 1.0
+        return matrix, usable
+
     def paths_selector(self, subset: FrozenSet[int]) -> FrozenSet[int]:
         """The paper's path-set primitive ``Paths(E) \\ Paths(complement(E))``.
 
         Paths that traverse ``subset`` but avoid the rest of its correlation
         set, so Eq. 1 applied to them intersects the correlation set in
-        exactly ``subset``.
+        exactly ``subset``. Memoised: Algorithm 1 revisits subsets many
+        times while growing rank.
         """
-        return self.network.paths_covering(subset) - self.network.paths_covering(
-            self.complement(subset)
-        )
+        cached = self._selector_cache.get(subset)
+        if cached is None:
+            cached = self.network.paths_covering(
+                subset
+            ) - self.network.paths_covering(self.complement(subset))
+            self._selector_cache[subset] = cached
+        return cached

@@ -25,21 +25,54 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ScenarioError
+from repro.model.packed import PackedBackend, pack_bool_matrix
 from repro.model.status import ObservationMatrix
 from repro.simulation.loss import LossModel
 from repro.topology.graph import Network
 from repro.util.rng import RandomState, as_generator
+
+#: Interval block size for chunked packed emission (a multiple of 64 so
+#: chunk word boundaries align). Horizons at or below this are simulated in
+#: one pass; longer horizons never materialise the full dense matrix.
+EMIT_CHUNK_INTERVALS = 16384
+
+# Word-concatenation in _packed_observation is only correct when every
+# block except the last fills whole uint64 words; fail loudly if the chunk
+# size is ever changed to break that.
+assert EMIT_CHUNK_INTERVALS % 64 == 0
+
+
+def _packed_observation(blocks, num_paths: int) -> ObservationMatrix:
+    """Assemble per-chunk boolean blocks into a packed ObservationMatrix."""
+    words = []
+    total = 0
+    for block in blocks:
+        words.append(pack_bool_matrix(block))
+        total += block.shape[0]
+    if not words:
+        return ObservationMatrix(np.zeros((0, num_paths), dtype=bool))
+    return ObservationMatrix.from_backend(
+        PackedBackend(np.concatenate(words, axis=1), total)
+    )
 
 
 def oracle_path_status(network: Network, link_states: np.ndarray) -> ObservationMatrix:
     """Perfect observations: path congested iff some traversed link is.
 
     This is Separability (Assumption 1) applied with a perfect monitor; it
-    bypasses packet sampling entirely.
+    bypasses packet sampling entirely. Observations are emitted directly
+    into the packed backend, chunk by chunk, so a long horizon never holds
+    the full dense (T, paths) matrix in memory.
     """
     link_states = np.asarray(link_states, dtype=bool)
-    congested = link_states @ network.incidence.T.astype(np.uint8) > 0
-    return ObservationMatrix(congested)
+    # int64 accumulator: a bool @ uint8 matmul stays uint8 and would wrap
+    # the per-path congested-link count at 256 on very long paths.
+    incidence_t = network.incidence.T.astype(np.int64)
+    blocks = (
+        link_states[start : start + EMIT_CHUNK_INTERVALS] @ incidence_t > 0
+        for start in range(0, link_states.shape[0], EMIT_CHUNK_INTERVALS)
+    )
+    return _packed_observation(blocks, network.num_paths)
 
 
 @dataclass
@@ -84,17 +117,32 @@ class PathProber:
                 "link_states width does not match the network's link count"
             )
         rng = as_generator(random_state)
-        loss = self.loss_model.assign(link_states, rng)
-        # Per-path transmission rate: product of (1 - loss) over traversed
-        # links, computed in log space against the incidence matrix.
-        log_forward = np.log1p(-np.clip(loss, 0.0, 1.0 - 1e-12))
-        path_log_rate = log_forward @ network.incidence.T.astype(float)
-        rates = np.exp(path_log_rate)
-        delivered = rng.binomial(self.num_packets, rates)
-        measured_loss = 1.0 - delivered / float(self.num_packets)
+        incidence_t = network.incidence.T.astype(float)
         lengths = network.path_lengths()
         thresholds = np.array(
             [self.loss_model.path_good_threshold(int(d)) for d in lengths]
         )
-        congested = measured_loss > thresholds[None, :]
-        return ObservationMatrix(congested)
+
+        def probe_block(states: np.ndarray) -> np.ndarray:
+            loss = self.loss_model.assign(states, rng)
+            # Per-path transmission rate: product of (1 - loss) over
+            # traversed links, computed in log space against the incidence
+            # matrix.
+            log_forward = np.log1p(-np.clip(loss, 0.0, 1.0 - 1e-12))
+            rates = np.exp(log_forward @ incidence_t)
+            delivered = rng.binomial(self.num_packets, rates)
+            measured_loss = 1.0 - delivered / float(self.num_packets)
+            return measured_loss > thresholds[None, :]
+
+        # Horizons beyond the chunk size are probed block-by-block and
+        # packed as they are produced, bounding peak memory at one chunk of
+        # dense intermediates regardless of T. Chunking interleaves the
+        # loss/delivery draws per block, so for T > EMIT_CHUNK_INTERVALS a
+        # seed reproduces this chunked stream (not the single-pass one);
+        # horizons at or below the chunk size draw identically to a
+        # single pass.
+        blocks = (
+            probe_block(link_states[start : start + EMIT_CHUNK_INTERVALS])
+            for start in range(0, link_states.shape[0], EMIT_CHUNK_INTERVALS)
+        )
+        return _packed_observation(blocks, network.num_paths)

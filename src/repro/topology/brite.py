@@ -116,7 +116,9 @@ def build_router_internet(
     for asn in range(config.num_ases):
         subgraph, routers = _waxman_as_graph(config, asn, next_router, rng)
         next_router += config.routers_per_as
-        full = nx.union(full, subgraph)
+        # Router ids are globally fresh, so an in-place update equals
+        # nx.union (which would re-copy the accumulated graph per AS).
+        full.update(subgraph)
         routers_of[asn] = routers
         for router in routers:
             asn_of[router] = asn

@@ -123,6 +123,7 @@ class Network:
             frozenset(np.flatnonzero(self._incidence[:, e]).tolist())
             for e in range(self.num_links)
         ]
+        self._path_link_masks: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -214,6 +215,24 @@ class Network:
             return frozenset()
         mask = self._incidence[indices].any(axis=0)
         return frozenset(np.flatnonzero(mask).tolist())
+
+    def path_link_masks(self) -> List[int]:
+        """Per-path link coverage as integer bitmasks (bit ``e`` = link ``e``).
+
+        Coverage unions over a path set reduce to bitwise ORs of these
+        masks, which is how the estimation stack builds equation rows
+        without materialising frozensets per query. Computed once per
+        network and cached.
+        """
+        if self._path_link_masks is None:
+            masks = []
+            for path in self.paths:
+                mask = 0
+                for link_index in path.links:
+                    mask |= 1 << link_index
+                masks.append(mask)
+            self._path_link_masks = masks
+        return self._path_link_masks
 
     def paths_through_all(self, link_set: Iterable[int]) -> FrozenSet[int]:
         """Paths traversing *every* link of ``link_set`` (used by Condition 1)."""

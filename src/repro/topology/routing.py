@@ -53,6 +53,95 @@ def load_balanced_route(
     return tuple(routes[int(rng.integers(0, len(routes)))])
 
 
+class RouteOracle:
+    """Memoised route computation for repeated-source probing campaigns.
+
+    Traceroute campaigns probe from a handful of vantage routers toward
+    hundreds of destinations; recomputing a BFS per probe dominates topology
+    generation. The oracle caches, per source, the unweighted predecessor
+    DAG (one BFS serving every destination's ECMP route enumeration) and,
+    per (source, target) pair, the deterministic shortest route — producing
+    routes identical to :func:`shortest_route` / :func:`load_balanced_route`
+    call-for-call.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.graph = graph
+        self._shortest: dict = {}
+        self._ecmp: dict = {}
+        self._predecessors: dict = {}
+
+    def shortest(self, source: int, target: int) -> Optional[RouterRoute]:
+        """Cached :func:`shortest_route`."""
+        key = (source, target)
+        try:
+            return self._shortest[key]
+        except KeyError:
+            route = shortest_route(self.graph, source, target)
+            self._shortest[key] = route
+            return route
+
+    def _equal_cost_routes(
+        self, source: int, target: int
+    ) -> Optional[List[RouterRoute]]:
+        key = (source, target)
+        try:
+            return self._ecmp[key]
+        except KeyError:
+            pass
+        try:
+            # Private networkx helper: exactly the enumeration
+            # all_shortest_paths performs on its internally-computed
+            # predecessor map, which lets one BFS per source serve every
+            # target. Fall back to the public API if it moves.
+            from networkx.algorithms.shortest_paths.generic import (
+                _build_paths_from_predecessors,
+            )
+        except ImportError:
+            _build_paths_from_predecessors = None
+        routes: Optional[List[RouterRoute]] = None
+        if _build_paths_from_predecessors is None:
+            try:
+                routes = [
+                    tuple(p)
+                    for p in nx.all_shortest_paths(self.graph, source, target)
+                ]
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                routes = None
+        else:
+            pred = self._predecessors.get(source)
+            if pred is None:
+                try:
+                    pred = nx.predecessor(self.graph, source)
+                except nx.NodeNotFound:
+                    pred = {}
+                self._predecessors[source] = pred
+            if target in pred:
+                routes = [
+                    tuple(p)
+                    for p in _build_paths_from_predecessors(
+                        {source}, target, pred
+                    )
+                ]
+        self._ecmp[key] = routes
+        return routes
+
+    def load_balanced(
+        self, source: int, target: int, random_state: RandomState = None
+    ) -> Optional[RouterRoute]:
+        """Cached-enumeration :func:`load_balanced_route`.
+
+        The ECMP route list is enumerated once per pair; the per-probe
+        random pick draws from the generator exactly as the uncached
+        version does.
+        """
+        rng = as_generator(random_state)
+        routes = self._equal_cost_routes(source, target)
+        if routes is None:
+            return None
+        return routes[int(rng.integers(0, len(routes)))]
+
+
 def route_links(route: RouterRoute) -> List[Tuple[int, int]]:
     """Return the router-level (directed) edges traversed by ``route``."""
     return [(route[i], route[i + 1]) for i in range(len(route) - 1)]

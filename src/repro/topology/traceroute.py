@@ -37,7 +37,7 @@ from repro.exceptions import TopologyError
 from repro.topology.aslevel import AsLevelBuilder
 from repro.topology.brite import BriteConfig, build_router_internet, _dedupe_paths
 from repro.topology.graph import Network
-from repro.topology.routing import load_balanced_route, shortest_route
+from repro.topology.routing import RouteOracle
 from repro.util.rng import RandomState, as_generator, derive_rng
 
 
@@ -131,6 +131,9 @@ def generate_sparse_network(
 
     builder = AsLevelBuilder(asn_of, source_asn=source_asn, include_source_as=False)
     campaign = TracerouteCampaign()
+    # Routes repeat across probes (few vantage points, reused targets);
+    # the oracle memoises BFS work while leaving the RNG stream untouched.
+    oracle = RouteOracle(graph)
     for _ in range(config.num_probes):
         if builder.num_routes >= config.max_kept_paths:
             break
@@ -138,9 +141,9 @@ def generate_sparse_network(
         source = int(probe_rng.choice(vantage))
         destination = int(probe_rng.choice(other_routers))
         if probe_rng.random() < config.load_balance_prob:
-            route = load_balanced_route(graph, source, destination, probe_rng)
+            route = oracle.load_balanced(source, destination, probe_rng)
         else:
-            route = shortest_route(graph, source, destination)
+            route = oracle.shortest(source, destination)
         if route is None:
             campaign.unroutable += 1
             continue

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+import zlib
+
 import numpy as np
 
 #: Anything acceptable as a source of randomness in the public API.
@@ -42,6 +44,17 @@ def derive_rng(parent: RandomState, stream: int) -> np.random.Generator:
     else:
         seed = int(parent)
     return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(stream,)))
+
+
+def stable_hash(label: object) -> int:
+    """Process-stable 31-bit hash of a label (or tuple of labels).
+
+    ``hash()`` on strings is randomized per interpreter process
+    (PYTHONHASHSEED), which silently made experiment sub-streams — and
+    therefore every figure — vary from run to run. CRC32 of the repr is
+    stable everywhere.
+    """
+    return zlib.crc32(repr(label).encode()) & 0x7FFFFFFF
 
 
 def spawn_seeds(seed: Optional[int], count: int) -> List[int]:
