@@ -12,6 +12,12 @@ per-window congestion series with the detected change point — the
 monitoring dashboard the paper's scenario calls for, built purely from
 end-to-end measurements.
 
+This is the *batch* (after-the-fact) pipeline; see
+``examples/live_monitoring.py`` for the same day driven through the
+streaming engine (``repro.streaming``), which refits incrementally while
+the rounds arrive and raises the flash-crowd alert within one window of
+its onset.
+
 Run:  python examples/congestion_timeline.py
 """
 

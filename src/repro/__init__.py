@@ -54,6 +54,13 @@ from repro.inference import (
     BayesianIndependenceInference,
     SparsityInference,
 )
+from repro.streaming import (
+    Alert,
+    AlertManager,
+    AlertPolicy,
+    PackedRingBuffer,
+    StreamingEstimator,
+)
 
 __version__ = "1.0.0"
 
@@ -81,5 +88,10 @@ __all__ = [
     "SparsityInference",
     "BayesianIndependenceInference",
     "BayesianCorrelationInference",
+    "Alert",
+    "AlertManager",
+    "AlertPolicy",
+    "PackedRingBuffer",
+    "StreamingEstimator",
     "__version__",
 ]

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: regenerate the paper's tables and figures,
+or run the live monitoring engine.
 
 Usage::
 
@@ -6,6 +7,11 @@ Usage::
     repro-tomography figure4 [--scale small|paper] [--seed N] [--oracle]
     repro-tomography table2
     repro-tomography scaling [--scale small|paper] [--seed N]
+    repro-tomography ablation [--scale small|paper] [--seed N]
+    repro-tomography monitor [--scale small|paper] [--seed N] [--oracle]
+                             [--intervals T] [--window W] [--stride S]
+                             [--chunk C] [--checkpoint PATH]
+    repro-tomography --version
 """
 
 from __future__ import annotations
@@ -22,6 +28,18 @@ from repro.metrics.reporting import format_table
 from repro.model.assumptions import TABLE2_MATRIX, table2_rows
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-tomography")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tomography",
@@ -29,6 +47,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduce the experiments of 'Shifting Network Tomography "
             "Toward A Practical Goal' (CoNEXT 2011)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for figure in ("figure3", "figure4"):
@@ -49,6 +72,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--scale", choices=sorted(SCALES), default="small")
     sub.add_argument("--seed", type=int, default=5)
+    sub = subparsers.add_parser(
+        "monitor",
+        help="stream a live scenario through the incremental estimator",
+    )
+    sub.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sub.add_argument("--seed", type=int, default=11)
+    sub.add_argument(
+        "--oracle",
+        action="store_true",
+        help="use noise-free path observations",
+    )
+    sub.add_argument(
+        "--intervals", type=int, default=None,
+        help="rounds to stream (default: the scale's horizon)",
+    )
+    sub.add_argument("--window", type=int, default=128)
+    sub.add_argument("--stride", type=int, default=None)
+    sub.add_argument(
+        "--chunk", type=int, default=16,
+        help="probe rounds ingested per batch (1 = strictly round-by-round)",
+    )
+    sub.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="write engine state to this path when the stream ends",
+    )
+    sub.add_argument(
+        "--top", type=int, default=5,
+        help="peers shown per refit line",
+    )
     return parser
 
 
@@ -98,6 +150,78 @@ def _print_scaling(args: argparse.Namespace) -> None:
     print(result.to_table())
 
 
+def _run_monitor(args: argparse.Namespace) -> None:
+    from repro.probability.correlation_complete import CorrelationCompleteEstimator
+    from repro.probability.base import EstimatorConfig
+    from repro.probability.windowed import peer_link_members
+    from repro.simulation.probing import PathProber, StreamingProber
+    from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+    from repro.streaming import (
+        AlertManager,
+        AlertPolicy,
+        StreamingEstimator,
+        peer_congestion_levels,
+    )
+    from repro.streaming.checkpoint import save_checkpoint
+    from repro.topology.brite import generate_brite_network
+    from repro.util.rng import derive_rng
+
+    scale = scale_by_name(args.scale)
+    intervals = args.intervals if args.intervals is not None else scale.num_intervals
+    network = generate_brite_network(scale.brite, random_state=args.seed)
+    scenario = build_scenario(
+        network,
+        ScenarioConfig(kind=ScenarioKind.NO_STATIONARITY),
+        random_state=derive_rng(args.seed, 1),
+    )
+    prober = None if args.oracle else PathProber(num_packets=scale.num_packets)
+    source = StreamingProber(
+        network,
+        scenario.ground_truth,
+        prober=prober,
+        chunk_intervals=args.chunk,
+    )
+    engine = StreamingEstimator(
+        network,
+        CorrelationCompleteEstimator(EstimatorConfig(seed=args.seed)),
+        window=args.window,
+        stride=args.stride,
+        alert_manager=AlertManager(network, AlertPolicy()),
+    )
+    members = peer_link_members(network)
+    print(
+        f"monitoring {network.num_paths} paths over {network.num_links} links "
+        f"in {len(members)} ASes; window={engine.window} stride={engine.stride}"
+    )
+    reported = 0
+    for chunk in source.rounds(intervals, random_state=derive_rng(args.seed, 2)):
+        for estimate in engine.ingest(chunk):
+            levels = sorted(
+                (
+                    (level, asn)
+                    for asn, level in peer_congestion_levels(
+                        estimate.model, members
+                    ).items()
+                ),
+                reverse=True,
+            )
+            series = "  ".join(
+                f"AS{asn}:{level:.2f}" for level, asn in levels[: args.top]
+            )
+            print(f"[{estimate.start:5d},{estimate.stop:5d})  {series}")
+        for alert in engine.alerts[reported:]:
+            print(f"  ALERT {alert.message}")
+        reported = len(engine.alerts)
+    print(
+        f"\n{engine.refits} refits over {engine.intervals_ingested} rounds; "
+        f"frequency cache {engine.cache_hits} hits / "
+        f"{engine.cache_misses} misses; {len(engine.alerts)} alerts"
+    )
+    if args.checkpoint:
+        path = save_checkpoint(engine, args.checkpoint)
+        print(f"engine state checkpointed to {path}")
+
+
 def _print_ablation(args: argparse.Namespace) -> None:
     from repro.experiments.ablation import run_ablation
 
@@ -120,6 +244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_scaling(args)
     elif args.command == "ablation":
         _print_ablation(args)
+    elif args.command == "monitor":
+        _run_monitor(args)
     return 0
 
 

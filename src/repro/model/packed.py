@@ -88,7 +88,12 @@ class PackedBackend:
     name = "packed"
 
     def __init__(self, words: np.ndarray, num_intervals: int) -> None:
-        words = np.ascontiguousarray(words, dtype=np.uint64)
+        # `asarray` (not `ascontiguousarray`): a non-contiguous column view
+        # of a larger word store — e.g. a window of the streaming ring
+        # buffer — is accepted zero-copy. Every kernel below either works on
+        # strided arrays directly or makes a bounded local copy of the
+        # touched word range.
+        words = np.asarray(words, dtype=np.uint64)
         if words.ndim != 2:
             raise ValueError("PackedBackend expects a 2-D (paths, words) array")
         if num_intervals > words.shape[1] * WORD_BITS:
@@ -123,9 +128,13 @@ class PackedBackend:
         """Boolean vector over paths for one interval ``t``."""
         if not 0 <= interval < self._num_intervals:
             raise IndexError(f"interval {interval} outside horizon")
-        byte_index, bit_index = divmod(interval, 8)
-        column = self.words.view(np.uint8)[:, byte_index]
-        return (column >> np.uint8(7 - bit_index)) & np.uint8(1) > 0
+        word_index, bit_in_word = divmod(interval, WORD_BITS)
+        # One word column is copied (contiguity-safe for strided views);
+        # the byte/bit split mirrors pack_bool_matrix's MSB-first layout.
+        column = np.ascontiguousarray(self.words[:, word_index : word_index + 1])
+        byte_index, bit_index = divmod(bit_in_word, 8)
+        byte_column = column.view(np.uint8)[:, byte_index]
+        return (byte_column >> np.uint8(7 - bit_index)) & np.uint8(1) > 0
 
     def congestion_counts(self) -> np.ndarray:
         """Per-path congested-interval counts, shape (num_paths,)."""
@@ -189,12 +198,17 @@ class PackedBackend:
             window = self.words[:, first_word : first_word + num_words].copy()
             window &= _tail_mask(length, num_words)
         else:
-            # Unaligned window: unpack only the touched byte range, slice
+            # Unaligned window: unpack only the touched word range, slice
             # at bit granularity, and repack — still no dense (T, paths)
             # matrix and no re-scan of the full horizon.
+            last_word = -(-stop // WORD_BITS)
+            touched = np.ascontiguousarray(self.words[:, first_word:last_word])
             byte_start = start // 8
             byte_stop = -(-stop // 8)
-            raw = self.words.view(np.uint8)[:, byte_start:byte_stop]
+            word_byte0 = first_word * WORD_BYTES
+            raw = touched.view(np.uint8)[
+                :, byte_start - word_byte0 : byte_stop - word_byte0
+            ]
             bits = np.unpackbits(np.ascontiguousarray(raw), axis=1)
             head = start - byte_start * 8
             packed = np.packbits(bits[:, head : head + length], axis=1)

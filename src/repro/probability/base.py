@@ -17,7 +17,17 @@ from __future__ import annotations
 import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -155,6 +165,11 @@ class FrequencyCache:
         self._observations = observations
         self._cache: Dict[FrozenSet[int], float] = {}
         self._max_entries = max_entries
+        # Keys accessed since the last reset_touched(), in first-touch
+        # order (a dict used as an ordered set). ``None`` = tracking off
+        # (the default), so ordinary fits pay neither time nor memory;
+        # reset_touched() switches it on.
+        self._touched: Optional[Dict[FrozenSet[int], None]] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -175,6 +190,8 @@ class FrequencyCache:
 
     def __call__(self, path_set: Iterable[int]) -> float:
         key = frozenset(path_set)
+        if self._touched is not None:
+            self._touched[key] = None
         value = self._cache.get(key)
         if value is None:
             self.misses += 1
@@ -193,6 +210,9 @@ class FrequencyCache:
         keys = [frozenset(path_set) for path_set in path_sets]
         resolved: Dict[FrozenSet[int], float] = {}
         missing: List[FrozenSet[int]] = []
+        if self._touched is not None:
+            for key in keys:
+                self._touched[key] = None
         for key in keys:
             if key in resolved:
                 continue
@@ -213,6 +233,27 @@ class FrequencyCache:
     def prefetch(self, path_sets: Sequence[Iterable[int]]) -> None:
         """Warm the memo for ``path_sets`` without returning values."""
         self.query_many(path_sets)
+
+    def reset_touched(self) -> None:
+        """Start (or restart) access tracking from an empty touched set.
+
+        Tracking is off by default so ordinary fits keep the documented
+        bounded-memory behaviour; callers that need the access trace (the
+        streaming engine, between prefetch and fit) switch it on here and
+        clear it with the same call on each reuse.
+        """
+        self._touched = {}
+
+    def touched_keys(self) -> List[FrozenSet[int]]:
+        """Path sets accessed since the last :meth:`reset_touched`.
+
+        The streaming engine prefetches the previous workload, resets, and
+        harvests these after the fit — so the carried workload is exactly
+        the frequency queries the fit actually made, and path sets the
+        estimator no longer needs fall out instead of accumulating.
+        Empty when tracking was never enabled.
+        """
+        return list(self._touched) if self._touched is not None else []
 
 
 def log_frequency_weight(frequency: float, num_intervals: int) -> float:
@@ -377,6 +418,20 @@ class ProbabilityEstimator(ABC):
         # weighted=False) never leak into a config shared between estimators.
         self.config = replace(config) if config is not None else EstimatorConfig()
         self.config.validate()
+        #: Optional hook: a callable mapping an :class:`ObservationMatrix`
+        #: to the :class:`FrequencyCache` the fit should use. The streaming
+        #: engine injects pre-warmed caches here so overlapping windowed
+        #: refits skip re-deriving frequencies the previous window already
+        #: computed. ``None`` (the default) builds a cold cache per fit.
+        self.frequency_factory: Optional[
+            Callable[[ObservationMatrix], FrequencyCache]
+        ] = None
+
+    def _make_frequency(self, observations: ObservationMatrix) -> FrequencyCache:
+        """The frequency cache backing one fit (honours the injection hook)."""
+        if self.frequency_factory is not None:
+            return self.frequency_factory(observations)
+        return FrequencyCache(observations)
 
     @abstractmethod
     def fit(

@@ -68,7 +68,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             in every interval).
         """
         active = self._active_links(network, observations)
-        frequency = FrequencyCache(observations)
+        frequency = self._make_frequency(observations)
         always_good = frozenset(range(network.num_links)) - active
         if not active:
             model = CongestionProbabilityModel(

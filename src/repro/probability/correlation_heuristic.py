@@ -57,7 +57,7 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
         """Estimate per-link good probabilities with joint nuisance unknowns."""
         active = self._active_links(network, observations)
         always_good = frozenset(range(network.num_links)) - active
-        frequency = FrequencyCache(observations)
+        frequency = self._make_frequency(observations)
         if not active:
             model = CongestionProbabilityModel(
                 network, {}, {}, always_good_links=always_good

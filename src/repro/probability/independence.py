@@ -58,7 +58,7 @@ class IndependenceEstimator(ProbabilityEstimator):
         """Estimate per-link good probabilities from path observations."""
         active = sorted(self._active_links(network, observations))
         always_good = frozenset(range(network.num_links)) - frozenset(active)
-        frequency = FrequencyCache(observations)
+        frequency = self._make_frequency(observations)
         if not active:
             model = CongestionProbabilityModel(
                 network, {}, {}, always_good_links=always_good, independent=True

@@ -17,7 +17,7 @@ per-interval diagnosis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,19 @@ class WindowEstimate:
     model: CongestionProbabilityModel
 
 
+def peer_link_members(network: Network) -> Dict[int, List[int]]:
+    """Monitored link indices grouped by owning AS, in index order.
+
+    The per-peer view every monitoring surface needs (timeline series,
+    streaming alert routing, peer reports); computed with one sweep over
+    the link table.
+    """
+    members: Dict[int, List[int]] = {}
+    for link in network.links:
+        members.setdefault(link.asn, []).append(link.index)
+    return members
+
+
 @dataclass
 class CongestionTimeline:
     """Per-window congestion-probability estimates over a horizon.
@@ -52,6 +65,11 @@ class CongestionTimeline:
 
     network: Network
     windows: List[WindowEstimate] = field(default_factory=list)
+    #: Lazily-built link-members-per-AS map (one link-table sweep, reused
+    #: by every ``peer_series`` call instead of rescanning per peer).
+    _peer_members: Optional[Dict[int, List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def link_series(self, link: int) -> np.ndarray:
         """Congestion probability of ``link`` per window, shape (windows,)."""
@@ -72,7 +90,9 @@ class CongestionTimeline:
         The source ISP's per-peer health signal: the most congested
         monitored link inside the peer, per window.
         """
-        members = [link.index for link in self.network.links if link.asn == asn]
+        if self._peer_members is None:
+            self._peer_members = peer_link_members(self.network)
+        members = self._peer_members.get(asn, [])
         if not members:
             raise EstimationError(f"no monitored links in AS {asn}")
         series = np.array(
@@ -97,7 +117,7 @@ class CongestionTimeline:
             if abs(series[i + 1] - series[i]) > threshold
         ]
 
-    def window_spans(self) -> List[tuple]:
+    def window_spans(self) -> List[Tuple[int, int]]:
         """The [start, stop) interval span of each window."""
         return [(w.start, w.stop) for w in self.windows]
 

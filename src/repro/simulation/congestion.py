@@ -26,7 +26,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -91,6 +100,25 @@ class GroundTruth:
     def sample(self, num_intervals: int, random_state: RandomState = None) -> np.ndarray:
         """Draw link states; boolean matrix of shape (T, num_links)."""
         raise NotImplementedError
+
+    def sample_stream(
+        self,
+        chunk_intervals: int,
+        random_state: RandomState = None,
+    ) -> "Iterator[np.ndarray]":
+        """Endless stream of link-state blocks of ``chunk_intervals`` rows.
+
+        The streaming monitor's ground-truth source: unlike repeated
+        :meth:`sample` calls, the stream carries sampling state across
+        chunks (epoch phase for non-stationary truths), so concatenating
+        the yielded blocks reproduces one long :meth:`sample` draw from the
+        same generator regardless of how the horizon is chunked.
+        """
+        if chunk_intervals < 1:
+            raise ScenarioError("chunk_intervals must be >= 1")
+        rng = as_generator(random_state)
+        while True:
+            yield self.sample(chunk_intervals, rng)
 
 
 class CongestionModel(GroundTruth):
@@ -212,6 +240,36 @@ class NonStationaryModel(GroundTruth):
             produced += take
             epoch_index += 1
         return np.vstack(blocks)
+
+    def sample_stream(
+        self,
+        chunk_intervals: int,
+        random_state: RandomState = None,
+    ) -> Iterator[np.ndarray]:
+        """Epoch-stateful chunked sampling (see :meth:`GroundTruth.sample_stream`).
+
+        The epoch cursor persists across yielded chunks, so the stream walks
+        the epoch schedule exactly once end to end — chunk boundaries never
+        reset the phase the way repeated :meth:`sample` calls would.
+        """
+        if chunk_intervals < 1:
+            raise ScenarioError("chunk_intervals must be >= 1")
+        rng = as_generator(random_state)
+        epoch_index = 0
+        remaining = self.epochs[0][1]
+        while True:
+            blocks: List[np.ndarray] = []
+            produced = 0
+            while produced < chunk_intervals:
+                model, _ = self.epochs[epoch_index % len(self.epochs)]
+                take = min(remaining, chunk_intervals - produced)
+                blocks.append(model.sample(take, rng))
+                produced += take
+                remaining -= take
+                if remaining == 0:
+                    epoch_index += 1
+                    remaining = self.epochs[epoch_index % len(self.epochs)][1]
+            yield blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
     def correlated_groups(self) -> List[FrozenSet[int]]:
         """Union of per-epoch correlated groups."""

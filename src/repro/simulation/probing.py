@@ -21,12 +21,14 @@ algorithmic error from measurement error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.exceptions import ScenarioError
 from repro.model.packed import PackedBackend, pack_bool_matrix
 from repro.model.status import ObservationMatrix
+from repro.simulation.congestion import GroundTruth
 from repro.simulation.loss import LossModel
 from repro.topology.graph import Network
 from repro.util.rng import RandomState, as_generator
@@ -116,24 +118,7 @@ class PathProber:
             raise ScenarioError(
                 "link_states width does not match the network's link count"
             )
-        rng = as_generator(random_state)
-        incidence_t = network.incidence.T.astype(float)
-        lengths = network.path_lengths()
-        thresholds = np.array(
-            [self.loss_model.path_good_threshold(int(d)) for d in lengths]
-        )
-
-        def probe_block(states: np.ndarray) -> np.ndarray:
-            loss = self.loss_model.assign(states, rng)
-            # Per-path transmission rate: product of (1 - loss) over
-            # traversed links, computed in log space against the incidence
-            # matrix.
-            log_forward = np.log1p(-np.clip(loss, 0.0, 1.0 - 1e-12))
-            rates = np.exp(log_forward @ incidence_t)
-            delivered = rng.binomial(self.num_packets, rates)
-            measured_loss = 1.0 - delivered / float(self.num_packets)
-            return measured_loss > thresholds[None, :]
-
+        session = self.session(network, random_state)
         # Horizons beyond the chunk size are probed block-by-block and
         # packed as they are produced, bounding peak memory at one chunk of
         # dense intermediates regardless of T. Chunking interleaves the
@@ -142,7 +127,128 @@ class PathProber:
         # horizons at or below the chunk size draw identically to a
         # single pass.
         blocks = (
-            probe_block(link_states[start : start + EMIT_CHUNK_INTERVALS])
+            session.observe_chunk(link_states[start : start + EMIT_CHUNK_INTERVALS])
             for start in range(0, link_states.shape[0], EMIT_CHUNK_INTERVALS)
         )
         return _packed_observation(blocks, network.num_paths)
+
+    def session(
+        self, network: Network, random_state: RandomState = None
+    ) -> "ProbeSession":
+        """A long-lived probing session bound to ``network``.
+
+        Precomputes the incidence projection and per-path good thresholds
+        once, so a streaming monitor probing round by round does not redo
+        the per-fit setup on every chunk.
+        """
+        return ProbeSession(self, network, as_generator(random_state))
+
+
+class ProbeSession:
+    """Stateful per-network probing: one rng stream, precomputed structure.
+
+    Created via :meth:`PathProber.session`; :meth:`observe_chunk` classifies
+    one block of intervals and is safe to call indefinitely — this is the
+    measurement half of the streaming monitor's ingest loop.
+    """
+
+    def __init__(
+        self, prober: PathProber, network: Network, rng: np.random.Generator
+    ) -> None:
+        self.prober = prober
+        self.network = network
+        self.rng = rng
+        self._incidence_t = network.incidence.T.astype(float)
+        lengths = network.path_lengths()
+        self._thresholds = np.array(
+            [prober.loss_model.path_good_threshold(int(d)) for d in lengths]
+        )
+
+    def observe_chunk(self, link_states: np.ndarray) -> np.ndarray:
+        """Probe one block of intervals; boolean (block, num_paths) statuses."""
+        states = np.asarray(link_states, dtype=bool)
+        if states.shape[1] != self.network.num_links:
+            raise ScenarioError(
+                "link_states width does not match the network's link count"
+            )
+        loss = self.prober.loss_model.assign(states, self.rng)
+        # Per-path transmission rate: product of (1 - loss) over traversed
+        # links, computed in log space against the incidence matrix.
+        log_forward = np.log1p(-np.clip(loss, 0.0, 1.0 - 1e-12))
+        rates = np.exp(log_forward @ self._incidence_t)
+        delivered = self.rng.binomial(self.prober.num_packets, rates)
+        measured_loss = 1.0 - delivered / float(self.prober.num_packets)
+        return measured_loss > self._thresholds[None, :]
+
+
+@dataclass
+class StreamingProber:
+    """Live probe-round source: ground truth in, observation chunks out.
+
+    The streaming analogue of sampling a full horizon and calling
+    :meth:`PathProber.observe` on it: each yielded block draws the next
+    link states from the (possibly non-stationary) ground truth via its
+    stateful :meth:`~repro.simulation.congestion.GroundTruth.sample_stream`
+    and classifies them — with packet-level probing when ``prober`` is set,
+    or noise-free oracle statuses when it is ``None``.
+
+    Attributes
+    ----------
+    network:
+        The monitored topology.
+    ground_truth:
+        Supplies per-interval link states.
+    prober:
+        Packet-level monitor; ``None`` yields oracle path statuses.
+    chunk_intervals:
+        Intervals per yielded block (1 = strictly round-by-round).
+    """
+
+    network: Network
+    ground_truth: GroundTruth
+    prober: Optional[PathProber] = None
+    chunk_intervals: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_intervals < 1:
+            raise ScenarioError("chunk_intervals must be >= 1")
+
+    def rounds(
+        self,
+        num_intervals: Optional[int] = None,
+        random_state: RandomState = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield boolean (chunk, num_paths) observation blocks.
+
+        Runs forever when ``num_intervals`` is ``None``; otherwise stops
+        after exactly that many intervals (the final block may be short).
+        Link-state sampling and probing draw from independent substreams of
+        ``random_state`` so the chunk size never perturbs the ground truth.
+        """
+        rng = as_generator(random_state)
+        state_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        probe_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        session = (
+            self.prober.session(self.network, probe_rng)
+            if self.prober is not None
+            else None
+        )
+        # int64 accumulator for the oracle branch only (see
+        # oracle_path_status for the overflow rationale); the packet-level
+        # branch never touches it.
+        incidence_t = (
+            self.network.incidence.T.astype(np.int64) if session is None else None
+        )
+        states_stream = self.ground_truth.sample_stream(
+            self.chunk_intervals, state_rng
+        )
+        produced = 0
+        while num_intervals is None or produced < num_intervals:
+            states = next(states_stream)
+            if num_intervals is not None:
+                states = states[: num_intervals - produced]
+            produced += states.shape[0]
+            if session is not None:
+                yield session.observe_chunk(states)
+            else:
+                yield states @ incidence_t > 0

@@ -1,0 +1,67 @@
+"""Streaming estimation engine: the paper's monitoring scenario, live.
+
+The batch stack answers "what were the congestion probabilities over this
+recorded horizon?"; this package turns it into a long-lived service that
+answers "what are they *now*?" — the source ISP continuously watching how
+frequently a peer is congested and how its level changes over a day or
+week (Section 1), reacting to flash crowds and failures as they happen.
+
+Layers, bottom up:
+
+* :mod:`repro.streaming.buffer` — :class:`PackedRingBuffer`, word-aligned
+  ``uint64`` ring storage with bounded retention and zero-copy window
+  views onto the packed frequency kernel;
+* :mod:`repro.streaming.ingest` — pluggable :class:`ObservationSource`\\ s
+  (live prober, in-memory replay, NDJSON trace record/replay);
+* :mod:`repro.streaming.engine` — :class:`StreamingEstimator`, incremental
+  windowed refits on stride boundaries with a warm frequency workload,
+  bit-identical to the offline
+  :class:`~repro.probability.windowed.WindowedEstimator`;
+* :mod:`repro.streaming.alerts` — online per-link/per-peer threshold and
+  level-shift detection with hysteresis, emitting structured
+  :class:`Alert` events;
+* :mod:`repro.streaming.checkpoint` — serialize/restore engine state so a
+  monitor survives restarts.
+"""
+
+from repro.streaming.alerts import (
+    Alert,
+    AlertManager,
+    AlertPolicy,
+    LevelShiftDetector,
+    ThresholdDetector,
+    peer_congestion_levels,
+)
+from repro.streaming.buffer import PackedRingBuffer
+from repro.streaming.checkpoint import (
+    checkpoint_state,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.streaming.engine import StreamingEstimator
+from repro.streaming.ingest import (
+    MatrixSource,
+    NDJSONTraceSource,
+    ObservationSource,
+    ProberSource,
+    write_ndjson_trace,
+)
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertPolicy",
+    "LevelShiftDetector",
+    "ThresholdDetector",
+    "peer_congestion_levels",
+    "PackedRingBuffer",
+    "StreamingEstimator",
+    "ObservationSource",
+    "ProberSource",
+    "MatrixSource",
+    "NDJSONTraceSource",
+    "write_ndjson_trace",
+    "checkpoint_state",
+    "save_checkpoint",
+    "restore_engine",
+]

@@ -1,0 +1,321 @@
+"""Online congestion alerting over streaming window estimates.
+
+The paper's operational pitch is that a source ISP watches "how frequently
+the peer is congested and how its congestion level changes over the course
+of day or week" and reacts to "exceptional situations like BGP failures,
+flash crowds, or distributed denial-of-service attacks". Offline, the
+repo answers this with :meth:`CongestionTimeline.change_points` — a batch
+scan over a finished series. This module is the *streaming* generalisation:
+detectors hold per-target state, consume one window estimate at a time as
+the engine emits it, and raise structured :class:`Alert` events the moment
+a condition fires.
+
+Two detector families, each applicable per link and per peer:
+
+* :class:`ThresholdDetector` — absolute level with hysteresis (raise above
+  ``high``, clear below ``low``), the classic pager condition;
+* :class:`LevelShiftDetector` — jump detection between consecutive window
+  estimates. With ``rearm=None`` it fires on exactly the window indices
+  :meth:`CongestionTimeline.change_points` reports offline; a ``rearm``
+  margin adds hysteresis so an oscillating series alerts once per episode
+  instead of every window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.probability.query import CongestionProbabilityModel
+from repro.probability.windowed import WindowEstimate, peer_link_members
+from repro.topology.graph import Network
+
+
+def peer_congestion_levels(
+    model: CongestionProbabilityModel,
+    peer_members: Dict[int, List[int]],
+) -> Dict[int, float]:
+    """Worst-link congestion probability per peer AS for one fitted model.
+
+    The per-peer health signal every monitoring surface derives (alert
+    routing, the CLI's rolling display, peer rankings), computed in one
+    pass over the link table grouping.
+    """
+    return {
+        asn: max(model.link_congestion_probability(link) for link in members)
+        for asn, members in peer_members.items()
+    }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing.
+
+    Attributes
+    ----------
+    kind:
+        ``"threshold_raise"``, ``"threshold_clear"``, or ``"level_shift"``.
+    scope:
+        ``"link"`` or ``"peer"``.
+    target:
+        Link index (scope ``"link"``) or peer ASN (scope ``"peer"``).
+    window_index:
+        Index of the emitted window that triggered the alert.
+    start, stop:
+        Absolute interval span ``[start, stop)`` of that window.
+    value:
+        The window's congestion probability for the target.
+    baseline:
+        The level the value is compared against (threshold, or the
+        pre-shift level for ``level_shift``).
+    message:
+        Human-readable one-liner for logs/console.
+    """
+
+    kind: str
+    scope: str
+    target: int
+    window_index: int
+    start: int
+    stop: int
+    value: float
+    baseline: float
+    message: str
+
+
+class ThresholdDetector:
+    """Absolute-level alarm with hysteresis.
+
+    Raises when the series crosses above ``high`` while inactive; clears
+    when it falls to ``low`` or below while active. ``low`` defaults to
+    ``high`` (no hysteresis band).
+    """
+
+    def __init__(self, high: float, low: Optional[float] = None) -> None:
+        if not 0.0 <= high <= 1.0:
+            raise ValueError("threshold high must be in [0, 1]")
+        self.high = high
+        self.low = high if low is None else low
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError("threshold low must be in [0, high]")
+        self.active = False
+
+    def update(self, value: float) -> Optional[str]:
+        """Feed one value; returns ``"raise"``, ``"clear"``, or ``None``."""
+        if not self.active and value > self.high:
+            self.active = True
+            return "raise"
+        if self.active and value <= self.low:
+            self.active = False
+            return "clear"
+        return None
+
+
+class LevelShiftDetector:
+    """Jump detection between consecutive window estimates.
+
+    While armed, tracks the previous value as the baseline and fires when
+    the next value jumps by more than ``threshold`` — on a finished series
+    this flags exactly the indices
+    :meth:`CongestionTimeline.change_points` reports. With ``rearm`` set,
+    a firing disarms the detector until the series settles (consecutive
+    window estimates within ``rearm`` of each other), so one congestion
+    episode produces one alert instead of a window-by-window flap — and a
+    series that keeps moving after the episode re-arms as soon as it
+    stabilises at *any* level, never staying dead.
+    """
+
+    def __init__(self, threshold: float, rearm: Optional[float] = None) -> None:
+        if threshold <= 0.0:
+            raise ValueError("level-shift threshold must be positive")
+        self.threshold = threshold
+        self.rearm = rearm
+        self._level: Optional[float] = None
+        self._armed = True
+
+    def update(self, value: float) -> Optional[float]:
+        """Feed one value; returns the pre-shift baseline when firing."""
+        if self._level is None:
+            self._level = value
+            return None
+        if self._armed:
+            if abs(value - self._level) > self.threshold:
+                baseline = self._level
+                self._level = value
+                if self.rearm is not None:
+                    self._armed = False
+                return baseline
+            self._level = value
+            return None
+        # Disarmed: keep tracking the series; re-arm once two consecutive
+        # window estimates agree to within `rearm` (the episode settled —
+        # wherever it settled, so a spike can never kill the detector).
+        if abs(value - self._level) <= self.rearm:
+            self._armed = True
+        self._level = value
+        return None
+
+
+@dataclass
+class AlertPolicy:
+    """Which detectors the :class:`AlertManager` runs, and their knobs.
+
+    ``None`` disables the corresponding detector family. Defaults follow
+    the monitoring story: peers page on absolute level with a hysteresis
+    band, links flag level shifts (the change-point signal).
+    """
+
+    peer_high: Optional[float] = 0.5
+    peer_low: Optional[float] = 0.4
+    peer_shift: Optional[float] = None
+    link_high: Optional[float] = None
+    link_low: Optional[float] = None
+    link_shift: Optional[float] = 0.25
+    rearm: Optional[float] = None
+
+
+class AlertManager:
+    """Fan one window estimate out to per-link and per-peer detectors.
+
+    Parameters
+    ----------
+    network:
+        Supplies the link → AS grouping (peer membership is computed once).
+    policy:
+        Detector configuration; see :class:`AlertPolicy`.
+    """
+
+    def __init__(
+        self, network: Network, policy: Optional[AlertPolicy] = None
+    ) -> None:
+        self.network = network
+        self.policy = policy or AlertPolicy()
+        self._peer_members = peer_link_members(network)
+        self._peer_threshold: Dict[int, ThresholdDetector] = {}
+        self._peer_shift: Dict[int, LevelShiftDetector] = {}
+        self._link_threshold: Dict[int, ThresholdDetector] = {}
+        self._link_shift: Dict[int, LevelShiftDetector] = {}
+
+    # ------------------------------------------------------------------
+    def _threshold_alerts(
+        self,
+        scope: str,
+        target: int,
+        value: float,
+        detectors: Dict[int, ThresholdDetector],
+        high: float,
+        low: Optional[float],
+        window_index: int,
+        estimate: WindowEstimate,
+    ) -> List[Alert]:
+        detector = detectors.get(target)
+        if detector is None:
+            detector = detectors[target] = ThresholdDetector(high, low)
+        event = detector.update(value)
+        if event is None:
+            return []
+        label = f"AS{target}" if scope == "peer" else f"e{target}"
+        verb = "exceeded" if event == "raise" else "cleared"
+        return [
+            Alert(
+                kind=f"threshold_{event}",
+                scope=scope,
+                target=target,
+                window_index=window_index,
+                start=estimate.start,
+                stop=estimate.stop,
+                value=value,
+                baseline=detector.high if event == "raise" else detector.low,
+                message=(
+                    f"{label} congestion {value:.2f} {verb} threshold "
+                    f"in window [{estimate.start}, {estimate.stop})"
+                ),
+            )
+        ]
+
+    def _shift_alerts(
+        self,
+        scope: str,
+        target: int,
+        value: float,
+        detectors: Dict[int, LevelShiftDetector],
+        threshold: float,
+        window_index: int,
+        estimate: WindowEstimate,
+    ) -> List[Alert]:
+        detector = detectors.get(target)
+        if detector is None:
+            detector = detectors[target] = LevelShiftDetector(
+                threshold, self.policy.rearm
+            )
+        baseline = detector.update(value)
+        if baseline is None:
+            return []
+        label = f"AS{target}" if scope == "peer" else f"e{target}"
+        return [
+            Alert(
+                kind="level_shift",
+                scope=scope,
+                target=target,
+                window_index=window_index,
+                start=estimate.start,
+                stop=estimate.stop,
+                value=value,
+                baseline=baseline,
+                message=(
+                    f"{label} congestion level shifted "
+                    f"{baseline:.2f} -> {value:.2f} in window "
+                    f"[{estimate.start}, {estimate.stop})"
+                ),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, window_index: int, estimate: WindowEstimate
+    ) -> List[Alert]:
+        """Feed one emitted window estimate; returns newly-raised alerts."""
+        policy = self.policy
+        model = estimate.model
+        alerts: List[Alert] = []
+        needs_links = policy.link_high is not None or policy.link_shift is not None
+        link_values: Dict[int, float] = {}
+        if needs_links or policy.peer_high is not None or policy.peer_shift is not None:
+            for members in self._peer_members.values():
+                for link in members:
+                    link_values[link] = model.link_congestion_probability(link)
+        for link, value in link_values.items() if needs_links else ():
+            if policy.link_high is not None:
+                alerts.extend(
+                    self._threshold_alerts(
+                        "link", link, value, self._link_threshold,
+                        policy.link_high, policy.link_low,
+                        window_index, estimate,
+                    )
+                )
+            if policy.link_shift is not None:
+                alerts.extend(
+                    self._shift_alerts(
+                        "link", link, value, self._link_shift,
+                        policy.link_shift, window_index, estimate,
+                    )
+                )
+        if policy.peer_high is not None or policy.peer_shift is not None:
+            for asn, members in self._peer_members.items():
+                value = max(link_values[link] for link in members)
+                if policy.peer_high is not None:
+                    alerts.extend(
+                        self._threshold_alerts(
+                            "peer", asn, value, self._peer_threshold,
+                            policy.peer_high, policy.peer_low,
+                            window_index, estimate,
+                        )
+                    )
+                if policy.peer_shift is not None:
+                    alerts.extend(
+                        self._shift_alerts(
+                            "peer", asn, value, self._peer_shift,
+                            policy.peer_shift, window_index, estimate,
+                        )
+                    )
+        return alerts

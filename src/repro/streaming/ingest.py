@@ -1,0 +1,226 @@
+"""Pluggable observation sources feeding the streaming engine.
+
+Every source yields boolean ``(rounds, num_paths)`` blocks — the exact
+shape :meth:`StreamingEstimator.ingest` consumes — so live probing,
+recorded campaigns, and in-memory replays are interchangeable:
+
+* :class:`ProberSource` — live measurement: drives a
+  :class:`~repro.simulation.probing.StreamingProber` (ground truth +
+  optional packet-level prober) round by round;
+* :class:`MatrixSource` — replay of an in-memory horizon (an
+  :class:`~repro.model.status.ObservationMatrix` or dense boolean matrix)
+  in fixed-size chunks, the bridge from offline campaigns to the engine;
+* :class:`NDJSONTraceSource` — replay of a recorded campaign from
+  newline-delimited JSON, the on-disk interchange format written by
+  :func:`write_ndjson_trace`.
+
+The NDJSON schema is one header line followed by one line per probe round,
+congested paths as sparse index lists (path statuses are overwhelmingly
+good in the paper's scenarios, so sparse rounds are compact)::
+
+    {"type": "header", "num_paths": 900}
+    {"type": "round", "congested": [12, 407]}
+    {"type": "round", "congested": []}
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ScenarioError
+from repro.model.status import ObservationMatrix
+from repro.simulation.probing import StreamingProber
+from repro.util.rng import RandomState
+
+
+class ObservationSource(ABC):
+    """A stream of probe-round blocks with a fixed path width."""
+
+    @property
+    @abstractmethod
+    def num_paths(self) -> int:
+        """Width of every yielded block."""
+
+    @abstractmethod
+    def chunks(self) -> Iterator[np.ndarray]:
+        """Yield boolean ``(rounds, num_paths)`` blocks until exhausted."""
+
+
+class ProberSource(ObservationSource):
+    """Live measurement source wrapping a :class:`StreamingProber`.
+
+    Parameters
+    ----------
+    prober:
+        The configured streaming prober (network, ground truth, monitor).
+    num_intervals:
+        Stop after this many rounds; ``None`` streams forever.
+    random_state:
+        Seed/generator for ground-truth sampling and packet probing.
+    """
+
+    def __init__(
+        self,
+        prober: StreamingProber,
+        num_intervals: Optional[int] = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.prober = prober
+        self.num_intervals = num_intervals
+        self.random_state = random_state
+
+    @property
+    def num_paths(self) -> int:
+        return self.prober.network.num_paths
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        return self.prober.rounds(self.num_intervals, self.random_state)
+
+
+class MatrixSource(ObservationSource):
+    """Replay an in-memory horizon in fixed-size chunks.
+
+    A packed :class:`ObservationMatrix` is replayed chunk by chunk through
+    its own interval slicing — the dense boolean horizon is never
+    materialised in one piece, so long packed campaigns replay in bounded
+    memory.
+    """
+
+    def __init__(
+        self,
+        observations: Union[ObservationMatrix, np.ndarray],
+        chunk_intervals: int = 64,
+    ) -> None:
+        if chunk_intervals < 1:
+            raise ScenarioError("chunk_intervals must be >= 1")
+        if not isinstance(observations, ObservationMatrix):
+            matrix = np.asarray(observations, dtype=bool)
+            if matrix.ndim != 2:
+                raise ScenarioError("MatrixSource expects a (T, paths) matrix")
+            observations = ObservationMatrix(matrix)
+        self._observations = observations
+        self.chunk_intervals = chunk_intervals
+
+    @property
+    def num_paths(self) -> int:
+        return self._observations.num_paths
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        total = self._observations.num_intervals
+        for start in range(0, total, self.chunk_intervals):
+            stop = min(start + self.chunk_intervals, total)
+            yield self._observations.slice_intervals(start, stop).matrix
+
+
+def write_ndjson_trace(
+    path: Union[str, Path],
+    observations: Union[ObservationMatrix, np.ndarray, Iterable[np.ndarray]],
+    num_paths: Optional[int] = None,
+) -> int:
+    """Record a campaign as an NDJSON trace; returns rounds written.
+
+    Accepts a finished horizon (``ObservationMatrix`` / dense matrix) or an
+    iterable of ``(rounds, paths)`` chunks (e.g. a live
+    :class:`ObservationSource`'s ``chunks()``), so campaigns can be recorded
+    while they stream.
+    """
+    if isinstance(observations, ObservationMatrix):
+        # Chunked replay through the backend's own slicing: a long packed
+        # campaign is written without materialising the dense horizon.
+        num_paths = observations.num_paths
+        blocks: Iterable[np.ndarray] = MatrixSource(
+            observations, chunk_intervals=4096
+        ).chunks()
+    elif isinstance(observations, np.ndarray):
+        matrix = np.asarray(observations, dtype=bool)
+        if matrix.ndim != 2:
+            raise ScenarioError(
+                "write_ndjson_trace expects a (T, paths) matrix"
+            )
+        blocks = (matrix,)
+        num_paths = matrix.shape[1]
+    else:
+        blocks = observations
+        if num_paths is None:
+            raise ScenarioError(
+                "num_paths is required when writing from a chunk iterable"
+            )
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps({"type": "header", "num_paths": int(num_paths)}) + "\n"
+        )
+        for block in blocks:
+            block = np.asarray(block, dtype=bool)
+            if block.ndim != 2 or block.shape[1] != num_paths:
+                raise ScenarioError(
+                    f"trace chunk must be (rounds, {num_paths}) boolean"
+                )
+            for row in block:
+                congested = np.flatnonzero(row).tolist()
+                handle.write(
+                    json.dumps({"type": "round", "congested": congested}) + "\n"
+                )
+                written += 1
+    return written
+
+
+class NDJSONTraceSource(ObservationSource):
+    """Replay a recorded NDJSON campaign in fixed-size chunks.
+
+    The file is read lazily line by line, so arbitrarily long recorded
+    campaigns replay in bounded memory.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], chunk_intervals: int = 64
+    ) -> None:
+        if chunk_intervals < 1:
+            raise ScenarioError("chunk_intervals must be >= 1")
+        self.path = Path(path)
+        self.chunk_intervals = chunk_intervals
+        with open(self.path, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        if header.get("type") != "header" or "num_paths" not in header:
+            raise ScenarioError(
+                f"{self.path}: first NDJSON line must be the trace header"
+            )
+        self._num_paths = int(header["num_paths"])
+
+    @property
+    def num_paths(self) -> int:
+        return self._num_paths
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        buffer = np.zeros((self.chunk_intervals, self._num_paths), dtype=bool)
+        filled = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            handle.readline()  # header, validated in __init__
+            for line_number, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if record.get("type") != "round":
+                    raise ScenarioError(
+                        f"{self.path}:{line_number}: expected a round record"
+                    )
+                congested = record.get("congested", [])
+                if congested and (
+                    min(congested) < 0 or max(congested) >= self._num_paths
+                ):
+                    raise ScenarioError(
+                        f"{self.path}:{line_number}: path index out of range"
+                    )
+                buffer[filled] = False
+                buffer[filled, congested] = True
+                filled += 1
+                if filled == self.chunk_intervals:
+                    yield buffer[:filled].copy()
+                    filled = 0
+        if filled:
+            yield buffer[:filled].copy()
