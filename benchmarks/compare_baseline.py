@@ -15,12 +15,18 @@ non-zero when any benchmark regressed by more than ``--threshold``
 (default 1.5x), so the perf trajectory of the repo stays visible PR over
 PR. Benchmarks sharing a result cache report ~0s after the first of their
 group; those are compared only when both sides are non-trivial.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (as it is in GitHub Actions), the
+same comparison is appended there as a Markdown table, so the timing
+deltas show up on the workflow run page; ``--markdown PATH`` writes the
+table to an explicit file instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -68,6 +74,68 @@ def update_baseline(current: dict, raw_path: Path) -> None:
     print(f"baseline updated: {BASELINE_PATH}")
 
 
+def compare(baseline: dict, current: dict, threshold: float) -> list:
+    """Per-benchmark comparison rows: (name, base_s, cur_s, ratio, note).
+
+    ``base_s``/``cur_s``/``ratio`` are ``None`` where a side is missing;
+    ``note`` is one of ``""``, ``"baseline-only"``, ``"new"``, ``"cached"``
+    or ``"REGRESSION"``.
+    """
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        base_mean = baseline.get(name, {}).get("mean_s")
+        cur_mean = current.get(name, {}).get("mean_s")
+        if base_mean is None or cur_mean is None:
+            note = "baseline-only" if cur_mean is None else "new"
+            rows.append((name, base_mean, cur_mean, None, note))
+        elif base_mean < TRIVIAL_S or cur_mean < TRIVIAL_S:
+            rows.append((name, base_mean, cur_mean, None, "cached"))
+        else:
+            ratio = cur_mean / base_mean
+            note = "REGRESSION" if ratio > threshold else ""
+            rows.append((name, base_mean, cur_mean, ratio, note))
+    return rows
+
+
+def render_text(rows: list) -> str:
+    width = max(len(name) for name, *_ in rows)
+    lines = [f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  ratio"]
+    for name, base_s, cur_s, ratio, note in rows:
+        if base_s is None or cur_s is None:
+            lines.append(f"{name:<{width}}  {'-':>9}  {'-':>9}  ({note})")
+        elif ratio is None:
+            lines.append(f"{name:<{width}}  {base_s:>8.3f}s  {cur_s:>8.3f}s  ({note})")
+        else:
+            marker = f"  <-- {note}" if note else ""
+            lines.append(
+                f"{name:<{width}}  {base_s:>8.3f}s  {cur_s:>8.3f}s  "
+                f"{ratio:5.2f}x{marker}"
+            )
+    return "\n".join(lines)
+
+
+def render_markdown(rows: list, threshold: float) -> str:
+    """The comparison as a GitHub-flavoured Markdown table."""
+    lines = [
+        "### Benchmark timings vs committed baseline",
+        "",
+        f"Regression threshold: {threshold:.2f}x (timings are informational "
+        "on shared runners).",
+        "",
+        "| benchmark | baseline | current | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, base_s, cur_s, ratio, note in rows:
+        base = "-" if base_s is None else f"{base_s:.3f}s"
+        cur = "-" if cur_s is None else f"{cur_s:.3f}s"
+        shown_ratio = "-" if ratio is None else f"{ratio:.2f}x"
+        status = f"**{note}**" if note == "REGRESSION" else (note or "ok")
+        lines.append(
+            f"| `{name}` | {base} | {cur} | {shown_ratio} | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="pytest-benchmark JSON file")
@@ -80,6 +148,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update", action="store_true", help="rewrite BENCH_baseline.json"
     )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="append a Markdown comparison table to this file "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
+    )
     args = parser.parse_args(argv)
 
     current = load_current(args.current)
@@ -88,25 +163,17 @@ def main(argv=None) -> int:
         return 0
 
     baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
-    width = max(len(n) for n in set(baseline) | set(current))
-    print(f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  ratio")
-    regressions = []
-    for name in sorted(set(baseline) | set(current)):
-        base_mean = baseline.get(name, {}).get("mean_s")
-        cur_mean = current.get(name, {}).get("mean_s")
-        if base_mean is None or cur_mean is None:
-            status = "baseline-only" if cur_mean is None else "new"
-            print(f"{name:<{width}}  {'-':>9}  {'-':>9}  ({status})")
-            continue
-        if base_mean < TRIVIAL_S or cur_mean < TRIVIAL_S:
-            print(f"{name:<{width}}  {base_mean:>8.3f}s  {cur_mean:>8.3f}s  (cached)")
-            continue
-        ratio = cur_mean / base_mean
-        marker = ""
-        if ratio > args.threshold:
-            marker = "  <-- REGRESSION"
-            regressions.append((name, ratio))
-        print(f"{name:<{width}}  {base_mean:>8.3f}s  {cur_mean:>8.3f}s  {ratio:5.2f}x{marker}")
+    rows = compare(baseline, current, args.threshold)
+    print(render_text(rows))
+
+    summary_path = args.markdown
+    if summary_path is None and os.environ.get("GITHUB_STEP_SUMMARY"):
+        summary_path = Path(os.environ["GITHUB_STEP_SUMMARY"])
+    if summary_path is not None:
+        with open(summary_path, "a") as handle:
+            handle.write(render_markdown(rows, args.threshold))
+
+    regressions = [name for name, *_, note in rows if note == "REGRESSION"]
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond {args.threshold}x")
         return 1

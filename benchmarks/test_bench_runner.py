@@ -1,0 +1,145 @@
+"""Benchmarks for the parallel campaign runner.
+
+The same figure4-scale sweep — Fig. 4's (topology, scenario, estimator)
+grid replicated across three master seeds, 54 trials — is executed twice:
+serially (``workers=1``) and process-sharded over 4 workers. Two things
+are measured:
+
+* the merged results must be **bit-identical** between the two runs (the
+  runner's core guarantee, checked here at full benchmark scale);
+* the wall-clock ratio serial/parallel is the runner's speedup. On a
+  machine with >= 4 usable cores the sharded run is expected to be at
+  least ~2.5x faster (the sweep has 18 independent shard groups, none
+  dominant); the assertion is gated on the host's core count so 1-2 core
+  CI runners still record both timings without failing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import figure4_specs, figure4_trial, merge_figure4
+from repro.runner import run_trials
+
+#: Master seeds of the sweep replicates (chosen for balanced instances).
+SWEEP_SEEDS = (3, 7, 11)
+
+#: Worker processes of the sharded run.
+WORKERS = 4
+
+#: Minimum speedup expected of the sharded run on a >= 4-core host. Kept
+#: a little under the ~3x ideal (18 groups over 4 shards) to absorb pool
+#: start-up and shared-cache effects on busy CI runners.
+MIN_SPEEDUP = 2.5
+
+_RUNS = {}
+
+
+def _sweep_specs(scale):
+    """The multi-seed figure4 sweep: one spec list, reindexed globally."""
+    specs = []
+    for seed in SWEEP_SEEDS:
+        batch = figure4_specs(scale, seed)
+        offset = len(specs)
+        specs.extend(
+            replace(spec, index=offset + i) for i, spec in enumerate(batch)
+        )
+    return specs
+
+
+def _run_sweep(scale, workers):
+    """Run the sweep, recording results and wall time per worker count."""
+    specs = _sweep_specs(scale)
+    start = perf_counter()
+    results = run_trials(figure4_trial, specs, workers=workers)
+    elapsed = perf_counter() - start
+    _RUNS[workers] = (results, elapsed)
+    return results
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _merged_replicates(results):
+    """Merge each seed's slice of the sweep into its Figure4Result."""
+    per_replicate = len(results) // len(SWEEP_SEEDS)
+    return [
+        merge_figure4(results[i * per_replicate : (i + 1) * per_replicate])
+        for i in range(len(SWEEP_SEEDS))
+    ]
+
+
+@pytest.mark.benchmark(group="runner")
+def test_runner_figure4_sweep_serial(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        lambda: _run_sweep(bench_scale, 1), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"figure4 sweep, {len(SWEEP_SEEDS)} seeds x "
+        f"{len(results) // len(SWEEP_SEEDS)} trials, serial"
+    )
+    assert len(results) == 18 * len(SWEEP_SEEDS)
+    for figure in _merged_replicates(results):
+        assert len(figure.rows) == 18
+
+
+@pytest.mark.benchmark(group="runner")
+def test_runner_figure4_sweep_workers4(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        lambda: _run_sweep(bench_scale, WORKERS), rounds=1, iterations=1
+    )
+    assert len(results) == 18 * len(SWEEP_SEEDS)
+    # Deterministic merge: the sharded sweep reproduces the serial one bit
+    # for bit. Normally the serial benchmark (earlier in this file) already
+    # populated the cache; under pytest-xdist the two tests may run in
+    # different processes, so compute the reference on demand.
+    if 1 not in _RUNS:
+        _run_sweep(bench_scale, 1)
+    serial_results, serial_s = _RUNS[1]
+    parallel = _merged_replicates(results)
+    for serial_figure, parallel_figure in zip(
+        _merged_replicates(serial_results), parallel
+    ):
+        assert set(serial_figure.rows) == set(parallel_figure.rows)
+        for key, serial_metrics in serial_figure.rows.items():
+            parallel_metrics = parallel_figure.rows[key]
+            assert (
+                serial_metrics.mean_absolute_error
+                == parallel_metrics.mean_absolute_error
+            )
+            assert np.array_equal(
+                serial_metrics.errors, parallel_metrics.errors
+            )
+        assert serial_figure.subset_rows == parallel_figure.subset_rows
+    _, parallel_s = _RUNS[WORKERS]
+    cores = _usable_cores()
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print()
+    print(
+        f"figure4 sweep sharded over {WORKERS} workers on {cores} core(s): "
+        f"serial {serial_s:.2f}s, parallel {parallel_s:.2f}s, "
+        f"speedup {speedup:.2f}x"
+    )
+    # Wall clock on shared CI runners is noise (the tier-1 job also runs
+    # this file under pytest-xdist, with other workers saturating the same
+    # cores), so — like the streaming-throughput benchmark — the speedup
+    # gate only blocks when explicitly armed via REPRO_BENCH_STRICT, and
+    # only where >= WORKERS cores are usable at all.
+    if speedup < MIN_SPEEDUP:
+        message = (
+            f"expected >= {MIN_SPEEDUP}x speedup with {WORKERS} workers "
+            f"on {cores} cores, measured {speedup:.2f}x"
+        )
+        if cores >= WORKERS and os.environ.get("REPRO_BENCH_STRICT"):
+            pytest.fail(message)
+        print(f"WARNING: {message} (non-strict run; not failing)")

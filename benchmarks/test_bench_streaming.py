@@ -13,7 +13,6 @@ from __future__ import annotations
 import os
 import time
 
-import numpy as np
 import pytest
 
 from repro.model.status import ObservationMatrix

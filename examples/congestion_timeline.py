@@ -23,7 +23,6 @@ Run:  python examples/congestion_timeline.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import EstimatorConfig, generate_brite_network
 from repro.analysis.peers import build_peer_report

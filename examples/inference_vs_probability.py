@@ -11,7 +11,6 @@ Run:  python examples/inference_vs_probability.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import (
     BayesianCorrelationInference,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from repro import CorrelationCompleteEstimator, EstimatorConfig, fig1_topology
 from repro.simulation.congestion import CongestionModel, Driver
-from repro.simulation.experiment import ExperimentResult
 from repro.simulation.probing import PathProber
 
 

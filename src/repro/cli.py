@@ -4,14 +4,24 @@ or run the live monitoring engine.
 Usage::
 
     repro-tomography figure3 [--scale small|paper] [--seed N] [--oracle]
+                             [--workers W]
     repro-tomography figure4 [--scale small|paper] [--seed N] [--oracle]
+                             [--workers W]
     repro-tomography table2
-    repro-tomography scaling [--scale small|paper] [--seed N]
-    repro-tomography ablation [--scale small|paper] [--seed N]
+    repro-tomography scaling [--scale small|paper] [--seed N] [--workers W]
+    repro-tomography ablation [--scale small|paper] [--seed N] [--workers W]
+    repro-tomography campaign NAME_OR_SPEC.json [--scale small|paper]
+                             [--seed N] [--oracle] [--workers W]
+                             [--replicates R] [--output DIR]
     repro-tomography monitor [--scale small|paper] [--seed N] [--oracle]
                              [--intervals T] [--window W] [--stride S]
                              [--chunk C] [--checkpoint PATH]
     repro-tomography --version
+
+``--workers`` shards a sweep across processes (0 = all local CPUs) with
+results bit-identical to the serial run; ``campaign`` runs a named sweep
+(or a JSON sweep spec) with per-shard progress and optional JSON results
+on disk.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {_package_version()}",
     )
+    workers_help = "worker processes for the sweep (0 = all local CPUs)"
     subparsers = parser.add_subparsers(dest="command", required=True)
     for figure in ("figure3", "figure4"):
         sub = subparsers.add_parser(figure, help=f"regenerate {figure}")
@@ -63,15 +74,43 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="use noise-free path observations",
         )
+        sub.add_argument("--workers", type=int, default=1, help=workers_help)
     sub = subparsers.add_parser("table2", help="print the assumption matrix")
     sub = subparsers.add_parser("scaling", help="Algorithm 1 scaling sweep")
     sub.add_argument("--scale", choices=sorted(SCALES), default="small")
     sub.add_argument("--seed", type=int, default=3)
+    sub.add_argument("--workers", type=int, default=1, help=workers_help)
     sub = subparsers.add_parser(
         "ablation", help="ablate the Correlation-complete solve refinements"
     )
     sub.add_argument("--scale", choices=sorted(SCALES), default="small")
     sub.add_argument("--seed", type=int, default=5)
+    sub.add_argument("--workers", type=int, default=1, help=workers_help)
+    sub = subparsers.add_parser(
+        "campaign",
+        help="run a named sweep (figure3|figure4|scaling|ablation) "
+        "or a JSON sweep spec, sharded across processes",
+    )
+    sub.add_argument(
+        "target",
+        help="campaign name or path to a JSON campaign spec",
+    )
+    sub.add_argument("--scale", choices=sorted(SCALES), default=None)
+    sub.add_argument("--seed", type=int, default=None)
+    sub.add_argument(
+        "--oracle",
+        action="store_true",
+        help="use noise-free path observations",
+    )
+    sub.add_argument("--workers", type=int, default=None, help=workers_help)
+    sub.add_argument(
+        "--replicates", type=int, default=None,
+        help="rerun the sweep at this many seeds spawned from --seed",
+    )
+    sub.add_argument(
+        "--output", type=str, default=None,
+        help="directory for the campaign's JSON results",
+    )
     sub = subparsers.add_parser(
         "monitor",
         help="stream a live scenario through the incremental estimator",
@@ -104,9 +143,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _workers(args: argparse.Namespace):
+    """Map the CLI convention (0 = all local CPUs) onto the runner's."""
+    return None if args.workers == 0 else args.workers
+
+
 def _print_figure3(args: argparse.Namespace) -> None:
     result = run_figure3(
-        scale_by_name(args.scale), seed=args.seed, oracle=args.oracle
+        scale_by_name(args.scale),
+        seed=args.seed,
+        oracle=args.oracle,
+        workers=_workers(args),
     )
     print("Figure 3(a) — detection rate")
     print(result.to_table("detection"))
@@ -117,7 +164,10 @@ def _print_figure3(args: argparse.Namespace) -> None:
 
 def _print_figure4(args: argparse.Namespace) -> None:
     result = run_figure4(
-        scale_by_name(args.scale), seed=args.seed, oracle=args.oracle
+        scale_by_name(args.scale),
+        seed=args.seed,
+        oracle=args.oracle,
+        workers=_workers(args),
     )
     print("Figure 4(a) — mean absolute error, Brite")
     print(result.to_table("brite"))
@@ -145,9 +195,72 @@ def _print_table2() -> None:
 
 
 def _print_scaling(args: argparse.Namespace) -> None:
-    result = run_algorithm1_scaling(scale_by_name(args.scale), seed=args.seed)
+    result = run_algorithm1_scaling(
+        scale_by_name(args.scale), seed=args.seed, workers=_workers(args)
+    )
     print("Algorithm 1 scaling (equations formed vs naive 2^|P*| bound)")
     print(result.to_table())
+
+
+def _run_campaign(args: argparse.Namespace) -> None:
+    import os
+
+    from repro.runner.campaign import (
+        CAMPAIGNS,
+        CampaignSpec,
+        load_campaign_spec,
+        run_campaign,
+        write_outcome,
+    )
+
+    from dataclasses import replace
+
+    if args.target in CAMPAIGNS:
+        spec = CampaignSpec(campaign=args.target)
+    elif os.path.exists(args.target):
+        spec = load_campaign_spec(args.target)
+    else:
+        raise SystemExit(
+            f"unknown campaign {args.target!r} (known: {sorted(CAMPAIGNS)}) "
+            "and no such spec file"
+        )
+    # CLI flags override the spec file; replace() re-runs the spec's
+    # validation over the merged values.
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.oracle:
+        overrides["oracle"] = True
+    if args.workers is not None:
+        overrides["workers"] = None if args.workers == 0 else args.workers
+    if args.replicates is not None:
+        overrides["replicates"] = args.replicates
+    if args.output is not None:
+        overrides["output"] = args.output
+    try:
+        spec = replace(spec, **overrides)
+    except ValueError as exc:
+        raise SystemExit(f"invalid campaign options: {exc}") from None
+
+    print(
+        f"campaign {spec.campaign} at scale {spec.scale}: "
+        f"{spec.replicates} replicate(s), "
+        f"workers={'auto' if spec.workers is None else spec.workers}"
+    )
+    outcome = run_campaign(spec, progress=lambda report: print(report.describe()))
+    print(
+        f"{outcome.num_trials} trial(s) across {len(outcome.shards)} shard(s) "
+        f"in {outcome.elapsed:.2f}s"
+    )
+    for replicate in outcome.replicates:
+        print()
+        print(f"== seed {replicate.seed} ==")
+        print(replicate.rendered)
+    if spec.output:
+        path = write_outcome(outcome, spec.output)
+        print(f"\nresults written to {path}")
 
 
 def _run_monitor(args: argparse.Namespace) -> None:
@@ -225,7 +338,9 @@ def _run_monitor(args: argparse.Namespace) -> None:
 def _print_ablation(args: argparse.Namespace) -> None:
     from repro.experiments.ablation import run_ablation
 
-    result = run_ablation(scale_by_name(args.scale), seed=args.seed)
+    result = run_ablation(
+        scale_by_name(args.scale), seed=args.seed, workers=_workers(args)
+    )
     print("Correlation-complete solve ablation (mean abs link error, "
           "No-Independence scenario)")
     print(result.to_table())
@@ -244,6 +359,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_scaling(args)
     elif args.command == "ablation":
         _print_ablation(args)
+    elif args.command == "campaign":
+        _run_campaign(args)
     elif args.command == "monitor":
         _run_monitor(args)
     return 0

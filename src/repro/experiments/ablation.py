@@ -10,13 +10,14 @@ re-running the No-Independence scenario on both topologies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentScale, SMALL
 from repro.metrics.probability import evaluate_estimator
 from repro.metrics.reporting import format_table
 from repro.probability.base import EstimatorConfig
 from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import run_experiment
 from repro.simulation.probing import PathProber
 from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
@@ -82,17 +83,20 @@ class AblationResult:
         return format_table(["Variant", "brite", "sparse"], rows)
 
 
-def run_ablation(
-    scale: ExperimentScale = SMALL, seed: int = 5
-) -> AblationResult:
-    """Toggle each refinement off on the No-Independence scenario."""
+def ablation_specs(scale: ExperimentScale, seed: int) -> List[TrialSpec]:
+    """Decompose the ablation into (topology, variant) trials.
+
+    The two No-Independence experiments are simulated once *here* in the
+    parent (exactly as the serial driver always did) and shipped to the
+    workers inside the specs — the observation matrices travel in their
+    packed uint64 word form — so every variant fits against the same run.
+    """
     seeds = spawn_seeds(seed, 4)
     topologies = {
         "brite": generate_brite_network(scale.brite, seeds[0]),
         "sparse": generate_sparse_network(scale.traceroute, seeds[1]),
     }
-    result = AblationResult()
-    base = EstimatorConfig(seed=seed)
+    specs: List[TrialSpec] = []
     for topology_name, network in topologies.items():
         scenario = build_scenario(
             network,
@@ -105,7 +109,60 @@ def run_ablation(
             prober=PathProber(num_packets=scale.num_packets),
             random_state=seeds[3],
         )
-        for label, factory in VARIANTS:
-            metrics = evaluate_estimator(factory(base), experiment)
-            result.errors[(label, topology_name)] = metrics.mean_absolute_error
+        for label, _ in VARIANTS:
+            specs.append(
+                TrialSpec(
+                    campaign="ablation",
+                    topology=topology_name,
+                    scenario="No Independence",
+                    estimator=label,
+                    seeds=(seed,),
+                    index=len(specs),
+                    # Every variant is its own group: the experiment ships
+                    # with the spec, so there is no intermediate to share
+                    # and each fit can land on any shard.
+                    group=(seed, topology_name, label),
+                    cost=2.0 if topology_name == "sparse" else 1.0,
+                    params={"experiment": experiment},
+                )
+            )
+    return specs
+
+
+def ablation_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> float:
+    """Fit one ablation variant against its pre-simulated experiment."""
+    del cache  # the experiment arrives with the spec; nothing to share
+    (factory,) = [f for label, f in VARIANTS if label == spec.estimator]
+    base = EstimatorConfig(seed=spec.seeds[0])
+    metrics = evaluate_estimator(factory(base), spec.params["experiment"])
+    return metrics.mean_absolute_error
+
+
+def merge_ablation(results: Sequence[TrialResult]) -> AblationResult:
+    """Fold per-variant errors into an :class:`AblationResult`."""
+    result = AblationResult()
+    for trial in results:
+        result.errors[(trial.spec.estimator, trial.spec.topology)] = (
+            trial.payload
+        )
     return result
+
+
+def run_ablation(
+    scale: ExperimentScale = SMALL,
+    seed: int = 5,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> AblationResult:
+    """Toggle each refinement off on the No-Independence scenario.
+
+    ``workers`` shards the variant fits across processes with bit-identical
+    results (``1`` = serial, ``None`` = all local CPUs).
+    """
+    results = run_trials(
+        ablation_trial,
+        ablation_specs(scale, seed),
+        workers=workers,
+        progress=progress,
+    )
+    return merge_ablation(results)

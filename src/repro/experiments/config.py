@@ -9,7 +9,7 @@ sizes. Both are reachable from the CLI and the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.topology.brite import BriteConfig
@@ -106,6 +106,42 @@ PAPER = ExperimentScale(
     num_intervals=1000,
     num_packets=2500,
     inference_intervals=1000,
+)
+
+#: Tiny instances for plumbing tests and equivalence checks: every
+#: structural property of ``small`` (dense vs sparse substrate, correlated
+#: drivers) at a size where a full driver run takes seconds. Deliberately
+#: *not* registered in :data:`SCALES` — it is too small for meaningful
+#: reproduction numbers.
+TINY = ExperimentScale(
+    name="tiny",
+    brite=BriteConfig(
+        num_ases=10,
+        as_attachment=2,
+        routers_per_as=4,
+        inter_as_links=2,
+        num_vantage_points=3,
+        num_destinations=30,
+        num_paths=80,
+    ),
+    traceroute=TracerouteConfig(
+        underlay=BriteConfig(
+            num_ases=24,
+            as_attachment=1,
+            routers_per_as=4,
+            inter_as_links=1,
+            num_vantage_points=2,
+            num_destinations=40,
+            num_paths=80,
+        ),
+        num_probes=400,
+        response_prob=0.95,
+        load_balance_prob=0.3,
+        max_kept_paths=80,
+    ),
+    num_intervals=120,
+    num_packets=1500,
+    inference_intervals=15,
 )
 
 #: All registered presets by name.

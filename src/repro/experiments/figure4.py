@@ -15,7 +15,7 @@ Panels (Section 5.4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,8 @@ from repro.probability.base import EstimatorConfig, ProbabilityEstimator
 from repro.probability.correlation_complete import CorrelationCompleteEstimator
 from repro.probability.correlation_heuristic import CorrelationHeuristicEstimator
 from repro.probability.independence import IndependenceEstimator
-from repro.simulation.experiment import run_experiment
+from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
+from repro.simulation.experiment import ExperimentResult, run_experiment
 from repro.simulation.probing import PathProber
 from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
 from repro.topology.brite import generate_brite_network
@@ -108,61 +109,154 @@ def _scenario_config(kind: ScenarioKind) -> ScenarioConfig:
     return ScenarioConfig(kind=kind, non_stationary=True)
 
 
-def run_figure4(
-    scale: ExperimentScale = SMALL,
-    seed: int = 2,
-    oracle: bool = False,
-) -> Figure4Result:
-    """Regenerate all four panels of Fig. 4.
+#: (label, kind) pairs of panels (a)/(b), in the paper's order.
+_SCENARIO_KINDS: Tuple[Tuple[str, ScenarioKind], ...] = (
+    ("Random Congestion", ScenarioKind.RANDOM),
+    ("Concentrated Congestion", ScenarioKind.CONCENTRATED),
+    ("No Independence", ScenarioKind.NO_INDEPENDENCE),
+)
 
-    See :func:`repro.experiments.figure3.run_figure3` for the parameters.
+
+def figure4_specs(
+    scale: ExperimentScale, seed: int, oracle: bool = False
+) -> List[TrialSpec]:
+    """Decompose the Fig. 4 sweep into independent trial specs.
+
+    One trial per (topology, scenario, estimator) cell; every random
+    stream a trial needs is derived from the spawned master seeds plus the
+    cell's labels, so any execution order (or process placement) produces
+    the same numbers. The two topologies are pure functions of the seeds,
+    so they are built once here and shipped with the specs (one copy per
+    shard after pickling) rather than rebuilt in every worker; scenarios
+    and observations are simulated by the workers themselves.
     """
-    seeds = spawn_seeds(seed, 4)
+    seeds = tuple(spawn_seeds(seed, 4))
     topologies: Dict[str, Network] = {
         "brite": generate_brite_network(scale.brite, seeds[0]),
         "sparse": generate_sparse_network(scale.traceroute, seeds[1]),
     }
-    result = Figure4Result()
-    result.topology_stats = {
-        name: dict(net.describe()) for name, net in topologies.items()
-    }
-    scenario_rng = derive_rng(seeds[2], 0)
-    scenario_kinds = [
-        ("Random Congestion", ScenarioKind.RANDOM),
-        ("Concentrated Congestion", ScenarioKind.CONCENTRATED),
-        ("No Independence", ScenarioKind.NO_INDEPENDENCE),
-    ]
-    for topology_name, network in topologies.items():
-        for label, kind in scenario_kinds:
-            scenario = build_scenario(
-                network, _scenario_config(kind), scenario_rng, name=label
-            )
-            experiment = run_experiment(
-                scenario,
-                scale.num_intervals,
-                prober=PathProber(num_packets=scale.num_packets),
-                random_state=derive_rng(
-                    seeds[3], stable_hash((topology_name, label))
-                ),
-                oracle=oracle,
-            )
-            evaluate_subsets = label == "No Independence"
-            for estimator in _estimators(seed):
-                metrics = evaluate_estimator(
-                    estimator,
-                    experiment,
-                    evaluate_subsets=(
-                        evaluate_subsets
-                        and estimator.name == "Correlation-complete"
-                    ),
-                )
-                result.rows[(topology_name, label, estimator.name)] = metrics
-                if (
-                    evaluate_subsets
-                    and estimator.name == "Correlation-complete"
-                ):
-                    result.subset_rows[topology_name] = (
-                        metrics.mean_absolute_error,
-                        metrics.subset_mean_absolute_error,
+    stats = {name: dict(net.describe()) for name, net in topologies.items()}
+    specs: List[TrialSpec] = []
+    for topology_name in ("brite", "sparse"):
+        for label, kind in _SCENARIO_KINDS:
+            for estimator_name in ESTIMATOR_ORDER:
+                specs.append(
+                    TrialSpec(
+                        campaign="figure4",
+                        topology=topology_name,
+                        scenario=label,
+                        estimator=estimator_name,
+                        seeds=seeds,
+                        index=len(specs),
+                        group=(seed, topology_name, label),
+                        # Rough relative cost hints (sparse instances and
+                        # the correlation estimators dominate) so the
+                        # longest-processing-time partition balances shards.
+                        cost=(2.0 if topology_name == "sparse" else 1.0)
+                        * (1.0 if estimator_name == "Independence" else 2.5),
+                        params={
+                            "scale": scale,
+                            "seed": seed,
+                            "oracle": oracle,
+                            "kind": kind.value,
+                            "network": topologies[topology_name],
+                            "topology_stats": stats[topology_name],
+                        },
                     )
+                )
+    return specs
+
+
+def _shared_experiment(
+    spec: TrialSpec, cache: Dict[Any, Any], network: Network
+) -> ExperimentResult:
+    """Simulate (or fetch) the trial's scenario + observation run."""
+    key = (
+        "experiment",
+        spec.topology,
+        spec.scenario,
+        spec.seeds,
+        spec.params["oracle"],
+    )
+    if key not in cache:
+        scale: ExperimentScale = spec.params["scale"]
+        kind = ScenarioKind(spec.params["kind"])
+        scenario = build_scenario(
+            network,
+            _scenario_config(kind),
+            derive_rng(spec.seeds[2], stable_hash((spec.topology, spec.scenario))),
+            name=spec.scenario,
+        )
+        cache[key] = run_experiment(
+            scenario,
+            scale.num_intervals,
+            prober=PathProber(num_packets=scale.num_packets),
+            random_state=derive_rng(
+                spec.seeds[3], stable_hash((spec.topology, spec.scenario))
+            ),
+            oracle=spec.params["oracle"],
+        )
+    return cache[key]
+
+
+def figure4_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> Dict[str, Any]:
+    """Run one Fig. 4 sweep cell: simulate (shared per group) and fit."""
+    network: Network = spec.params["network"]
+    experiment = _shared_experiment(spec, cache, network)
+    (estimator,) = [
+        candidate
+        for candidate in _estimators(spec.params["seed"])
+        if candidate.name == spec.estimator
+    ]
+    evaluate_subsets = (
+        spec.scenario == "No Independence"
+        and spec.estimator == "Correlation-complete"
+    )
+    metrics = evaluate_estimator(
+        estimator, experiment, evaluate_subsets=evaluate_subsets
+    )
+    return {"metrics": metrics, "evaluated_subsets": evaluate_subsets}
+
+
+def merge_figure4(results: Sequence[TrialResult]) -> Figure4Result:
+    """Fold trial payloads into a :class:`Figure4Result`.
+
+    Pure bookkeeping over spec-index-ordered results, so the merged figure
+    is bit-identical whatever sharding produced them.
+    """
+    result = Figure4Result()
+    for trial in results:
+        spec = trial.spec
+        metrics: ProbabilityMetrics = trial.payload["metrics"]
+        result.rows[(spec.topology, spec.scenario, spec.estimator)] = metrics
+        result.topology_stats.setdefault(
+            spec.topology, spec.params["topology_stats"]
+        )
+        if trial.payload["evaluated_subsets"]:
+            result.subset_rows[spec.topology] = (
+                metrics.mean_absolute_error,
+                metrics.subset_mean_absolute_error,
+            )
     return result
+
+
+def run_figure4(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2,
+    oracle: bool = False,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> Figure4Result:
+    """Regenerate all four panels of Fig. 4.
+
+    See :func:`repro.experiments.figure3.run_figure3` for the parameters.
+    ``workers`` shards the sweep across processes (``1`` = serial in this
+    process, ``None`` = all local CPUs) with bit-identical results.
+    """
+    results = run_trials(
+        figure4_trial,
+        figure4_specs(scale, seed, oracle),
+        workers=workers,
+        progress=progress,
+    )
+    return merge_figure4(results)

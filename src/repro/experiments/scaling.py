@@ -12,12 +12,13 @@ the requested subset size grows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, SMALL
 from repro.metrics.reporting import format_table
 from repro.probability.base import EstimatorConfig
 from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import run_experiment
 from repro.simulation.probing import PathProber
 from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
@@ -74,12 +75,18 @@ class ScalingResult:
         )
 
 
-def run_algorithm1_scaling(
-    scale: ExperimentScale = SMALL,
-    seed: int = 3,
+def scaling_specs(
+    scale: ExperimentScale,
+    seed: int,
     subset_sizes: Optional[List[int]] = None,
-) -> ScalingResult:
-    """Sweep Algorithm 1's requested subset size on a Brite instance."""
+) -> List[TrialSpec]:
+    """Decompose the sweep into one trial per requested subset size.
+
+    The Brite instance and its No-Independence experiment are simulated
+    once here in the parent and shipped to the workers with the specs (the
+    observations in their packed uint64 word form), so every sweep point
+    fits against the same run — exactly as the serial driver did.
+    """
     subset_sizes = subset_sizes or [1, 2, 3]
     seeds = spawn_seeds(seed, 3)
     network = generate_brite_network(scale.brite, seeds[0])
@@ -94,23 +101,73 @@ def run_algorithm1_scaling(
         prober=PathProber(num_packets=scale.num_packets),
         random_state=seeds[2],
     )
-    result = ScalingResult(num_paths=network.num_paths)
-    for size in subset_sizes:
-        estimator = CorrelationCompleteEstimator(
-            EstimatorConfig(requested_subset_size=size, seed=seed)
+    return [
+        TrialSpec(
+            campaign="scaling",
+            topology="brite",
+            scenario="No Independence",
+            estimator=f"subset-size-{size}",
+            seeds=(seed,),
+            index=index,
+            group=(seed, size),
+            # Larger requested subsets form more equations.
+            cost=float(size),
+            params={"experiment": experiment, "subset_size": size},
         )
-        with Timer() as timer:
-            model = estimator.fit(network, experiment.observations)
-        report = model.report  # type: ignore[attr-defined]
-        result.rows.append(
-            ScalingRow(
-                requested_subset_size=size,
-                num_unknowns=report.num_unknowns,
-                num_equations=report.num_equations,
-                rank=report.rank,
-                num_identifiable=report.num_identifiable,
-                seconds=timer.elapsed,
-                naive_equations=float(2) ** min(network.num_paths, 1023),
-            )
-        )
+        for index, size in enumerate(subset_sizes)
+    ]
+
+
+def scaling_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> ScalingRow:
+    """Fit one sweep point and report its equation-system statistics."""
+    del cache  # the experiment arrives with the spec; nothing to share
+    experiment = spec.params["experiment"]
+    size = spec.params["subset_size"]
+    estimator = CorrelationCompleteEstimator(
+        EstimatorConfig(requested_subset_size=size, seed=spec.seeds[0])
+    )
+    with Timer() as timer:
+        model = estimator.fit(experiment.network, experiment.observations)
+    report = model.report  # type: ignore[attr-defined]
+    num_paths = experiment.network.num_paths
+    return ScalingRow(
+        requested_subset_size=size,
+        num_unknowns=report.num_unknowns,
+        num_equations=report.num_equations,
+        rank=report.rank,
+        num_identifiable=report.num_identifiable,
+        seconds=timer.elapsed,
+        naive_equations=float(2) ** min(num_paths, 1023),
+    )
+
+
+def merge_scaling(results: Sequence[TrialResult]) -> ScalingResult:
+    """Reassemble sweep rows in subset-size order."""
+    result = ScalingResult()
+    for trial in results:
+        result.rows.append(trial.payload)
+    if results:
+        result.num_paths = results[0].spec.params["experiment"].network.num_paths
     return result
+
+
+def run_algorithm1_scaling(
+    scale: ExperimentScale = SMALL,
+    seed: int = 3,
+    subset_sizes: Optional[List[int]] = None,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> ScalingResult:
+    """Sweep Algorithm 1's requested subset size on a Brite instance.
+
+    ``workers`` shards the sweep points across processes; the sweep's
+    equation-system statistics are bit-identical for any value (the
+    per-point ``seconds`` column reports each worker's own wall clock).
+    """
+    results = run_trials(
+        scaling_trial,
+        scaling_specs(scale, seed, subset_sizes),
+        workers=workers,
+        progress=progress,
+    )
+    return merge_scaling(results)

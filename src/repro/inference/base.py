@@ -10,9 +10,8 @@ the congested paths.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, List, Optional
+from typing import FrozenSet, List
 
-from repro.exceptions import InferenceError
 from repro.model.status import ObservationMatrix
 from repro.topology.graph import Network
 

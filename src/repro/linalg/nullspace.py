@@ -15,7 +15,6 @@ columns. Every new column ``n'_k = n_k - N_p (r n_k) / (r N_p)`` satisfies
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

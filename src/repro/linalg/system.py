@@ -14,7 +14,7 @@ vanishes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 from scipy.optimize import lsq_linear, nnls

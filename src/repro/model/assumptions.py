@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from enum import Enum
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.topology.graph import Network
 

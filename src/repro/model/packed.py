@@ -111,6 +111,23 @@ class PackedBackend:
         congested = np.asarray(congested, dtype=bool)
         return cls(pack_bool_matrix(congested), congested.shape[0])
 
+    # -- pickling --------------------------------------------------------
+    # Observations cross process boundaries (the parallel campaign runner
+    # ships them to and from pool workers) in their uint64 word form: the
+    # state is just the word matrix plus the horizon. The lazily-built
+    # padded copy is dropped — it is a cache, and strided window views are
+    # made contiguous so the payload is exactly the touched words.
+    def __getstate__(self) -> dict:
+        return {
+            "words": np.ascontiguousarray(self.words),
+            "num_intervals": self._num_intervals,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.words = state["words"]
+        self._num_intervals = state["num_intervals"]
+        self._words_padded = None
+
     # -- storage contract ------------------------------------------------
     @property
     def num_intervals(self) -> int:

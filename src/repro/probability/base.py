@@ -34,9 +34,9 @@ import numpy as np
 from repro.exceptions import EstimationError
 from repro.model.status import ObservationMatrix
 from repro.probability.query import CongestionProbabilityModel
-from repro.probability.subsets import SubsetIndex, potentially_congested_links
+from repro.probability.subsets import potentially_congested_links
 from repro.topology.graph import Network
-from repro.util.rng import RandomState, as_generator
+from repro.util.rng import as_generator
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import prod
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 import numpy as np
 

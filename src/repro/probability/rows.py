@@ -7,7 +7,7 @@ text: ``Row(P, E^)`` and ``Matrix(P^, E^)``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

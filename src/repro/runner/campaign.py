@@ -1,0 +1,354 @@
+"""Named campaigns: declarative sweeps over the paper's experiments.
+
+A *campaign* bundles a sweep builder (trial function + specs), a merge, a
+text renderer, and a machine-readable summary, keyed by name
+(``figure3`` / ``figure4`` / ``scaling`` / ``ablation``). Campaigns run
+from the CLI (``repro-tomography campaign <name-or-spec.json>``) or
+programmatically via :func:`run_campaign`, optionally replicated across
+derived seeds — every replicate's trials share one process pool, so a
+multi-seed sweep parallelises across seeds as well as cells.
+
+A JSON campaign spec mirrors :class:`CampaignSpec`::
+
+    {"campaign": "figure4", "scale": "small", "seed": 2,
+     "workers": 4, "replicates": 3, "output": "results"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments import ablation as _ablation
+from repro.experiments import figure3 as _figure3
+from repro.experiments import figure4 as _figure4
+from repro.experiments import scaling as _scaling
+from repro.experiments.config import ExperimentScale, scale_by_name
+from repro.runner.pool import ProgressFn, ShardReport, run_trials
+from repro.runner.spec import TrialResult, TrialSpec
+from repro.util.rng import spawn_seeds
+
+
+@dataclass
+class CampaignDefinition:
+    """How to build, merge, and present one named sweep."""
+
+    name: str
+    description: str
+    default_seed: int
+    trial_fn: Callable[[TrialSpec, Dict[Any, Any]], Any]
+    build: Callable[[ExperimentScale, int, bool], List[TrialSpec]]
+    merge: Callable[[Sequence[TrialResult]], Any]
+    render: Callable[[Any], str]
+    summarize: Callable[[Any], Dict[str, Any]]
+
+
+def _render_figure3(result: _figure3.Figure3Result) -> str:
+    return (
+        "Figure 3(a) — detection rate\n"
+        + result.to_table("detection")
+        + "\n\nFigure 3(b) — false-positive rate\n"
+        + result.to_table("fp")
+    )
+
+
+def _summarize_figure3(result: _figure3.Figure3Result) -> Dict[str, Any]:
+    return {
+        "detection_rate": {
+            f"{scenario} | {algorithm}": metrics.detection_rate
+            for (scenario, algorithm), metrics in sorted(result.rows.items())
+        },
+        "false_positive_rate": {
+            f"{scenario} | {algorithm}": metrics.false_positive_rate
+            for (scenario, algorithm), metrics in sorted(result.rows.items())
+        },
+    }
+
+
+def _render_figure4(result: _figure4.Figure4Result) -> str:
+    lines = [
+        "Figure 4(a) — mean absolute error, Brite",
+        result.to_table("brite"),
+        "",
+        "Figure 4(b) — mean absolute error, Sparse",
+        result.to_table("sparse"),
+        "",
+        "Figure 4(d) — Correlation-complete, links vs correlation subsets",
+        result.to_subset_table(),
+    ]
+    return "\n".join(lines)
+
+
+def _summarize_figure4(result: _figure4.Figure4Result) -> Dict[str, Any]:
+    return {
+        "mean_absolute_error": {
+            f"{topology} | {scenario} | {estimator}": (
+                metrics.mean_absolute_error
+            )
+            for (topology, scenario, estimator), metrics in sorted(
+                result.rows.items()
+            )
+        },
+        "subset_rows": {
+            topology: list(errors)
+            for topology, errors in sorted(result.subset_rows.items())
+        },
+    }
+
+
+def _render_scaling(result: _scaling.ScalingResult) -> str:
+    return (
+        "Algorithm 1 scaling (equations formed vs naive 2^|P*| bound)\n"
+        + result.to_table()
+    )
+
+
+def _summarize_scaling(result: _scaling.ScalingResult) -> Dict[str, Any]:
+    return {
+        "rows": [
+            {
+                "requested_subset_size": row.requested_subset_size,
+                "num_unknowns": row.num_unknowns,
+                "num_equations": row.num_equations,
+                "rank": row.rank,
+                "num_identifiable": row.num_identifiable,
+                "seconds": row.seconds,
+            }
+            for row in result.rows
+        ],
+        "num_paths": result.num_paths,
+    }
+
+
+def _render_ablation(result: _ablation.AblationResult) -> str:
+    return (
+        "Correlation-complete solve ablation (mean abs link error, "
+        "No-Independence scenario)\n" + result.to_table()
+    )
+
+
+def _summarize_ablation(result: _ablation.AblationResult) -> Dict[str, Any]:
+    return {
+        "mean_absolute_error": {
+            f"{variant} | {topology}": error
+            for (variant, topology), error in sorted(result.errors.items())
+        }
+    }
+
+
+#: Registered campaigns by name.
+CAMPAIGNS: Dict[str, CampaignDefinition] = {
+    "figure3": CampaignDefinition(
+        name="figure3",
+        description="Boolean-inference accuracy across the five scenarios",
+        default_seed=1,
+        trial_fn=_figure3.figure3_trial,
+        build=_figure3.figure3_specs,
+        merge=_figure3.merge_figure3,
+        render=_render_figure3,
+        summarize=_summarize_figure3,
+    ),
+    "figure4": CampaignDefinition(
+        name="figure4",
+        description="Probability Computation accuracy (all four panels)",
+        default_seed=2,
+        trial_fn=_figure4.figure4_trial,
+        build=_figure4.figure4_specs,
+        merge=_figure4.merge_figure4,
+        render=_render_figure4,
+        summarize=_summarize_figure4,
+    ),
+    "scaling": CampaignDefinition(
+        name="scaling",
+        description="Algorithm 1 equation-count / runtime scaling sweep",
+        default_seed=3,
+        trial_fn=_scaling.scaling_trial,
+        build=lambda scale, seed, oracle: _scaling.scaling_specs(scale, seed),
+        merge=_scaling.merge_scaling,
+        render=_render_scaling,
+        summarize=_summarize_scaling,
+    ),
+    "ablation": CampaignDefinition(
+        name="ablation",
+        description="Correlation-complete solve refinement ablation",
+        default_seed=5,
+        trial_fn=_ablation.ablation_trial,
+        build=lambda scale, seed, oracle: _ablation.ablation_specs(scale, seed),
+        merge=_ablation.merge_ablation,
+        render=_render_ablation,
+        summarize=_summarize_ablation,
+    ),
+}
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative sweep request (CLI flags or a JSON file).
+
+    ``replicates > 1`` reruns the sweep at that many seeds spawned
+    deterministically from ``seed``; all replicates' trials are sharded
+    through a single pool.
+    """
+
+    campaign: str
+    scale: str = "small"
+    seed: Optional[int] = None
+    oracle: bool = False
+    workers: Optional[int] = 1
+    replicates: int = 1
+    output: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.campaign not in CAMPAIGNS:
+            raise ValueError(
+                f"unknown campaign {self.campaign!r}; "
+                f"known campaigns: {sorted(CAMPAIGNS)}"
+            )
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = all local CPUs) or null")
+
+
+def load_campaign_spec(path: Union[str, Path]) -> CampaignSpec:
+    """Parse a JSON campaign spec file into a :class:`CampaignSpec`."""
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict):
+        raise ValueError(f"campaign spec {path} must be a JSON object")
+    known = {f for f in CampaignSpec.__dataclass_fields__}
+    unknown = set(raw) - known
+    if unknown:
+        raise ValueError(
+            f"campaign spec {path} has unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    if "campaign" not in raw:
+        raise ValueError(f"campaign spec {path} is missing 'campaign'")
+    return CampaignSpec(**raw)
+
+
+@dataclass
+class ReplicateResult:
+    """One replicate's merged result plus its presentations."""
+
+    seed: int
+    result: Any
+    rendered: str
+    summary: Dict[str, Any]
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a campaign run produced, ready to print or persist."""
+
+    spec: CampaignSpec
+    seeds: List[int]
+    elapsed: float
+    num_trials: int
+    shards: List[ShardReport] = field(default_factory=list)
+    replicates: List[ReplicateResult] = field(default_factory=list)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The on-disk form of the outcome (results + per-shard timing)."""
+        return {
+            "campaign": self.spec.campaign,
+            "scale": self.spec.scale,
+            "oracle": self.spec.oracle,
+            "workers": self.spec.workers,
+            "seeds": self.seeds,
+            "num_trials": self.num_trials,
+            "elapsed_s": round(self.elapsed, 4),
+            "shards": [
+                {
+                    "shard": report.shard,
+                    "elapsed_s": round(report.elapsed, 4),
+                    "worker_pid": report.worker_pid,
+                    "trials": [
+                        {"trial": name, "elapsed_s": round(elapsed, 4)}
+                        for name, elapsed in report.trials
+                    ],
+                }
+                for report in self.shards
+            ],
+            "replicates": [
+                {
+                    "seed": replicate.seed,
+                    "summary": replicate.summary,
+                    "rendered": replicate.rendered,
+                }
+                for replicate in self.replicates
+            ],
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec, progress: Optional[ProgressFn] = None
+) -> CampaignOutcome:
+    """Run a named sweep, possibly replicated, through one shared pool."""
+    definition = CAMPAIGNS[spec.campaign]
+    scale = scale_by_name(spec.scale)
+    master = definition.default_seed if spec.seed is None else spec.seed
+    if spec.replicates == 1:
+        seeds = [master]
+    else:
+        seeds = [int(s) for s in spawn_seeds(master, spec.replicates)]
+    specs: List[TrialSpec] = []
+    replicate_slices: List[int] = []
+    for seed in seeds:
+        batch = definition.build(scale, seed, spec.oracle)
+        offset = len(specs)
+        specs.extend(
+            replace(trial, index=offset + i) for i, trial in enumerate(batch)
+        )
+        replicate_slices.append(len(batch))
+    shards: List[ShardReport] = []
+
+    def record(report: ShardReport) -> None:
+        shards.append(report)
+        if progress is not None:
+            progress(report)
+
+    start = perf_counter()
+    results = run_trials(
+        definition.trial_fn, specs, workers=spec.workers, progress=record
+    )
+    elapsed = perf_counter() - start
+    outcome = CampaignOutcome(
+        spec=spec,
+        seeds=seeds,
+        elapsed=elapsed,
+        num_trials=len(specs),
+        shards=sorted(shards, key=lambda report: report.shard),
+    )
+    offset = 0
+    for seed, size in zip(seeds, replicate_slices):
+        merged = definition.merge(results[offset : offset + size])
+        outcome.replicates.append(
+            ReplicateResult(
+                seed=seed,
+                result=merged,
+                rendered=definition.render(merged),
+                summary=definition.summarize(merged),
+            )
+        )
+        offset += size
+    return outcome
+
+
+def write_outcome(
+    outcome: CampaignOutcome, output_dir: Union[str, Path]
+) -> Path:
+    """Persist a campaign outcome as JSON; returns the written path."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    seed_tag = "-".join(str(seed) for seed in outcome.seeds[:3])
+    if len(outcome.seeds) > 3:
+        seed_tag += f"-and-{len(outcome.seeds) - 3}-more"
+    path = directory / (
+        f"{outcome.spec.campaign}_{outcome.spec.scale}_seed{seed_tag}.json"
+    )
+    path.write_text(json.dumps(outcome.to_json_dict(), indent=2) + "\n")
+    return path

@@ -1,0 +1,107 @@
+"""Trial specifications: the unit of work of a parallel campaign.
+
+A *campaign* (one of the paper's sweeps — Fig. 3, Fig. 4, the Algorithm 1
+scaling study, the ablation) decomposes into independent *trials*: one
+(topology, scenario, estimator, seed) cell of the sweep. Each trial derives
+every random stream it needs from the seeds recorded on its spec via the
+process-stable :func:`repro.util.rng.spawn_seeds` / ``stable_hash``
+machinery, so a trial's result is a pure function of its spec — the
+property that makes process-sharded execution bit-identical to the serial
+run (see :mod:`repro.runner.pool`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent cell of an experiment sweep.
+
+    Attributes
+    ----------
+    campaign:
+        Name of the sweep this trial belongs to (``"figure4"``, ...).
+    topology:
+        Topology label (``"brite"`` / ``"sparse"``), or ``""`` when the
+        campaign has a single implicit topology.
+    scenario:
+        Scenario label in the paper's wording (``"No Independence"``, ...).
+    estimator:
+        Estimator / algorithm / variant label, or ``""`` for whole-scenario
+        trials.
+    seeds:
+        The campaign's spawned master seeds; the trial derives its private
+        streams from these plus its own labels, never from shared stateful
+        generators.
+    index:
+        Position of the trial in the sweep's canonical (serial) order; the
+        merge step reassembles results in this order regardless of which
+        worker finished first.
+    group:
+        Trials sharing a group reuse expensive intermediates (the simulated
+        experiment) through the shard-local cache, so the scheduler keeps a
+        group on one shard when it can.
+    cost:
+        Relative cost hint used to balance shards (arbitrary units; only
+        ratios matter).
+    params:
+        Campaign-specific payload (the experiment scale, oracle flag,
+        pre-simulated packed observations, ...). Must be picklable.
+    """
+
+    campaign: str
+    topology: str = ""
+    scenario: str = ""
+    estimator: str = ""
+    seeds: Tuple[int, ...] = ()
+    index: int = 0
+    group: Tuple[Any, ...] = ()
+    cost: float = 1.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable cell label, used in progress and error messages."""
+        parts = [self.campaign]
+        for part in (self.topology, self.scenario, self.estimator):
+            if part:
+                parts.append(str(part))
+        return " / ".join(parts)
+
+
+@dataclass
+class TrialResult:
+    """One trial's payload plus execution metadata.
+
+    ``payload`` is whatever the campaign's trial function returned (metrics,
+    rows, packed words); ``elapsed`` and ``worker_pid`` record where and how
+    long the trial actually ran — purely informational, never merged into
+    scientific results.
+    """
+
+    spec: TrialSpec
+    payload: Any
+    elapsed: float = 0.0
+    worker_pid: int = 0
+
+
+class TrialError(RuntimeError):
+    """A trial failed (or its worker process died).
+
+    Carries the failing :class:`TrialSpec` so sweeps abort with the exact
+    sweep cell that broke instead of a bare pool traceback — or, when a
+    worker process died without a Python traceback, the candidate specs of
+    the shard it was running.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spec: Optional[TrialSpec] = None,
+        traceback_text: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.traceback_text = traceback_text

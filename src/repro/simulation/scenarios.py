@@ -18,7 +18,7 @@ three ways, optionally made non-stationary:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 

@@ -23,7 +23,7 @@ that the tomography algorithms observe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import TopologyError
 from repro.topology.graph import Link, Network, Path

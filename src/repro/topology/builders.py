@@ -6,7 +6,7 @@ examples (Sections 2, 3.1 and 5.3 all reason about Fig. 1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import TopologyError
 from repro.topology.graph import Link, Network, Path

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
-import numpy as np
 
 from repro.exceptions import TopologyError
 from repro.util.rng import RandomState, as_generator

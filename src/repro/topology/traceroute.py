@@ -28,15 +28,11 @@ break down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
-import networkx as nx
-import numpy as np
 
 from repro.exceptions import TopologyError
 from repro.topology.aslevel import AsLevelBuilder
 from repro.topology.brite import BriteConfig, build_router_internet, _dedupe_paths
-from repro.topology.graph import Network
 from repro.topology.routing import RouteOracle
 from repro.util.rng import RandomState, as_generator, derive_rng
 

@@ -8,10 +8,8 @@ import pytest
 from repro.analysis.peers import build_peer_report
 from repro.probability.base import EstimatorConfig
 from repro.probability.correlation_complete import CorrelationCompleteEstimator
-from repro.probability.query import CongestionProbabilityModel
 from repro.simulation.congestion import CongestionModel, Driver
 from repro.simulation.probing import oracle_path_status
-from repro.topology.builders import fig1_topology
 
 
 @pytest.fixture

@@ -1,0 +1,140 @@
+"""CLI smoke tests: every subcommand through ``main(argv)`` at SMALL scale.
+
+These guard the wiring (argument parsing, driver dispatch, table
+rendering) so a CLI regression fails tier-1; the numbers themselves are
+covered by the driver tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert "repro-tomography" in capsys.readouterr().out
+
+
+def test_no_command_is_an_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_figure3(capsys):
+    assert main(["figure3", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3(a)" in out
+    assert "Figure 3(b)" in out
+    assert "Sparse Topology" in out
+
+
+def test_figure4(capsys):
+    assert main(["figure4", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    for panel in ("4(a)", "4(b)", "4(c)", "4(d)"):
+        assert panel in out
+    assert "Correlation-complete" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "Sparsity" in out
+
+
+def test_scaling_parallel(capsys):
+    assert main(["scaling", "--scale", "small", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Algorithm 1 scaling" in out
+    assert "naive bound" in out
+
+
+def test_ablation(capsys):
+    assert main(["ablation", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "ablation" in out
+    assert "no redundancy" in out
+
+
+def test_monitor(capsys, tmp_path):
+    checkpoint = tmp_path / "engine.json"
+    assert (
+        main(
+            [
+                "monitor",
+                "--scale",
+                "small",
+                "--intervals",
+                "48",
+                "--window",
+                "32",
+                "--chunk",
+                "16",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "monitoring" in out
+    assert "refits" in out
+    assert checkpoint.exists()
+
+
+def test_campaign_by_name(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "campaign",
+                "scaling",
+                "--workers",
+                "2",
+                "--output",
+                str(tmp_path / "results"),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "campaign scaling" in out
+    assert "shard" in out
+    assert "results written to" in out
+    written = list((tmp_path / "results").glob("*.json"))
+    assert len(written) == 1
+    assert json.loads(written[0].read_text())["campaign"] == "scaling"
+
+
+def test_campaign_from_json_spec(capsys, tmp_path):
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(
+        json.dumps(
+            {"campaign": "scaling", "scale": "small", "seed": 7, "workers": 2}
+        )
+    )
+    assert main(["campaign", str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "== seed 7 ==" in out
+    assert "naive bound" in out
+
+
+def test_campaign_unknown_name():
+    with pytest.raises(SystemExit, match="unknown campaign"):
+        main(["campaign", "figure9"])
+
+
+def test_campaign_invalid_overrides_rejected():
+    # CLI overrides are re-validated; a zero-replicate sweep must not
+    # silently succeed as a no-op.
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "scaling", "--replicates", "0"])
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "scaling", "--workers", "-1"])

@@ -9,43 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.config import ExperimentScale, SCALES, scale_by_name
+from repro.experiments.config import SCALES, TINY, scale_by_name
 from repro.experiments.figure3 import SCENARIO_ORDER, run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.scaling import run_algorithm1_scaling
-from repro.topology.brite import BriteConfig
-from repro.topology.traceroute import TracerouteConfig
-
-TINY = ExperimentScale(
-    name="tiny",
-    brite=BriteConfig(
-        num_ases=10,
-        as_attachment=2,
-        routers_per_as=4,
-        inter_as_links=2,
-        num_vantage_points=3,
-        num_destinations=30,
-        num_paths=80,
-    ),
-    traceroute=TracerouteConfig(
-        underlay=BriteConfig(
-            num_ases=24,
-            as_attachment=1,
-            routers_per_as=4,
-            inter_as_links=1,
-            num_vantage_points=2,
-            num_destinations=40,
-            num_paths=80,
-        ),
-        num_probes=400,
-        response_prob=0.95,
-        load_balance_prob=0.3,
-        max_kept_paths=80,
-    ),
-    num_intervals=120,
-    num_packets=1500,
-    inference_intervals=15,
-)
 
 
 def test_scale_lookup():

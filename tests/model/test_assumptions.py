@@ -10,7 +10,7 @@ from repro.model.assumptions import (
     check_identifiability_pp,
     table2_rows,
 )
-from repro.topology.builders import fig1_topology, line_topology
+from repro.topology.builders import line_topology
 
 
 def test_identifiability_holds_on_fig1(fig1_case1):

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.model.packed import WORD_BITS, PackedBackend, pack_bool_matrix, unpack_words
+from repro.model.packed import WORD_BITS, pack_bool_matrix, unpack_words
 from repro.model.status import ObservationMatrix
 from repro.probability.base import EstimatorConfig
 from repro.probability.correlation_complete import CorrelationCompleteEstimator

@@ -7,7 +7,6 @@ import pytest
 
 from repro.exceptions import IdentifiabilityError
 from repro.probability.query import CongestionProbabilityModel
-from repro.topology.builders import fig1_topology
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.exceptions import EstimationError
 from repro.model.status import ObservationMatrix
 from repro.probability.rows import build_matrix, build_row
 from repro.probability.subsets import SubsetIndex, potentially_congested_links
-from repro.topology.builders import fig1_topology
 
 
 def _full_index(network, active=None):

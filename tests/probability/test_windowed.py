@@ -12,7 +12,6 @@ from repro.probability.correlation_complete import CorrelationCompleteEstimator
 from repro.probability.windowed import WindowedEstimator
 from repro.simulation.congestion import CongestionModel, Driver, NonStationaryModel
 from repro.simulation.probing import oracle_path_status
-from repro.topology.builders import fig1_topology
 
 
 @pytest.fixture

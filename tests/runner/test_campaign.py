@@ -1,0 +1,120 @@
+"""Tests for named campaigns, JSON sweep specs, and on-disk results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.campaign import (
+    CAMPAIGNS,
+    CampaignSpec,
+    load_campaign_spec,
+    run_campaign,
+    write_outcome,
+)
+
+
+def test_registry_contents():
+    assert set(CAMPAIGNS) == {"figure3", "figure4", "scaling", "ablation"}
+    for definition in CAMPAIGNS.values():
+        assert definition.description
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown campaign"):
+        CampaignSpec(campaign="figure9")
+    with pytest.raises(ValueError, match="replicates"):
+        CampaignSpec(campaign="scaling", replicates=0)
+
+
+def test_load_spec(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(
+        json.dumps(
+            {"campaign": "scaling", "scale": "small", "seed": 9, "workers": 2}
+        )
+    )
+    spec = load_campaign_spec(path)
+    assert spec.campaign == "scaling"
+    assert spec.seed == 9
+    assert spec.workers == 2
+    assert spec.replicates == 1
+
+
+def test_load_spec_rejects_unknown_keys(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps({"campaign": "scaling", "bogus": 1}))
+    with pytest.raises(ValueError, match="unknown keys"):
+        load_campaign_spec(path)
+
+
+def test_load_spec_requires_campaign(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps({"scale": "small"}))
+    with pytest.raises(ValueError, match="missing 'campaign'"):
+        load_campaign_spec(path)
+
+
+def test_load_spec_rejects_non_object(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(["scaling"]))
+    with pytest.raises(ValueError, match="JSON object"):
+        load_campaign_spec(path)
+
+
+@pytest.fixture(scope="module")
+def scaling_outcome():
+    """A replicated scaling campaign, sharded over two processes."""
+    spec = CampaignSpec(campaign="scaling", seed=3, workers=2, replicates=2)
+    return run_campaign(spec)
+
+
+def test_run_campaign_replicates(scaling_outcome):
+    outcome = scaling_outcome
+    assert len(outcome.replicates) == 2
+    assert len(set(outcome.seeds)) == 2
+    assert outcome.num_trials == 6
+    assert outcome.elapsed > 0.0
+    for replicate in outcome.replicates:
+        assert "naive bound" in replicate.rendered
+        assert len(replicate.summary["rows"]) == 3
+        assert replicate.result.num_paths > 0
+
+
+def test_run_campaign_reports_shards(scaling_outcome):
+    reported = [
+        name
+        for report in scaling_outcome.shards
+        for name, _ in report.trials
+    ]
+    assert len(reported) == 6
+    assert all(name.startswith("scaling") for name in reported)
+
+
+def test_replicates_match_direct_runs(scaling_outcome):
+    """Replicate results equal a direct run at the replicate's seed."""
+    from repro.experiments.config import SMALL
+    from repro.experiments.scaling import run_algorithm1_scaling
+
+    for replicate in scaling_outcome.replicates:
+        direct = run_algorithm1_scaling(SMALL, seed=replicate.seed)
+        assert [row.num_equations for row in direct.rows] == [
+            row.num_equations for row in replicate.result.rows
+        ]
+        assert [row.rank for row in direct.rows] == [
+            row.rank for row in replicate.result.rows
+        ]
+
+
+def test_write_outcome(scaling_outcome, tmp_path):
+    path = write_outcome(scaling_outcome, tmp_path / "results")
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["campaign"] == "scaling"
+    assert payload["num_trials"] == 6
+    assert len(payload["replicates"]) == 2
+    assert payload["shards"]
+    for shard in payload["shards"]:
+        assert shard["trials"]
+        assert shard["elapsed_s"] >= 0.0

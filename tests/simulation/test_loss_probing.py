@@ -8,7 +8,6 @@ import pytest
 from repro.exceptions import ScenarioError
 from repro.simulation.loss import LossModel
 from repro.simulation.probing import PathProber, oracle_path_status
-from repro.topology.builders import fig1_topology
 
 
 def test_loss_ranges():

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ScenarioError
-from repro.model.status import ObservationMatrix
 from repro.simulation.congestion import CongestionModel, Driver, NonStationaryModel
 from repro.simulation.probing import (
     PathProber,
