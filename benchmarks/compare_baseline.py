@@ -36,6 +36,22 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
 #: benchmarks/test_bench_figure4.py's _RESULT_CACHE) and carry no signal.
 TRIVIAL_S = 0.05
 
+#: Benchmarks whose name contains this marker measure a process-sharded
+#: run whose wall clock depends on the host's core count.
+PARALLEL_MARKER = "workers"
+
+#: Cores a parallel-runner benchmark needs for its timing to be
+#: comparable across machines (matches WORKERS in test_bench_runner.py).
+PARALLEL_MIN_CORES = 4
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
 
 def load_current(path: Path) -> dict:
     """Map fullname -> mean seconds from a pytest-benchmark JSON file."""
@@ -74,13 +90,22 @@ def update_baseline(current: dict, raw_path: Path) -> None:
     print(f"baseline updated: {BASELINE_PATH}")
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> list:
+def compare(baseline: dict, current: dict, threshold: float, cores: int = None) -> list:
     """Per-benchmark comparison rows: (name, base_s, cur_s, ratio, note).
 
     ``base_s``/``cur_s``/``ratio`` are ``None`` where a side is missing;
-    ``note`` is one of ``""``, ``"baseline-only"``, ``"new"``, ``"cached"``
-    or ``"REGRESSION"``.
+    ``note`` is one of ``""``, ``"baseline-only"``, ``"new"``, ``"cached"``,
+    ``"skipped: <N cores"`` or ``"REGRESSION"``.
+
+    Parallel-runner benchmarks (name containing ``workers``) are excluded
+    from the regression gate when the host has fewer than
+    ``PARALLEL_MIN_CORES`` usable cores: their wall clock there measures
+    process-pool overhead on a saturated machine, not a regression, and the
+    committed baseline may have been recorded with a different core count
+    (the original snapshot was recorded on 1 core).
     """
+    if cores is None:
+        cores = usable_cores()
     rows = []
     for name in sorted(set(baseline) | set(current)):
         base_mean = baseline.get(name, {}).get("mean_s")
@@ -88,6 +113,16 @@ def compare(baseline: dict, current: dict, threshold: float) -> list:
         if base_mean is None or cur_mean is None:
             note = "baseline-only" if cur_mean is None else "new"
             rows.append((name, base_mean, cur_mean, None, note))
+        elif PARALLEL_MARKER in name and cores < PARALLEL_MIN_CORES:
+            rows.append(
+                (
+                    name,
+                    base_mean,
+                    cur_mean,
+                    None,
+                    f"skipped: <{PARALLEL_MIN_CORES} cores",
+                )
+            )
         elif base_mean < TRIVIAL_S or cur_mean < TRIVIAL_S:
             rows.append((name, base_mean, cur_mean, None, "cached"))
         else:
@@ -130,9 +165,7 @@ def render_markdown(rows: list, threshold: float) -> str:
         cur = "-" if cur_s is None else f"{cur_s:.3f}s"
         shown_ratio = "-" if ratio is None else f"{ratio:.2f}x"
         status = f"**{note}**" if note == "REGRESSION" else (note or "ok")
-        lines.append(
-            f"| `{name}` | {base} | {cur} | {shown_ratio} | {status} |"
-        )
+        lines.append(f"| `{name}` | {base} | {cur} | {shown_ratio} | {status} |")
     return "\n".join(lines) + "\n"
 
 

@@ -26,9 +26,7 @@ def _result(scale, seed=1):
 
 @pytest.mark.benchmark(group="figure3")
 def test_figure3a_detection_rate(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 3(a) - detection rate (paper: ~0.9 easy cases, lower when")
     print("an algorithm's assumption breaks; everything suffers on Sparse)")
@@ -45,9 +43,7 @@ def test_figure3a_detection_rate(benchmark, bench_scale):
 
 @pytest.mark.benchmark(group="figure3")
 def test_figure3b_false_positive_rate(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 3(b) - false-positive rate (paper: small in easy cases;")
     print("rises sharply on the Sparse topology)")

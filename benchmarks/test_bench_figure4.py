@@ -27,9 +27,7 @@ def _result(scale, seed=2):
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4a_brite_link_error(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 4(a) - mean abs error of link congestion probability, Brite")
     print("(paper: all <= 0.07; Independence ~2x worse under No Independence)")
@@ -43,9 +41,7 @@ def test_figure4a_brite_link_error(benchmark, bench_scale):
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4b_sparse_link_error(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 4(b) - mean abs error, Sparse topologies")
     print("(paper: Independence/heuristic degrade; Correlation-complete wins)")
@@ -57,9 +53,7 @@ def test_figure4b_sparse_link_error(benchmark, bench_scale):
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4c_error_cdf(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 4(c) - CDF of abs error, No Independence, Sparse")
     print("(paper: Correlation-complete <0.1 error for ~80% of links)")
@@ -70,16 +64,12 @@ def test_figure4c_error_cdf(benchmark, bench_scale):
         print(f"  {estimator:<22} {series}")
         coverage[estimator] = cdf[1]  # fraction of links with error <= 0.1
     assert coverage["Correlation-complete"] >= 0.6
-    assert (
-        coverage["Correlation-complete"] >= coverage["Independence"] - 0.05
-    )
+    assert (coverage["Correlation-complete"] >= coverage["Independence"] - 0.05)
 
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4d_subset_error(benchmark, bench_scale):
-    result = benchmark.pedantic(
-        lambda: _result(bench_scale), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
     print()
     print("Figure 4(d) - Correlation-complete: links vs correlation subsets")
     print("(paper: subset probabilities accurate, mean abs error <= ~0.1)")

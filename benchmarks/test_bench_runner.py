@@ -46,9 +46,7 @@ def _sweep_specs(scale):
     for seed in SWEEP_SEEDS:
         batch = figure4_specs(scale, seed)
         offset = len(specs)
-        specs.extend(
-            replace(spec, index=offset + i) for i, spec in enumerate(batch)
-        )
+        specs.extend(replace(spec, index=offset + i) for i, spec in enumerate(batch))
     return specs
 
 
@@ -117,9 +115,7 @@ def test_runner_figure4_sweep_workers4(benchmark, bench_scale):
                 serial_metrics.mean_absolute_error
                 == parallel_metrics.mean_absolute_error
             )
-            assert np.array_equal(
-                serial_metrics.errors, parallel_metrics.errors
-            )
+            assert np.array_equal(serial_metrics.errors, parallel_metrics.errors)
         assert serial_figure.subset_rows == parallel_figure.subset_rows
     _, parallel_s = _RUNS[WORKERS]
     cores = _usable_cores()

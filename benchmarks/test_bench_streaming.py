@@ -40,9 +40,7 @@ def _stream_setup(scale, seed=2):
         ScenarioConfig(kind=ScenarioKind.RANDOM, non_stationary=True),
         random_state=derive_rng(seed, 1),
     )
-    states = scenario.ground_truth.sample(
-        scale.num_intervals, derive_rng(seed, 2)
-    )
+    states = scenario.ground_truth.sample(scale.num_intervals, derive_rng(seed, 2))
     prober = PathProber(num_packets=scale.num_packets)
     observations = prober.observe(network, states, derive_rng(seed, 3))
     return network, observations.matrix
@@ -66,9 +64,7 @@ def test_streaming_ingest_throughput(benchmark, bench_scale):
     network, dense = _stream_setup(bench_scale)
     total = dense.shape[0]
 
-    engine = benchmark.pedantic(
-        lambda: _drive(network, dense), rounds=1, iterations=1
-    )
+    engine = benchmark.pedantic(lambda: _drive(network, dense), rounds=1, iterations=1)
     streaming_seconds = benchmark.stats.stats.mean
     streaming_rate = total / streaming_seconds
 
@@ -108,9 +104,7 @@ def test_streaming_ingest_throughput(benchmark, bench_scale):
     # exactly `WINDOW` intervals — no full-horizon recompute per round.
     expected_windows = (total - WINDOW) // STRIDE + 1
     assert engine.refits + engine.skipped_windows == expected_windows
-    assert all(
-        stop - start == WINDOW for start, stop in engine.timeline.window_spans()
-    )
+    assert all(stop - start == WINDOW for start, stop in engine.timeline.window_spans())
     # The warm workload carries across overlapping windows.
     assert engine.cache_hits > engine.cache_misses
 

@@ -47,9 +47,7 @@ def main() -> None:
     # Pick a peer with several monitored links as the flash-crowd victim.
     members = peer_link_members(network)
     victim_asn, victim_links = max(members.items(), key=lambda kv: len(kv[1]))
-    background = [
-        e for e in range(network.num_links) if e not in victim_links
-    ][:6]
+    background = [e for e in range(network.num_links) if e not in victim_links][:6]
 
     quiet = build_congestion_model(
         network,

@@ -44,9 +44,7 @@ def main() -> None:
     )
 
     # Probability Computation: the paper's Algorithm 1.
-    estimator = CorrelationCompleteEstimator(
-        EstimatorConfig(requested_subset_size=2)
-    )
+    estimator = CorrelationCompleteEstimator(EstimatorConfig(requested_subset_size=2))
     model = estimator.fit(network, observations)
     report = model.report
     print(

@@ -54,6 +54,16 @@ from repro.inference import (
     BayesianIndependenceInference,
     SparsityInference,
 )
+from repro.datasets import (
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.simulation.library import (
+    ScenarioGenerator,
+    build_named_scenario,
+    scenario_names,
+)
 from repro.streaming import (
     Alert,
     AlertManager,
@@ -93,5 +103,11 @@ __all__ = [
     "AlertPolicy",
     "PackedRingBuffer",
     "StreamingEstimator",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "ScenarioGenerator",
+    "build_named_scenario",
+    "scenario_names",
     "__version__",
 ]

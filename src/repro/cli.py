@@ -1,27 +1,35 @@
 """Command-line interface: regenerate the paper's tables and figures,
-or run the live monitoring engine.
+sweep the dataset/scenario libraries, or run the live monitoring engine.
 
 Usage::
 
-    repro-tomography figure3 [--scale small|paper] [--seed N] [--oracle]
+    repro-tomography figure3 [--scale SCALE] [--seed N] [--oracle]
                              [--workers W]
-    repro-tomography figure4 [--scale small|paper] [--seed N] [--oracle]
+    repro-tomography figure4 [--scale SCALE] [--seed N] [--oracle]
                              [--workers W]
     repro-tomography table2
-    repro-tomography scaling [--scale small|paper] [--seed N] [--workers W]
-    repro-tomography ablation [--scale small|paper] [--seed N] [--workers W]
-    repro-tomography campaign NAME_OR_SPEC.json [--scale small|paper]
+    repro-tomography scaling [--scale SCALE] [--seed N] [--workers W]
+    repro-tomography ablation [--scale SCALE] [--seed N] [--workers W]
+    repro-tomography campaign NAME_OR_SPEC.json [--scale SCALE]
                              [--seed N] [--oracle] [--workers W]
                              [--replicates R] [--output DIR]
-    repro-tomography monitor [--scale small|paper] [--seed N] [--oracle]
+                             [--dataset NAMES] [--scenario NAMES]
+    repro-tomography campaign --list
+    repro-tomography datasets list|info NAME|validate
+    repro-tomography scenarios list|info NAME
+    repro-tomography monitor [--scale SCALE] [--seed N] [--oracle]
+                             [--dataset NAME] [--scenario NAME]
                              [--intervals T] [--window W] [--stride S]
                              [--chunk C] [--checkpoint PATH]
     repro-tomography --version
 
+``SCALE`` is one of the registered presets (``tiny``/``small``/``paper``).
 ``--workers`` shards a sweep across processes (0 = all local CPUs) with
 results bit-identical to the serial run; ``campaign`` runs a named sweep
 (or a JSON sweep spec) with per-shard progress and optional JSON results
-on disk.
+on disk — the ``realworld`` campaign sweeps every registered dataset and
+scenario, restrictable with ``--dataset``/``--scenario`` (comma-separated
+names from ``datasets list`` / ``scenarios list``).
 """
 
 from __future__ import annotations
@@ -88,12 +96,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--workers", type=int, default=1, help=workers_help)
     sub = subparsers.add_parser(
         "campaign",
-        help="run a named sweep (figure3|figure4|scaling|ablation) "
+        help="run a named sweep (figure3|figure4|scaling|ablation|realworld) "
         "or a JSON sweep spec, sharded across processes",
     )
     sub.add_argument(
         "target",
+        nargs="?",
+        default=None,
         help="campaign name or path to a JSON campaign spec",
+    )
+    sub.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_campaigns",
+        help="enumerate the registered sweeps and exit",
     )
     sub.add_argument("--scale", choices=sorted(SCALES), default=None)
     sub.add_argument("--seed", type=int, default=None)
@@ -104,13 +120,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--workers", type=int, default=None, help=workers_help)
     sub.add_argument(
-        "--replicates", type=int, default=None,
+        "--replicates",
+        type=int,
+        default=None,
         help="rerun the sweep at this many seeds spawned from --seed",
     )
     sub.add_argument(
-        "--output", type=str, default=None,
+        "--output",
+        type=str,
+        default=None,
         help="directory for the campaign's JSON results",
     )
+    sub.add_argument(
+        "--dataset",
+        type=str,
+        default=None,
+        help="comma-separated registered datasets (realworld campaign only)",
+    )
+    sub.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="comma-separated registered scenarios (realworld campaign only)",
+    )
+    sub = subparsers.add_parser(
+        "datasets",
+        help="inspect the registered real-topology datasets",
+    )
+    sub.add_argument(
+        "action",
+        choices=("list", "info", "validate"),
+        help="list the registry, describe one dataset, or load every "
+        "bundled dataset through its loader",
+    )
+    sub.add_argument("name", nargs="?", default=None, help="dataset name (info)")
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk parse cache",
+    )
+    sub = subparsers.add_parser(
+        "scenarios",
+        help="inspect the registered congestion-scenario generators",
+    )
+    sub.add_argument(
+        "action",
+        choices=("list", "info"),
+        help="list the library or describe one generator",
+    )
+    sub.add_argument("name", nargs="?", default=None, help="scenario name (info)")
     sub = subparsers.add_parser(
         "monitor",
         help="stream a live scenario through the incremental estimator",
@@ -123,21 +181,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use noise-free path observations",
     )
     sub.add_argument(
-        "--intervals", type=int, default=None,
+        "--dataset",
+        type=str,
+        default=None,
+        help="monitor a registered dataset instead of a generated topology",
+    )
+    sub.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="registered scenario generator (default: no_stationarity)",
+    )
+    sub.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
         help="rounds to stream (default: the scale's horizon)",
     )
     sub.add_argument("--window", type=int, default=128)
     sub.add_argument("--stride", type=int, default=None)
     sub.add_argument(
-        "--chunk", type=int, default=16,
+        "--chunk",
+        type=int,
+        default=16,
         help="probe rounds ingested per batch (1 = strictly round-by-round)",
     )
     sub.add_argument(
-        "--checkpoint", type=str, default=None,
+        "--checkpoint",
+        type=str,
+        default=None,
         help="write engine state to this path when the stream ends",
     )
     sub.add_argument(
-        "--top", type=int, default=5,
+        "--top",
+        type=int,
+        default=5,
         help="peers shown per refit line",
     )
     return parser
@@ -215,6 +293,16 @@ def _run_campaign(args: argparse.Namespace) -> None:
 
     from dataclasses import replace
 
+    if args.list_campaigns:
+        rows = [
+            [definition.name, definition.description]
+            for _, definition in sorted(CAMPAIGNS.items())
+        ]
+        print("Registered campaigns")
+        print(format_table(["Campaign", "Description"], rows))
+        return
+    if args.target is None:
+        raise SystemExit("campaign: provide a campaign name/spec or --list")
     if args.target in CAMPAIGNS:
         spec = CampaignSpec(campaign=args.target)
     elif os.path.exists(args.target):
@@ -239,6 +327,10 @@ def _run_campaign(args: argparse.Namespace) -> None:
         overrides["replicates"] = args.replicates
     if args.output is not None:
         overrides["output"] = args.output
+    if args.dataset is not None:
+        overrides["dataset"] = args.dataset
+    if args.scenario is not None:
+        overrides["scenario"] = args.scenario
     try:
         spec = replace(spec, **overrides)
     except ValueError as exc:
@@ -263,12 +355,107 @@ def _run_campaign(args: argparse.Namespace) -> None:
         print(f"\nresults written to {path}")
 
 
+def _print_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        DATASETS,
+        dataset_info,
+        dataset_names,
+        load_dataset,
+    )
+    from repro.exceptions import DatasetError
+
+    use_cache = not args.no_cache
+    if args.action == "list":
+        rows = []
+        for name in dataset_names():
+            entry = DATASETS[name]
+            rows.append(
+                [
+                    name,
+                    entry.format_name,
+                    entry.filename or "(generated)",
+                    entry.description,
+                ]
+            )
+        print("Registered datasets")
+        print(format_table(["Dataset", "Format", "Source", "Description"], rows))
+        return 0
+    if args.action == "info":
+        if not args.name:
+            raise SystemExit("datasets info: provide a dataset name")
+        try:
+            info = dataset_info(args.name, use_cache=use_cache)
+        except DatasetError as exc:
+            raise SystemExit(str(exc)) from None
+        width = max(len(key) for key in info)
+        for key, value in info.items():
+            print(f"{key:<{width}}  {value}")
+        return 0
+    # validate: every registered dataset must load through its loader.
+    failures = 0
+    for name in dataset_names():
+        try:
+            network = load_dataset(name, use_cache=use_cache)
+        except DatasetError as exc:
+            print(f"FAIL {name}: {exc}")
+            failures += 1
+        else:
+            print(
+                f"ok   {name}: {network.num_links} links, "
+                f"{network.num_paths} paths, "
+                f"{len(network.correlation_sets)} correlation sets"
+            )
+    if failures:
+        print(f"{failures} dataset(s) failed to load")
+        return 1
+    print("all datasets load")
+    return 0
+
+
+def _print_scenarios(args: argparse.Namespace) -> None:
+    from repro.exceptions import ScenarioError
+    from repro.simulation.library import SCENARIOS, get_scenario, scenario_names
+
+    if args.action == "list":
+        rows = []
+        for name in scenario_names():
+            generator = SCENARIOS[name]
+            rows.append(
+                [
+                    name,
+                    "yes" if generator.non_stationary else "no",
+                    "yes" if generator.needs_correlated_groups else "no",
+                    generator.description,
+                ]
+            )
+        print("Registered scenarios")
+        print(
+            format_table(
+                ["Scenario", "Non-stationary", "Needs correlation", "Description"],
+                rows,
+            )
+        )
+        return
+    if not args.name:
+        raise SystemExit("scenarios info: provide a scenario name")
+    try:
+        generator = get_scenario(args.name)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"{generator.name}: {generator.description}")
+    print(f"  non-stationary: {generator.non_stationary}")
+    print(f"  needs correlated groups: {generator.needs_correlated_groups}")
+    print("  parameters:")
+    for key, value in sorted(generator.defaults.items()):
+        print(f"    {key} = {value}")
+
+
 def _run_monitor(args: argparse.Namespace) -> None:
     from repro.probability.correlation_complete import CorrelationCompleteEstimator
     from repro.probability.base import EstimatorConfig
     from repro.probability.windowed import peer_link_members
     from repro.simulation.probing import PathProber, StreamingProber
-    from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+    from repro.simulation.library import get_scenario
     from repro.streaming import (
         AlertManager,
         AlertPolicy,
@@ -281,12 +468,23 @@ def _run_monitor(args: argparse.Namespace) -> None:
 
     scale = scale_by_name(args.scale)
     intervals = args.intervals if args.intervals is not None else scale.num_intervals
-    network = generate_brite_network(scale.brite, random_state=args.seed)
-    scenario = build_scenario(
-        network,
-        ScenarioConfig(kind=ScenarioKind.NO_STATIONARITY),
-        random_state=derive_rng(args.seed, 1),
-    )
+    if args.dataset is not None:
+        from repro.datasets import load_dataset
+        from repro.exceptions import DatasetError
+
+        try:
+            network = load_dataset(args.dataset)
+        except DatasetError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        network = generate_brite_network(scale.brite, random_state=args.seed)
+    from repro.exceptions import ScenarioError
+
+    try:
+        generator = get_scenario(args.scenario or "no_stationarity")
+        scenario = generator.build(network, random_state=derive_rng(args.seed, 1))
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
     prober = None if args.oracle else PathProber(num_packets=scale.num_packets)
     source = StreamingProber(
         network,
@@ -304,7 +502,8 @@ def _run_monitor(args: argparse.Namespace) -> None:
     members = peer_link_members(network)
     print(
         f"monitoring {network.num_paths} paths over {network.num_links} links "
-        f"in {len(members)} ASes; window={engine.window} stride={engine.stride}"
+        f"in {len(members)} ASes ({network.name}, scenario {scenario.name}); "
+        f"window={engine.window} stride={engine.stride}"
     )
     reported = 0
     for chunk in source.rounds(intervals, random_state=derive_rng(args.seed, 2)):
@@ -361,6 +560,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_ablation(args)
     elif args.command == "campaign":
         _run_campaign(args)
+    elif args.command == "datasets":
+        return _print_datasets(args)
+    elif args.command == "scenarios":
+        _print_scenarios(args)
     elif args.command == "monitor":
         _run_monitor(args)
     return 0

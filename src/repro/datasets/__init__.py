@@ -1,0 +1,78 @@
+"""Real-topology dataset loaders and the named-dataset registry.
+
+Pluggable loaders parse real topology formats into the
+:class:`~repro.topology.graph.Network` the estimation stack observes:
+
+``gml``
+    Topology Zoo GML backbone maps.
+``rocketfuel``
+    Rocketfuel-style POP-annotated ISP edge lists.
+``caida``
+    CAIDA AS-relationship graphs (``as-rel`` format).
+``repro-json``
+    Networks saved by :mod:`repro.topology.serialization`.
+``brite`` / ``traceroute``
+    The repository's synthetic generators behind the same protocol.
+
+The :mod:`~repro.datasets.registry` names each bundled dataset and
+:func:`~repro.datasets.registry.load_dataset` loads one through the
+on-disk parse cache (:mod:`~repro.datasets.cache`). Campaigns sweep the
+registry via :mod:`repro.experiments.realworld`; the CLI exposes
+``datasets list / info / validate``.
+"""
+
+from repro.datasets.base import (
+    DatasetLoader,
+    DatasetSpec,
+    ParsedTopology,
+    derive_network,
+    partition_into_ases,
+)
+from repro.datasets.caida import CaidaLoader, parse_caida
+from repro.datasets.cache import default_cache_dir, load_with_cache
+from repro.datasets.gml import GmlLoader, parse_gml
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetEntry,
+    dataset_info,
+    dataset_names,
+    datasets_root,
+    get_dataset,
+    load_dataset,
+    register_dataset,
+    resolve_dataset_path,
+)
+from repro.datasets.rocketfuel import RocketfuelLoader, parse_rocketfuel
+from repro.datasets.synthetic import (
+    BriteLoader,
+    JsonNetworkLoader,
+    TracerouteLoader,
+)
+
+__all__ = [
+    "DatasetLoader",
+    "DatasetSpec",
+    "ParsedTopology",
+    "derive_network",
+    "partition_into_ases",
+    "GmlLoader",
+    "parse_gml",
+    "RocketfuelLoader",
+    "parse_rocketfuel",
+    "CaidaLoader",
+    "parse_caida",
+    "BriteLoader",
+    "TracerouteLoader",
+    "JsonNetworkLoader",
+    "default_cache_dir",
+    "load_with_cache",
+    "DATASETS",
+    "DatasetEntry",
+    "dataset_info",
+    "dataset_names",
+    "datasets_root",
+    "get_dataset",
+    "load_dataset",
+    "register_dataset",
+    "resolve_dataset_path",
+]

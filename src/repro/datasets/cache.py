@@ -1,0 +1,95 @@
+"""On-disk parse cache for dataset loading.
+
+Parsing a large Topology Zoo file — or regenerating a synthetic topology —
+costs far more than reading the derived network back, and campaign runs
+load the same datasets over and over. The cache stores each derived
+:class:`~repro.topology.graph.Network` as the stable JSON of
+:mod:`repro.topology.serialization`, keyed by a digest of the loader's
+source content (file bytes or generator config) and the
+:class:`~repro.datasets.base.DatasetSpec`, so editing a dataset file or
+changing the derivation spec invalidates the entry automatically.
+
+Corrupt or stale cache entries are never fatal: any failure to read one
+falls back to a fresh parse that overwrites the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.base import DatasetLoader, DatasetSpec, PathLike
+from repro.exceptions import ReproError
+from repro.topology.graph import Network
+from repro.topology.serialization import load_network, save_network
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The dataset cache directory (override with ``$REPRO_CACHE_DIR``)."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    if root:
+        return Path(root) / "datasets"
+    return Path.home() / ".cache" / "repro-tomography" / "datasets"
+
+
+def cache_key(
+    loader: DatasetLoader, path: Optional[PathLike], spec: DatasetSpec
+) -> str:
+    """Digest identifying one (source content, loader, spec) combination."""
+    digest = hashlib.sha256()
+    digest.update(loader.format_name.encode())
+    digest.update(b"\x00")
+    digest.update(loader.cache_token(path))
+    digest.update(b"\x00")
+    digest.update(repr(spec).encode())
+    return digest.hexdigest()[:24]
+
+
+def load_with_cache(
+    name: str,
+    loader: DatasetLoader,
+    path: Optional[PathLike],
+    spec: DatasetSpec,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+) -> Network:
+    """Load a dataset through the on-disk cache.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the dataset; becomes the network's name and the
+        cache file prefix.
+    loader, path, spec:
+        What to load and how (see :mod:`repro.datasets.base`).
+    cache_dir:
+        Cache directory override (default :func:`default_cache_dir`).
+    use_cache:
+        When false, parse fresh and touch no cache files.
+    """
+    if not use_cache:
+        network = loader.load(path, spec)
+        network.name = name
+        return network
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    cache_file = directory / f"{name}-{cache_key(loader, path, spec)}.json"
+    if cache_file.exists():
+        try:
+            return load_network(cache_file)
+        except ReproError:
+            pass  # stale/corrupt entry: fall through to a fresh parse
+    network = loader.load(path, spec)
+    network.name = name
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        temporary = cache_file.with_suffix(".tmp")
+        save_network(network, temporary)
+        os.replace(temporary, cache_file)
+    except OSError:
+        pass  # read-only cache location: serve the parse uncached
+    return network

@@ -1,0 +1,100 @@
+"""CAIDA AS-relationship loader.
+
+CAIDA's `as-rel <https://www.caida.org/catalog/datasets/as-relationships/>`_
+files describe the inferred AS-level Internet graph, one relationship per
+line::
+
+    # source: CAIDA AS relationships (sample)
+    1221|4637|-1
+    4637|3356|0
+
+``a|b|-1`` is a provider-to-customer edge (``a`` provides transit to
+``b``); ``a|b|0`` is a settlement-free peering edge. Lines starting with
+``#`` are comments.
+
+Here every AS is a single vertex that is also its own correlation set —
+exactly the paper's Assumption 5 ("all links that belong to one AS are
+assigned to a separate correlation set") taken to AS granularity. Both
+relationship types become undirected edges: the tomography model cares
+about which inter-domain links exist and which paths cross them, not about
+the business relationship (kept as metadata for inspection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.datasets.base import (
+    DatasetSpec,
+    ParsedTopology,
+    PathLike,
+    dataset_stem,
+    derive_network,
+    read_dataset_text,
+)
+from repro.exceptions import DatasetError
+from repro.topology.graph import Network
+
+#: Relationship codes of the as-rel format.
+PROVIDER_CUSTOMER = -1
+PEER_PEER = 0
+
+
+def parse_caida(
+    text: str,
+) -> Tuple[ParsedTopology, Dict[Tuple[int, int], int]]:
+    """Parse CAIDA as-rel text.
+
+    Returns the parsed topology plus the relationship of each (lower,
+    higher) AS pair (``-1`` provider-customer, ``0`` peer-peer).
+    """
+    graph = nx.Graph()
+    relationships: Dict[Tuple[int, int], int] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 3:
+            raise DatasetError(
+                f"as-rel line {line_number}: expected 'as1|as2|rel', "
+                f"got {line!r}"
+            )
+        try:
+            a, b, relationship = (int(fields[0]), int(fields[1]), int(fields[2]))
+        except ValueError:
+            raise DatasetError(
+                f"as-rel line {line_number}: non-integer field in {line!r}"
+            ) from None
+        if relationship not in (PROVIDER_CUSTOMER, PEER_PEER):
+            raise DatasetError(
+                f"as-rel line {line_number}: unknown relationship "
+                f"{relationship} (expected -1 or 0)"
+            )
+        if a == b:
+            raise DatasetError(f"as-rel line {line_number}: self-loop on AS {a}")
+        graph.add_edge(a, b)
+        relationships[(min(a, b), max(a, b))] = relationship
+    if graph.number_of_edges() == 0:
+        raise DatasetError("as-rel file has no relationships")
+    asn_of = {node: node for node in graph.nodes}
+    labels = {node: f"AS{node}" for node in graph.nodes}
+    return ParsedTopology(graph=graph, asn_of=asn_of, labels=labels), relationships
+
+
+class CaidaLoader:
+    """Loader for CAIDA AS-relationship files."""
+
+    format_name = "caida"
+    description = "CAIDA AS-relationship graph (as-rel format)"
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        text = read_dataset_text(path, self.format_name)
+        parsed, _ = parse_caida(text)
+        name = dataset_stem(path)
+        return derive_network(parsed, spec, name)
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        return read_dataset_text(path, self.format_name).encode()

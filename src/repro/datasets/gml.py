@@ -1,0 +1,176 @@
+"""Topology Zoo GML loader.
+
+The `Internet Topology Zoo <http://www.topology-zoo.org/>`_ publishes real
+operator backbone maps as GML files::
+
+    graph [
+      node [ id 0 label "New York" Latitude 40.71 ]
+      node [ id 1 label "Chicago" ]
+      edge [ source 0 target 1 LinkSpeed "10" ]
+    ]
+
+The parser here is a small tolerant tokenizer rather than a full GML
+implementation: Topology Zoo files routinely carry duplicate labels,
+stray attributes, and nested blocks that trip strict parsers, while their
+structural core (node ids, edge endpoints) is always well-formed. Only
+``node``/``edge`` blocks are interpreted; everything else is skipped.
+
+Single-ISP backbones carry no AS structure, so nodes are grouped into
+synthetic per-region ASes with
+:func:`~repro.datasets.base.partition_into_ases` (an ``asn`` node
+attribute, when present, wins).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+import networkx as nx
+
+from repro.datasets.base import (
+    DatasetSpec,
+    ParsedTopology,
+    PathLike,
+    dataset_stem,
+    derive_network,
+    partition_into_ases,
+    read_dataset_text,
+)
+from repro.exceptions import DatasetError
+from repro.topology.graph import Network
+
+#: GML tokens: quoted strings, brackets, or bare words/numbers.
+_TOKEN = re.compile(r'"([^"]*)"|(\[)|(\])|([^\s\[\]]+)')
+
+#: A parsed GML value: a scalar or a nested block.
+GmlValue = Union[str, int, float, List[Tuple[str, "GmlValue"]]]
+
+
+def _tokenize(text: str) -> List[Union[str, Tuple[str]]]:
+    """Split GML text into tokens; quoted strings keep a 1-tuple marker."""
+    tokens: List[Union[str, Tuple[str]]] = []
+    for match in _TOKEN.finditer(text):
+        quoted, open_bracket, close_bracket, word = match.groups()
+        if quoted is not None:
+            tokens.append((quoted,))  # marked so "0" stays a string
+        elif open_bracket:
+            tokens.append("[")
+        elif close_bracket:
+            tokens.append("]")
+        elif word is not None and not word.startswith("#"):
+            tokens.append(word)
+    return tokens
+
+
+def _coerce(word: str) -> Union[str, int, float]:
+    """Interpret a bare GML token as int, float, or string."""
+    try:
+        return int(word)
+    except ValueError:
+        pass
+    try:
+        return float(word)
+    except ValueError:
+        return word
+
+
+def _parse_block(
+    tokens: List[Union[str, Tuple[str]]], position: int
+) -> Tuple[List[Tuple[str, GmlValue]], int]:
+    """Parse ``key value`` pairs until the matching ``]`` (or the end)."""
+    entries: List[Tuple[str, GmlValue]] = []
+    while position < len(tokens):
+        token = tokens[position]
+        if token == "]":
+            return entries, position + 1
+        if token == "[" or isinstance(token, tuple):
+            raise DatasetError(f"malformed GML: expected a key at token {position}")
+        key = token
+        position += 1
+        if position >= len(tokens):
+            raise DatasetError(f"malformed GML: key {key!r} has no value")
+        value_token = tokens[position]
+        if value_token == "[":
+            nested, position = _parse_block(tokens, position + 1)
+            entries.append((key, nested))
+        elif isinstance(value_token, tuple):
+            entries.append((key, value_token[0]))
+            position += 1
+        elif value_token == "]":
+            raise DatasetError(f"malformed GML: key {key!r} has no value")
+        else:
+            entries.append((key, _coerce(value_token)))
+            position += 1
+    return entries, position
+
+
+def _block_get(block: List[Tuple[str, GmlValue]], key: str) -> Optional[GmlValue]:
+    for entry_key, value in block:
+        if entry_key == key:
+            return value
+    return None
+
+
+def parse_gml(text: str, group_size: int = 4) -> ParsedTopology:
+    """Parse Topology Zoo GML text into a :class:`ParsedTopology`.
+
+    Raises
+    ------
+    DatasetError
+        When no ``graph`` block, no nodes, or no edges are present, or a
+        node/edge block is missing its id/endpoints.
+    """
+    entries, _ = _parse_block(_tokenize(text), 0)
+    graph_block = _block_get(entries, "graph")
+    if not isinstance(graph_block, list):
+        raise DatasetError("GML file has no 'graph' block")
+
+    graph = nx.Graph()
+    labels: Dict[int, str] = {}
+    declared_asn: Dict[int, int] = {}
+    for key, value in graph_block:
+        if key == "node" and isinstance(value, list):
+            node_id = _block_get(value, "id")
+            if not isinstance(node_id, int):
+                raise DatasetError("GML node block without an integer 'id'")
+            graph.add_node(node_id)
+            label = _block_get(value, "label")
+            if label is not None:
+                labels[node_id] = str(label)
+            asn = _block_get(value, "asn")
+            if isinstance(asn, int):
+                declared_asn[node_id] = asn
+        elif key == "edge" and isinstance(value, list):
+            source = _block_get(value, "source")
+            target = _block_get(value, "target")
+            if not isinstance(source, int) or not isinstance(target, int):
+                raise DatasetError("GML edge block without integer endpoints")
+            if source != target:
+                graph.add_edge(source, target)
+    if graph.number_of_nodes() == 0:
+        raise DatasetError("GML graph has no nodes")
+    if graph.number_of_edges() == 0:
+        raise DatasetError("GML graph has no edges")
+
+    if declared_asn and len(declared_asn) == graph.number_of_nodes():
+        asn_of = dict(declared_asn)
+    else:
+        asn_of = partition_into_ases(graph, group_size)
+    return ParsedTopology(graph=graph, asn_of=asn_of, labels=labels)
+
+
+class GmlLoader:
+    """Loader for Topology Zoo GML backbone maps."""
+
+    format_name = "gml"
+    description = "Topology Zoo GML backbone map"
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        text = read_dataset_text(path, self.format_name)
+        parsed = parse_gml(text, group_size=spec.group_size)
+        name = dataset_stem(path)
+        return derive_network(parsed, spec, name)
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        return read_dataset_text(path, self.format_name).encode()

@@ -1,0 +1,267 @@
+"""Named-dataset registry: bundled real topologies and synthetic substrates.
+
+Every dataset the experiment drivers can sweep is registered here by name:
+a loader, an optional bundled file (resolved against the datasets
+directory), a derivation spec, and a description. ``load_dataset`` is the
+one entry point — it resolves the file, consults the on-disk parse cache,
+and returns the monitored :class:`~repro.topology.graph.Network`.
+
+The bundled files live under ``tests/fixtures/datasets/`` in the source
+tree (they double as offline test fixtures); deployments can point
+``$REPRO_DATASETS_DIR`` at any directory holding the same filenames — for
+example a full Topology Zoo checkout.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.datasets.base import DatasetLoader, DatasetSpec, PathLike
+from repro.datasets.caida import CaidaLoader
+from repro.datasets.cache import load_with_cache
+from repro.datasets.gml import GmlLoader
+from repro.datasets.rocketfuel import RocketfuelLoader
+from repro.datasets.synthetic import BriteLoader, JsonNetworkLoader, TracerouteLoader
+from repro.exceptions import DatasetError
+from repro.topology.brite import BriteConfig
+from repro.topology.graph import Network
+from repro.topology.traceroute import TracerouteConfig
+
+#: Environment variable overriding the bundled-datasets directory.
+DATASETS_DIR_ENV = "REPRO_DATASETS_DIR"
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One registered dataset: loader + source + derivation spec."""
+
+    name: str
+    loader: DatasetLoader
+    description: str
+    filename: Optional[str] = None
+    spec: DatasetSpec = field(default_factory=DatasetSpec)
+
+    @property
+    def format_name(self) -> str:
+        """The loader's source-format identifier."""
+        return self.loader.format_name
+
+    @property
+    def synthetic(self) -> bool:
+        """Whether the dataset is generated rather than file-backed."""
+        return self.filename is None
+
+
+#: All registered datasets by name.
+DATASETS: Dict[str, DatasetEntry] = {}
+
+
+def register_dataset(entry: DatasetEntry, replace_existing: bool = False) -> None:
+    """Register a dataset; re-registration requires ``replace_existing``."""
+    if entry.name in DATASETS and not replace_existing:
+        raise DatasetError(f"dataset {entry.name!r} is already registered")
+    DATASETS[entry.name] = entry
+
+
+def dataset_names() -> List[str]:
+    """Registered dataset names, sorted."""
+    return sorted(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetEntry:
+    """Look up a registered dataset; raises with the known names."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known datasets: {dataset_names()}"
+        ) from None
+
+
+def datasets_root() -> Path:
+    """Directory holding the bundled dataset files.
+
+    ``$REPRO_DATASETS_DIR`` wins; the default is the source tree's
+    ``tests/fixtures/datasets/``.
+    """
+    override = os.environ.get(DATASETS_DIR_ENV)
+    if override:
+        return Path(override)
+    return (Path(__file__).resolve().parents[3] / "tests" / "fixtures" / "datasets")
+
+
+def resolve_dataset_path(entry: DatasetEntry) -> Optional[Path]:
+    """Absolute path of a file-backed dataset (None for synthetic ones)."""
+    if entry.filename is None:
+        return None
+    path = datasets_root() / entry.filename
+    if not path.exists():
+        raise DatasetError(
+            f"dataset {entry.name!r}: file {entry.filename!r} not found "
+            f"under {datasets_root()} (set ${DATASETS_DIR_ENV} to the "
+            "directory holding your dataset files)"
+        )
+    return path
+
+
+def load_dataset(
+    name: str,
+    spec: Optional[DatasetSpec] = None,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+) -> Network:
+    """Load a registered dataset into a monitored :class:`Network`.
+
+    Parameters
+    ----------
+    name:
+        Registered dataset name (see :func:`dataset_names`).
+    spec:
+        Derivation override; defaults to the entry's spec, so two loads of
+        the same name produce identical networks.
+    cache_dir, use_cache:
+        On-disk parse cache controls (see :mod:`repro.datasets.cache`).
+    """
+    entry = get_dataset(name)
+    return load_with_cache(
+        entry.name,
+        entry.loader,
+        resolve_dataset_path(entry),
+        spec if spec is not None else entry.spec,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+
+
+def dataset_info(
+    name: str, cache_dir: Optional[PathLike] = None, use_cache: bool = True
+) -> Dict[str, object]:
+    """Entry metadata plus the derived network's structural statistics."""
+    entry = get_dataset(name)
+    network = load_dataset(name, cache_dir=cache_dir, use_cache=use_cache)
+    info: Dict[str, object] = {
+        "name": entry.name,
+        "format": entry.format_name,
+        "source": entry.filename or "(generated)",
+        "description": entry.description,
+        "spec": entry.spec,
+    }
+    info.update(network.describe())
+    return info
+
+
+# ----------------------------------------------------------------------
+# Bundled datasets
+# ----------------------------------------------------------------------
+register_dataset(
+    DatasetEntry(
+        name="abilene",
+        loader=GmlLoader(),
+        description="Internet2 Abilene US research backbone (Topology Zoo)",
+        filename="abilene.gml",
+        spec=DatasetSpec(
+            num_vantage_points=4,
+            num_destinations=7,
+            num_paths=28,
+            group_size=5,
+            seed=1108,
+        ),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="sample-eu-isp",
+        loader=GmlLoader(),
+        description="Fictitious 16-PoP European ISP backbone (GML sample)",
+        filename="sample-eu-isp.gml",
+        spec=DatasetSpec(
+            num_vantage_points=4,
+            num_destinations=12,
+            num_paths=48,
+            group_size=5,
+            seed=1102,
+        ),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="rocketfuel-1221",
+        loader=RocketfuelLoader(),
+        description="Rocketfuel-style AS1221 ISP map sample (POP-annotated)",
+        filename="rocketfuel-1221.edges",
+        spec=DatasetSpec(
+            num_vantage_points=3,
+            num_destinations=10,
+            num_paths=30,
+            seed=1103,
+        ),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="caida-asrel",
+        loader=CaidaLoader(),
+        description="CAIDA AS-relationship graph sample (as-rel format)",
+        filename="caida-asrel.txt",
+        spec=DatasetSpec(
+            num_vantage_points=3,
+            num_destinations=12,
+            num_paths=36,
+            seed=1104,
+        ),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="saved-peering",
+        loader=JsonNetworkLoader(),
+        description="Operator network snapshot saved as repro JSON",
+        filename="saved-peering.json",
+        spec=DatasetSpec(seed=1105),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="brite-dense",
+        loader=BriteLoader(
+            BriteConfig(
+                num_ases=10,
+                as_attachment=2,
+                routers_per_as=4,
+                inter_as_links=2,
+                num_vantage_points=3,
+                num_destinations=30,
+                num_paths=80,
+            )
+        ),
+        description="BRITE-like dense synthetic topology (generated)",
+        spec=DatasetSpec(seed=1106),
+    )
+)
+register_dataset(
+    DatasetEntry(
+        name="sparse-traceroute",
+        loader=TracerouteLoader(
+            TracerouteConfig(
+                underlay=BriteConfig(
+                    num_ases=24,
+                    as_attachment=1,
+                    routers_per_as=4,
+                    inter_as_links=1,
+                    num_vantage_points=2,
+                    num_destinations=40,
+                    num_paths=80,
+                ),
+                num_probes=400,
+                response_prob=0.95,
+                load_balance_prob=0.3,
+                max_kept_paths=80,
+            )
+        ),
+        description="Sparse traceroute-campaign topology (simulated)",
+        spec=DatasetSpec(seed=1107),
+    )
+)

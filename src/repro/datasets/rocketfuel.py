@@ -1,0 +1,114 @@
+"""Rocketfuel-style ISP map loader.
+
+Rocketfuel [Spring et al., SIGCOMM 2002] published router-level ISP maps
+recovered from traceroutes; the widely-redistributed derivative is a plain
+edge list with routers annotated by POP (point of presence)::
+
+    # AS1221 (Telstra-like sample)
+    r1@Sydney r2@Sydney 1
+    r2@Sydney r7@Melbourne 10
+
+One line per undirected edge: two node tokens and an optional weight
+(ignored — the tomography model is unweighted). A node token is
+``name@POP``; routers sharing a POP form one synthetic AS, standing in
+for the paper's per-AS correlation sets (links inside one POP share
+infrastructure and congest together). Nodes without a POP annotation each
+become their own singleton AS. Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+
+from repro.datasets.base import (
+    DatasetSpec,
+    ParsedTopology,
+    PathLike,
+    dataset_stem,
+    derive_network,
+    read_dataset_text,
+)
+from repro.exceptions import DatasetError
+from repro.topology.graph import Network
+
+
+def parse_rocketfuel(text: str) -> ParsedTopology:
+    """Parse a Rocketfuel-style edge list into a :class:`ParsedTopology`.
+
+    Node ids are assigned in order of first appearance; POPs are numbered
+    in sorted name order so the AS numbering is independent of line order.
+    """
+    node_ids: Dict[str, int] = {}
+    pop_of: Dict[int, Optional[str]] = {}
+    labels: Dict[int, str] = {}
+    graph = nx.Graph()
+
+    def node_for(token: str, line_number: int) -> int:
+        if not token or token.startswith("@") or token.endswith("@"):
+            raise DatasetError(
+                f"rocketfuel line {line_number}: malformed node token {token!r}"
+            )
+        if token not in node_ids:
+            node_ids[token] = len(node_ids)
+            name, _, pop = token.partition("@")
+            node = node_ids[token]
+            pop_of[node] = pop or None
+            labels[node] = name
+            graph.add_node(node)
+        return node_ids[token]
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            raise DatasetError(
+                f"rocketfuel line {line_number}: expected 'u v [weight]', "
+                f"got {line!r}"
+            )
+        if len(fields) == 3:
+            try:
+                float(fields[2])
+            except ValueError:
+                raise DatasetError(
+                    f"rocketfuel line {line_number}: weight {fields[2]!r} "
+                    "is not a number"
+                ) from None
+        u = node_for(fields[0], line_number)
+        v = node_for(fields[1], line_number)
+        if u != v:
+            graph.add_edge(u, v)
+    if graph.number_of_edges() == 0:
+        raise DatasetError("rocketfuel map has no edges")
+
+    pops = sorted({pop for pop in pop_of.values() if pop is not None})
+    asn_of_pop = {pop: asn for asn, pop in enumerate(pops)}
+    next_singleton = len(pops)
+    asn_of: Dict[int, int] = {}
+    for node in sorted(graph.nodes):
+        pop = pop_of[node]
+        if pop is None:
+            asn_of[node] = next_singleton
+            next_singleton += 1
+        else:
+            asn_of[node] = asn_of_pop[pop]
+    return ParsedTopology(graph=graph, asn_of=asn_of, labels=labels)
+
+
+class RocketfuelLoader:
+    """Loader for Rocketfuel-style POP-annotated ISP edge lists."""
+
+    format_name = "rocketfuel"
+    description = "Rocketfuel-style ISP map (POP-annotated edge list)"
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        text = read_dataset_text(path, self.format_name)
+        parsed = parse_rocketfuel(text)
+        name = dataset_stem(path)
+        return derive_network(parsed, spec, name)
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        return read_dataset_text(path, self.format_name).encode()

@@ -1,0 +1,85 @@
+"""Generator-backed and saved-network dataset loaders.
+
+The repository predates this subsystem with two synthetic topology paths
+(the BRITE-like dense generator and the traceroute-campaign simulator)
+plus a JSON persistence format for operator-collected networks. These
+loaders put all three behind the same :class:`~repro.datasets.base.DatasetLoader`
+protocol, so registry-driven campaigns can sweep real files and synthetic
+substrates through one interface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.base import DatasetSpec, PathLike
+from repro.exceptions import DatasetError, TopologyError
+from repro.topology.brite import BriteConfig, generate_brite_network
+from repro.topology.graph import Network
+from repro.topology.serialization import load_network
+from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+
+class BriteLoader:
+    """Synthetic dense topology: the BRITE-like generator as a dataset.
+
+    ``path`` is ignored; the generator seed is the spec's seed, so the
+    dataset is a pure function of (config, spec) like every other loader.
+    """
+
+    format_name = "brite"
+    description = "BRITE-like dense synthetic topology (generated)"
+
+    def __init__(self, config: Optional[BriteConfig] = None) -> None:
+        self.config = config or BriteConfig()
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        return generate_brite_network(self.config, spec.seed)
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        return repr(self.config).encode()
+
+
+class TracerouteLoader:
+    """Synthetic sparse topology: the traceroute-campaign simulator."""
+
+    format_name = "traceroute"
+    description = "Sparse traceroute-campaign topology (simulated)"
+
+    def __init__(self, config: Optional[TracerouteConfig] = None) -> None:
+        self.config = config or TracerouteConfig()
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        return generate_sparse_network(self.config, spec.seed)
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        return repr(self.config).encode()
+
+
+class JsonNetworkLoader:
+    """Loader for networks saved by :mod:`repro.topology.serialization`.
+
+    Saved networks already embed their monitored paths (they are operator
+    snapshots, not raw maps), so the spec's derivation parameters are
+    ignored.
+    """
+
+    format_name = "repro-json"
+    description = "Saved repro network snapshot (JSON)"
+
+    def load(self, path: Optional[PathLike], spec: DatasetSpec) -> Network:
+        if path is None:
+            raise DatasetError("repro-json loader requires a file path")
+        try:
+            return load_network(Path(path))
+        except TopologyError as exc:
+            raise DatasetError(f"cannot load network snapshot {path}: {exc}") from exc
+
+    def cache_token(self, path: Optional[PathLike]) -> bytes:
+        if path is None:
+            raise DatasetError("repro-json loader requires a file path")
+        try:
+            return Path(path).read_bytes()
+        except OSError as exc:
+            raise DatasetError(f"cannot read network snapshot {path}: {exc}") from exc

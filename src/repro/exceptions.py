@@ -27,6 +27,15 @@ class ScenarioError(ReproError):
     """
 
 
+class DatasetError(ReproError):
+    """Raised when a real-topology dataset cannot be located or parsed.
+
+    Examples: a malformed Topology Zoo GML file, a CAIDA AS-relationship
+    line with the wrong number of fields, or a registered dataset whose
+    bundled file is missing from the datasets directory.
+    """
+
+
 class EstimationError(ReproError):
     """Raised when a probability-computation algorithm cannot proceed.
 

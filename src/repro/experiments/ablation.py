@@ -48,16 +48,12 @@ VARIANTS: List[Tuple[str, Callable[[EstimatorConfig], CorrelationCompleteEstimat
     ),
     (
         "no pruning tolerance",
-        lambda cfg: CorrelationCompleteEstimator(
-            replace(cfg, pruning_tolerance=0.0)
-        ),
+        lambda cfg: CorrelationCompleteEstimator(replace(cfg, pruning_tolerance=0.0)),
     ),
     ("no redundancy", lambda cfg: _NoRedundancyEstimator(cfg)),
     (
         "singletons only",
-        lambda cfg: CorrelationCompleteEstimator(
-            replace(cfg, requested_subset_size=1)
-        ),
+        lambda cfg: CorrelationCompleteEstimator(replace(cfg, requested_subset_size=1)),
     ),
 ]
 
@@ -142,9 +138,7 @@ def merge_ablation(results: Sequence[TrialResult]) -> AblationResult:
     """Fold per-variant errors into an :class:`AblationResult`."""
     result = AblationResult()
     for trial in results:
-        result.errors[(trial.spec.estimator, trial.spec.topology)] = (
-            trial.payload
-        )
+        result.errors[(trial.spec.estimator, trial.spec.topology)] = (trial.payload)
     return result
 
 

@@ -108,11 +108,11 @@ PAPER = ExperimentScale(
     inference_intervals=1000,
 )
 
-#: Tiny instances for plumbing tests and equivalence checks: every
-#: structural property of ``small`` (dense vs sparse substrate, correlated
-#: drivers) at a size where a full driver run takes seconds. Deliberately
-#: *not* registered in :data:`SCALES` — it is too small for meaningful
-#: reproduction numbers.
+#: Tiny instances for plumbing tests, equivalence checks, and campaign
+#: smoke runs: every structural property of ``small`` (dense vs sparse
+#: substrate, correlated drivers) at a size where a full driver run takes
+#: seconds. Registered in :data:`SCALES` so sweeps can be exercised from
+#: the CLI quickly, but too small for meaningful reproduction numbers.
 TINY = ExperimentScale(
     name="tiny",
     brite=BriteConfig(
@@ -145,7 +145,7 @@ TINY = ExperimentScale(
 )
 
 #: All registered presets by name.
-SCALES: Dict[str, ExperimentScale] = {"small": SMALL, "paper": PAPER}
+SCALES: Dict[str, ExperimentScale] = {"tiny": TINY, "small": SMALL, "paper": PAPER}
 
 
 def scale_by_name(name: str) -> ExperimentScale:

@@ -203,9 +203,7 @@ def merge_figure3(results: Sequence[TrialResult]) -> Figure3Result:
     for trial in results:
         spec = trial.spec
         result.rows[(spec.scenario, spec.estimator)] = trial.payload
-        result.topology_stats.setdefault(
-            spec.topology, spec.params["topology_stats"]
-        )
+        result.topology_stats.setdefault(spec.topology, spec.params["topology_stats"])
     return result
 
 

@@ -229,9 +229,7 @@ def merge_figure4(results: Sequence[TrialResult]) -> Figure4Result:
         spec = trial.spec
         metrics: ProbabilityMetrics = trial.payload["metrics"]
         result.rows[(spec.topology, spec.scenario, spec.estimator)] = metrics
-        result.topology_stats.setdefault(
-            spec.topology, spec.params["topology_stats"]
-        )
+        result.topology_stats.setdefault(spec.topology, spec.params["topology_stats"])
         if trial.payload["evaluated_subsets"]:
             result.subset_rows[spec.topology] = (
                 metrics.mean_absolute_error,

@@ -167,9 +167,7 @@ class BayesianCorrelationInference(BooleanInferenceAlgorithm):
             If called before :meth:`prepare`.
         """
         if self._model is None:
-            raise InferenceError(
-                "Bayesian-Correlation: call prepare() before infer()"
-            )
+            raise InferenceError("Bayesian-Correlation: call prepare() before infer()")
         candidates = candidate_links(network, congested_paths)
         if not candidates:
             return frozenset()
@@ -225,9 +223,7 @@ class BayesianCorrelationInference(BooleanInferenceAlgorithm):
                 )
                 if not still_covered:
                     continue
-                delta, set_id, new_term = scorer.delta_remove(
-                    terms, chosen, link
-                )
+                delta, set_id, new_term = scorer.delta_remove(terms, chosen, link)
                 if delta > 0:
                     chosen = without
                     terms[set_id] = new_term

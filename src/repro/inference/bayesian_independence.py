@@ -67,9 +67,7 @@ class BayesianIndependenceInference(BooleanInferenceAlgorithm):
             If called before :meth:`prepare`.
         """
         if self._marginals is None:
-            raise InferenceError(
-                "Bayesian-Independence: call prepare() before infer()"
-            )
+            raise InferenceError("Bayesian-Independence: call prepare() before infer()")
         candidates = candidate_links(network, congested_paths)
         if not candidates:
             return frozenset()

@@ -267,9 +267,7 @@ class EquationSystem:
         q_factor, r_factor = np.linalg.qr(weighted_matrix)
         compressed_rhs = q_factor.T @ weighted_rhs
         if upper_bound is None:
-            values, _, _, _ = np.linalg.lstsq(
-                r_factor, compressed_rhs, rcond=None
-            )
+            values, _, _, _ = np.linalg.lstsq(r_factor, compressed_rhs, rcond=None)
         else:
             # NNLS solves the bounded problem exactly whether or not the
             # bound binds, so no unconstrained pre-solve is needed (on the

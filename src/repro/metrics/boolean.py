@@ -19,9 +19,7 @@ from repro.inference.base import BooleanInferenceAlgorithm
 from repro.simulation.experiment import ExperimentResult
 
 
-def detection_rate(
-    actual: FrozenSet[int], inferred: FrozenSet[int]
-) -> Optional[float]:
+def detection_rate(actual: FrozenSet[int], inferred: FrozenSet[int]) -> Optional[float]:
     """Fraction of truly congested links identified; None if none congested."""
     if not actual:
         return None

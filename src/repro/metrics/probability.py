@@ -31,9 +31,7 @@ def absolute_errors(
 ) -> np.ndarray:
     """Per-link ``|estimated - actual|`` congestion probability errors."""
     members = sorted(links)
-    estimated = np.array(
-        [model.link_congestion_probability(e) for e in members]
-    )
+    estimated = np.array([model.link_congestion_probability(e) for e in members])
     actual = np.array([ground_truth.marginal(e) for e in members])
     return np.abs(estimated - actual)
 

@@ -34,9 +34,7 @@ def format_table(
     ]
     lines = []
     for line_index, line in enumerate(rendered):
-        lines.append(
-            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
-        )
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
         if line_index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)

@@ -56,9 +56,7 @@ def pack_bool_matrix(congested: np.ndarray) -> np.ndarray:
     return padded.view(np.uint64)
 
 
-def unpack_words(
-    words: np.ndarray, num_intervals: int
-) -> np.ndarray:
+def unpack_words(words: np.ndarray, num_intervals: int) -> np.ndarray:
     """Inverse of :func:`pack_bool_matrix`: back to boolean ``(T, paths)``."""
     as_bytes = np.ascontiguousarray(words).view(np.uint8)
     bits = np.unpackbits(as_bytes, axis=1, count=num_intervals)
@@ -206,9 +204,7 @@ class PackedBackend:
             raise IndexError(f"window [{start}, {stop}) outside horizon")
         length = stop - start
         if length == 0:
-            return PackedBackend(
-                np.zeros((self.num_paths, 1), dtype=np.uint64), 0
-            )
+            return PackedBackend(np.zeros((self.num_paths, 1), dtype=np.uint64), 0)
         num_words = -(-length // WORD_BITS)
         first_word, offset = divmod(start, WORD_BITS)
         if offset == 0:

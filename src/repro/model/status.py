@@ -148,9 +148,7 @@ class ObservationMatrix:
         counts = self._backend.all_good_counts([indices])
         return float(counts[0] / self.num_intervals)
 
-    def all_good_frequencies(
-        self, path_sets: Sequence[Iterable[int]]
-    ) -> np.ndarray:
+    def all_good_frequencies(self, path_sets: Sequence[Iterable[int]]) -> np.ndarray:
         """Batched :meth:`all_good_frequency` over many path sets.
 
         One packed-kernel invocation answers the whole batch; this is the

@@ -94,9 +94,7 @@ class EstimatorConfig:
         if not 0.0 <= self.pruning_tolerance < 1.0:
             raise EstimationError("pruning_tolerance must be in [0, 1)")
         if self.prior_mode not in ("independence", "correlation"):
-            raise EstimationError(
-                "prior_mode must be 'independence' or 'correlation'"
-            )
+            raise EstimationError("prior_mode must be 'independence' or 'correlation'")
         if self.hard_subset_cap < self.requested_subset_size:
             raise EstimationError("hard_subset_cap < requested_subset_size")
         if self.path_set_max_size < 1 or self.path_set_max_count < 1:
@@ -267,9 +265,7 @@ def log_frequency_weight(frequency: float, num_intervals: int) -> float:
     return float(log_frequency_weights(np.array([frequency]), num_intervals)[0])
 
 
-def log_frequency_weights(
-    frequencies: np.ndarray, num_intervals: int
-) -> np.ndarray:
+def log_frequency_weights(frequencies: np.ndarray, num_intervals: int) -> np.ndarray:
     """Vectorised :func:`log_frequency_weight` over a frequency array."""
     clipped = np.clip(
         np.asarray(frequencies, dtype=float),
@@ -309,9 +305,7 @@ def sampled_path_combinations(
     if count <= 0 or observations.num_paths < 2:
         return []
     always_congested = observations.always_congested_paths()
-    usable = [
-        p for p in range(observations.num_paths) if p not in always_congested
-    ]
+    usable = [p for p in range(observations.num_paths) if p not in always_congested]
     if len(usable) < 2:
         return []
     results: Set[FrozenSet[int]] = set()

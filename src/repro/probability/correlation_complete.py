@@ -84,9 +84,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
                 "(were all paths always congested?)"
             )
         extra = self._redundant_path_sets(index, frequency, pool, path_sets)
-        return self._solve(
-            network, index, path_sets, extra, frequency, always_good
-        )
+        return self._solve(network, index, path_sets, extra, frequency, always_good)
 
     # ------------------------------------------------------------------
     # Unknown discovery
@@ -174,16 +172,12 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             rows.append(row)
 
         # Lines 6-7: null space of the initial system.
-        matrix = (
-            np.vstack(rows) if rows else np.zeros((0, len(index)))
-        )
+        matrix = (np.vstack(rows) if rows else np.zeros((0, len(index))))
         basis = null_space(matrix)
 
         # Lines 8-22: grow rank with incrementally-updated null space.
         while basis.shape[1] > 0:
-            added = self._add_rank_increasing_row(
-                index, frequency, basis, seen, chosen
-            )
+            added = self._add_rank_increasing_row(index, frequency, basis, seen, chosen)
             if added is None:
                 break
             basis = null_space_update(basis, added)
@@ -285,9 +279,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
         return [path_set for path_set, ok in zip(fresh, keep) if ok]
 
     # ------------------------------------------------------------------
-    def _add_prior_equations(
-        self, system: EquationSystem, index: SubsetIndex
-    ) -> None:
+    def _add_prior_equations(self, system: EquationSystem, index: SubsetIndex) -> None:
         """Weak within-correlation-set prior tying singletons to joints.
 
         Where the data equations identify the unknowns, their far larger
@@ -331,9 +323,7 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
                         row = np.zeros(len(index))
                         row[index.position(subset)] = 1.0
                         row[position] -= 1.0
-                        system.add(
-                            row, 0.0, self.config.prior_weight, prior=True
-                        )
+                        system.add(row, 0.0, self.config.prior_weight, prior=True)
 
     # ------------------------------------------------------------------
     # Solving

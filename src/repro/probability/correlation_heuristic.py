@@ -102,12 +102,8 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
         candidates = [s for s, keep in zip(deduped, frequent) if keep]
         rows, usable = index.rows_matrix(candidates)
         if rows.shape[0] == 0:
-            raise EstimationError(
-                "Correlation-heuristic: no usable path-set equations"
-            )
-        used: List[FrozenSet[int]] = [
-            s for s, keep in zip(candidates, usable) if keep
-        ]
+            raise EstimationError("Correlation-heuristic: no usable path-set equations")
+        used: List[FrozenSet[int]] = [s for s, keep in zip(candidates, usable) if keep]
         system = EquationSystem(len(index))
         system.add_batch(rows, np.log(frequencies[frequent][usable]))
         solution = system.solve(upper_bound=0.0)

@@ -80,15 +80,11 @@ class CongestionProbabilityModel:
         if reduced is None:
             return True
         if self.independent:
-            return all(
-                self._identifiable.get(frozenset({e}), False) for e in reduced
-            )
+            return all(self._identifiable.get(frozenset({e}), False) for e in reduced)
         parts = self._partition(reduced)
         if parts is None:
             return False
-        return all(
-            self._identifiable.get(part, False) for part in parts if part
-        )
+        return all(self._identifiable.get(part, False) for part in parts if part)
 
     # ------------------------------------------------------------------
     # Core queries
@@ -98,9 +94,7 @@ class CongestionProbabilityModel:
         reduced = frozenset(links) - self.always_good_links
         return reduced if reduced else None
 
-    def _partition(
-        self, links: FrozenSet[int]
-    ) -> Optional[List[FrozenSet[int]]]:
+    def _partition(self, links: FrozenSet[int]) -> Optional[List[FrozenSet[int]]]:
         """Split ``links`` by correlation set; None if a part is unknown."""
         parts: List[FrozenSet[int]] = []
         remaining = set(links)
@@ -172,15 +166,10 @@ class CongestionProbabilityModel:
     def link_marginals(self) -> np.ndarray:
         """Per-link congestion probabilities, shape (num_links,)."""
         return np.array(
-            [
-                self.link_congestion_probability(e)
-                for e in range(self.network.num_links)
-            ]
+            [self.link_congestion_probability(e) for e in range(self.network.num_links)]
         )
 
-    def prob_all_congested(
-        self, links: Iterable[int], strict: bool = False
-    ) -> float:
+    def prob_all_congested(self, links: Iterable[int], strict: bool = False) -> float:
         """The paper's *congestion probability* of a link set.
 
         Inclusion–exclusion over all-good probabilities:

@@ -23,15 +23,11 @@ def build_row(path_set: Iterable[int], index: SubsetIndex) -> np.ndarray:
     """
     row = index.row(path_set)
     if row is None:
-        raise EstimationError(
-            "path set touches a correlation subset outside the index"
-        )
+        raise EstimationError("path set touches a correlation subset outside the index")
     return row
 
 
-def build_matrix(
-    path_sets: Sequence[Iterable[int]], index: SubsetIndex
-) -> np.ndarray:
+def build_matrix(path_sets: Sequence[Iterable[int]], index: SubsetIndex) -> np.ndarray:
     """``Matrix(P^, E^)`` — one row per path set, in order."""
     if not path_sets:
         return np.zeros((0, len(index)))

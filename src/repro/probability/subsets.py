@@ -233,11 +233,7 @@ class SubsetIndex:
         unknowns. Memoised per path set: the estimators revisit the same
         sets across selection, redundancy, and solve passes.
         """
-        key = (
-            path_set
-            if isinstance(path_set, frozenset)
-            else frozenset(path_set)
-        )
+        key = (path_set if isinstance(path_set, frozenset) else frozenset(path_set))
         try:
             cached = self._decompose_cache[key]
         except KeyError:

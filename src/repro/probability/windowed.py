@@ -80,9 +80,7 @@ class CongestionTimeline:
     def set_series(self, links: Iterable[int]) -> np.ndarray:
         """Congestion probability of a link set per window."""
         members = sorted(links)
-        return np.array(
-            [w.model.prob_all_congested(members) for w in self.windows]
-        )
+        return np.array([w.model.prob_all_congested(members) for w in self.windows])
 
     def peer_series(self, asn: int) -> np.ndarray:
         """Worst-link congestion probability of peer ``asn`` per window.
@@ -177,9 +175,7 @@ class WindowedEstimator:
             except EstimationError:
                 start += self.stride
                 continue
-            timeline.windows.append(
-                WindowEstimate(start=start, stop=stop, model=model)
-            )
+            timeline.windows.append(WindowEstimate(start=start, stop=stop, model=model))
             start += self.stride
         if not timeline.windows:
             raise EstimationError("no window produced a usable estimate")

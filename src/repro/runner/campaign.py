@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.experiments import ablation as _ablation
 from repro.experiments import figure3 as _figure3
 from repro.experiments import figure4 as _figure4
+from repro.experiments import realworld as _realworld
 from repro.experiments import scaling as _scaling
 from repro.experiments.config import ExperimentScale, scale_by_name
 from repro.runner.pool import ProgressFn, ShardReport, run_trials
@@ -34,16 +35,24 @@ from repro.util.rng import spawn_seeds
 
 @dataclass
 class CampaignDefinition:
-    """How to build, merge, and present one named sweep."""
+    """How to build, merge, and present one named sweep.
+
+    ``build`` receives the resolved :class:`CampaignSpec` (so campaigns
+    that accept dataset/scenario filters can honour them), the experiment
+    scale, and the replicate's seed. ``accepts_filters`` marks campaigns
+    that honour ``--dataset`` / ``--scenario``; specs carrying filters for
+    any other campaign are rejected at validation time.
+    """
 
     name: str
     description: str
     default_seed: int
     trial_fn: Callable[[TrialSpec, Dict[Any, Any]], Any]
-    build: Callable[[ExperimentScale, int, bool], List[TrialSpec]]
+    build: Callable[["CampaignSpec", ExperimentScale, int], List[TrialSpec]]
     merge: Callable[[Sequence[TrialResult]], Any]
     render: Callable[[Any], str]
     summarize: Callable[[Any], Dict[str, Any]]
+    accepts_filters: bool = False
 
 
 def _render_figure3(result: _figure3.Figure3Result) -> str:
@@ -85,12 +94,8 @@ def _render_figure4(result: _figure4.Figure4Result) -> str:
 def _summarize_figure4(result: _figure4.Figure4Result) -> Dict[str, Any]:
     return {
         "mean_absolute_error": {
-            f"{topology} | {scenario} | {estimator}": (
-                metrics.mean_absolute_error
-            )
-            for (topology, scenario, estimator), metrics in sorted(
-                result.rows.items()
-            )
+            f"{topology} | {scenario} | {estimator}": (metrics.mean_absolute_error)
+            for (topology, scenario, estimator), metrics in sorted(result.rows.items())
         },
         "subset_rows": {
             topology: list(errors)
@@ -130,6 +135,41 @@ def _render_ablation(result: _ablation.AblationResult) -> str:
     )
 
 
+def _render_realworld(result: _realworld.RealWorldResult) -> str:
+    lines = []
+    for dataset in result.datasets():
+        stats = result.dataset_stats.get(dataset, {})
+        lines.append(
+            f"{dataset} — mean absolute error "
+            f"({stats.get('num_links', 0):.0f} links, "
+            f"{stats.get('num_paths', 0):.0f} paths)"
+        )
+        lines.append(result.to_table(dataset))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _summarize_realworld(result: _realworld.RealWorldResult) -> Dict[str, Any]:
+    return {
+        "mean_absolute_error": {
+            f"{dataset} | {scenario} | {estimator}": (metrics.mean_absolute_error)
+            for (dataset, scenario, estimator), metrics in sorted(result.rows.items())
+        },
+        "dataset_stats": {
+            dataset: stats
+            for dataset, stats in sorted(result.dataset_stats.items())
+        },
+    }
+
+
+def _split_filter(value: Optional[str]) -> Optional[List[str]]:
+    """Parse a comma-separated CLI/spec filter into a name list."""
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    return names or None
+
+
 def _summarize_ablation(result: _ablation.AblationResult) -> Dict[str, Any]:
     return {
         "mean_absolute_error": {
@@ -146,7 +186,9 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         description="Boolean-inference accuracy across the five scenarios",
         default_seed=1,
         trial_fn=_figure3.figure3_trial,
-        build=_figure3.figure3_specs,
+        build=lambda spec, scale, seed: _figure3.figure3_specs(
+            scale, seed, spec.oracle
+        ),
         merge=_figure3.merge_figure3,
         render=_render_figure3,
         summarize=_summarize_figure3,
@@ -156,7 +198,9 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         description="Probability Computation accuracy (all four panels)",
         default_seed=2,
         trial_fn=_figure4.figure4_trial,
-        build=_figure4.figure4_specs,
+        build=lambda spec, scale, seed: _figure4.figure4_specs(
+            scale, seed, spec.oracle
+        ),
         merge=_figure4.merge_figure4,
         render=_render_figure4,
         summarize=_summarize_figure4,
@@ -166,7 +210,9 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         description="Algorithm 1 equation-count / runtime scaling sweep",
         default_seed=3,
         trial_fn=_scaling.scaling_trial,
-        build=lambda scale, seed, oracle: _scaling.scaling_specs(scale, seed),
+        build=lambda spec,
+        scale,
+        seed: _scaling.scaling_specs(scale, seed),
         merge=_scaling.merge_scaling,
         render=_render_scaling,
         summarize=_summarize_scaling,
@@ -176,10 +222,29 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         description="Correlation-complete solve refinement ablation",
         default_seed=5,
         trial_fn=_ablation.ablation_trial,
-        build=lambda scale, seed, oracle: _ablation.ablation_specs(scale, seed),
+        build=lambda spec,
+        scale,
+        seed: _ablation.ablation_specs(scale, seed),
         merge=_ablation.merge_ablation,
         render=_render_ablation,
         summarize=_summarize_ablation,
+    ),
+    "realworld": CampaignDefinition(
+        name="realworld",
+        description=("Registered datasets x scenario library x estimators sweep"),
+        default_seed=7,
+        trial_fn=_realworld.realworld_trial,
+        build=lambda spec, scale, seed: _realworld.realworld_specs(
+            scale,
+            seed,
+            spec.oracle,
+            datasets=_split_filter(spec.dataset),
+            scenarios=_split_filter(spec.scenario),
+        ),
+        merge=_realworld.merge_realworld,
+        render=_render_realworld,
+        summarize=_summarize_realworld,
+        accepts_filters=True,
     ),
 }
 
@@ -190,7 +255,9 @@ class CampaignSpec:
 
     ``replicates > 1`` reruns the sweep at that many seeds spawned
     deterministically from ``seed``; all replicates' trials are sharded
-    through a single pool.
+    through a single pool. ``dataset`` / ``scenario`` restrict a
+    filter-accepting campaign (``realworld``) to comma-separated
+    registered names.
     """
 
     campaign: str
@@ -200,6 +267,8 @@ class CampaignSpec:
     workers: Optional[int] = 1
     replicates: int = 1
     output: Optional[str] = None
+    dataset: Optional[str] = None
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.campaign not in CAMPAIGNS:
@@ -211,6 +280,30 @@ class CampaignSpec:
             raise ValueError("replicates must be >= 1")
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = all local CPUs) or null")
+        definition = CAMPAIGNS[self.campaign]
+        if (self.dataset or self.scenario) and not definition.accepts_filters:
+            raise ValueError(
+                f"campaign {self.campaign!r} does not accept "
+                "dataset/scenario filters"
+            )
+        if self.dataset:
+            from repro.datasets.registry import get_dataset
+            from repro.exceptions import DatasetError
+
+            for name in _split_filter(self.dataset) or []:
+                try:
+                    get_dataset(name)
+                except DatasetError as exc:
+                    raise ValueError(str(exc)) from None
+        if self.scenario:
+            from repro.exceptions import ScenarioError
+            from repro.simulation.library import get_scenario
+
+            for name in _split_filter(self.scenario) or []:
+                try:
+                    get_scenario(name)
+                except ScenarioError as exc:
+                    raise ValueError(str(exc)) from None
 
 
 def load_campaign_spec(path: Union[str, Path]) -> CampaignSpec:
@@ -258,6 +351,8 @@ class CampaignOutcome:
             "scale": self.spec.scale,
             "oracle": self.spec.oracle,
             "workers": self.spec.workers,
+            "dataset": self.spec.dataset,
+            "scenario": self.spec.scenario,
             "seeds": self.seeds,
             "num_trials": self.num_trials,
             "elapsed_s": round(self.elapsed, 4),
@@ -298,11 +393,9 @@ def run_campaign(
     specs: List[TrialSpec] = []
     replicate_slices: List[int] = []
     for seed in seeds:
-        batch = definition.build(scale, seed, spec.oracle)
+        batch = definition.build(spec, scale, seed)
         offset = len(specs)
-        specs.extend(
-            replace(trial, index=offset + i) for i, trial in enumerate(batch)
-        )
+        specs.extend(replace(trial, index=offset + i) for i, trial in enumerate(batch))
         replicate_slices.append(len(batch))
     shards: List[ShardReport] = []
 
@@ -338,9 +431,7 @@ def run_campaign(
     return outcome
 
 
-def write_outcome(
-    outcome: CampaignOutcome, output_dir: Union[str, Path]
-) -> Path:
+def write_outcome(outcome: CampaignOutcome, output_dir: Union[str, Path]) -> Path:
     """Persist a campaign outcome as JSON; returns the written path."""
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)

@@ -77,9 +77,7 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def partition_specs(
-    specs: Sequence[TrialSpec], shards: int
-) -> List[List[TrialSpec]]:
+def partition_specs(specs: Sequence[TrialSpec], shards: int) -> List[List[TrialSpec]]:
     """Deterministically partition trials into at most ``shards`` shards.
 
     Trials sharing a ``group`` stay together (they share cached
@@ -128,9 +126,7 @@ class _ShardOutcome:
     failure_traceback: str = ""
 
 
-def _run_shard(
-    trial_fn: TrialFn, shard: int, specs: List[TrialSpec]
-) -> _ShardOutcome:
+def _run_shard(trial_fn: TrialFn, shard: int, specs: List[TrialSpec]) -> _ShardOutcome:
     """Run one shard's trials in spec order with a shard-local cache.
 
     Top-level (picklable) so it can be shipped to pool workers; also the
@@ -294,9 +290,7 @@ def run_trials(
     return _merge(outcomes, specs, by_index)
 
 
-def _check_outcome(
-    outcome: _ShardOutcome, by_index: Dict[int, TrialSpec]
-) -> None:
+def _check_outcome(outcome: _ShardOutcome, by_index: Dict[int, TrialSpec]) -> None:
     """Raise the shard's recorded trial failure, if any."""
     if outcome.failed_index is not None:
         spec = by_index[outcome.failed_index]

@@ -328,9 +328,7 @@ def build_congestion_model(
             sharers = frozenset(members & congestable)
             if len(sharers) < 2:
                 continue
-            q_shared = correlation_strength * min(
-                target_marginals[e] for e in sharers
-            )
+            q_shared = correlation_strength * min(target_marginals[e] for e in sharers)
             # Cap so the private driver can still reach the exact marginal.
             limit = min(
                 1.0 - (1.0 - target_marginals[e]) / shared_survival[e]

@@ -60,9 +60,7 @@ class LossModel:
         if not 0.0 < self.threshold < 1.0:
             raise ScenarioError(f"loss threshold {self.threshold} outside (0, 1)")
         if self.congested_loss not in ("lognormal", "uniform"):
-            raise ScenarioError(
-                f"unknown congested_loss model {self.congested_loss!r}"
-            )
+            raise ScenarioError(f"unknown congested_loss model {self.congested_loss!r}")
         if self.sigma <= 0.0 or not 0.0 < self.median_excess < 1.0:
             raise ScenarioError("invalid lognormal loss parameters")
 

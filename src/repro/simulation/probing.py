@@ -239,9 +239,7 @@ class StreamingProber:
         incidence_t = (
             self.network.incidence.T.astype(np.int64) if session is None else None
         )
-        states_stream = self.ground_truth.sample_stream(
-            self.chunk_intervals, state_rng
-        )
+        states_stream = self.ground_truth.sample_stream(self.chunk_intervals, state_rng)
         produced = 0
         while num_intervals is None or produced < num_intervals:
             states = next(states_stream)

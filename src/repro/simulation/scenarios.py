@@ -14,6 +14,14 @@ three ways, optionally made non-stationary:
   probabilities of links change every few time intervals";
 * the **Sparse Topology** scenario is Random Congestion applied to a sparse
   (traceroute-derived) topology rather than a Brite one.
+
+These are the paper's regimes; :mod:`repro.simulation.library` wraps them
+— together with the newer generators (diurnal, gravity, cascade,
+flash-crowd, maintenance) — into the named-scenario registry that
+campaign sweeps consume. The placement helpers here
+(:func:`select_random_links`, :func:`select_concentrated_links`,
+:func:`select_correlated_links`, :func:`draw_marginals`) are shared by
+both layers.
 """
 
 from __future__ import annotations
@@ -26,7 +34,6 @@ import numpy as np
 
 from repro.exceptions import ScenarioError
 from repro.simulation.congestion import (
-    CongestionModel,
     GroundTruth,
     NonStationaryModel,
     build_congestion_model,
@@ -144,11 +151,11 @@ class Scenario:
 # ----------------------------------------------------------------------
 # Congestable-link selection
 # ----------------------------------------------------------------------
-def _target_count(network: Network, fraction: float) -> int:
+def target_count(network: Network, fraction: float) -> int:
     return max(1, int(round(fraction * network.num_links)))
 
 
-def _select_random(
+def select_random_links(
     network: Network, count: int, rng: np.random.Generator
 ) -> List[int]:
     return sorted(
@@ -156,7 +163,7 @@ def _select_random(
     )
 
 
-def _select_concentrated(
+def select_concentrated_links(
     network: Network, count: int, rng: np.random.Generator
 ) -> List[int]:
     """Pick congestable links at the network edge (first/last hops)."""
@@ -175,15 +182,18 @@ def _select_concentrated(
     return sorted(set(edge) | set(core_sorted[:remaining]))
 
 
-def _select_correlated(
+def select_correlated_links(
     network: Network, count: int, rng: np.random.Generator
 ) -> List[int]:
     """Pick congestable links so each is correlated with at least one other.
 
     Whole shared-router-link groups are added in random order until the
     budget is met; a group is truncated to a pair rather than split to a
-    singleton, preserving the invariant.
+    singleton, preserving the invariant. A budget below 2 is rounded up —
+    no selection smaller than a pair can satisfy the invariant, and tiny
+    dataset topologies legitimately round the paper's 10% down to 1.
     """
+    count = max(count, 2)
     groups = [sorted(g) for g in network.shared_router_links().values()]
     if not groups:
         raise ScenarioError(
@@ -216,7 +226,7 @@ def _select_correlated(
     return sorted(chosen)
 
 
-def _draw_marginals(
+def draw_marginals(
     links: Sequence[int], config: ScenarioConfig, rng: np.random.Generator
 ) -> Dict[int, float]:
     values = rng.uniform(config.min_marginal, config.max_marginal, size=len(links))
@@ -255,27 +265,27 @@ def build_scenario(
     config = config or ScenarioConfig()
     config.validate()
     rng = as_generator(random_state)
-    count = _target_count(network, config.congestable_fraction)
+    count = target_count(network, config.congestable_fraction)
 
     placement = config.placement_kind
     if placement is ScenarioKind.RANDOM:
-        links = _select_random(network, count, rng)
+        links = select_random_links(network, count, rng)
     elif placement is ScenarioKind.CONCENTRATED:
-        links = _select_concentrated(network, count, rng)
+        links = select_concentrated_links(network, count, rng)
     else:
-        links = _select_correlated(network, count, rng)
+        links = select_correlated_links(network, count, rng)
 
     if config.effective_non_stationary:
         epochs = []
         for epoch in range(config.num_epochs):
-            marginals = _draw_marginals(links, config, derive_rng(rng, epoch))
+            marginals = draw_marginals(links, config, derive_rng(rng, epoch))
             model = build_congestion_model(
                 network, marginals, config.correlation_strength
             )
             epochs.append((model, config.epoch_length))
         ground_truth: GroundTruth = NonStationaryModel(epochs)
     else:
-        marginals = _draw_marginals(links, config, rng)
+        marginals = draw_marginals(links, config, rng)
         ground_truth = build_congestion_model(
             network, marginals, config.correlation_strength
         )

@@ -185,9 +185,7 @@ class AlertManager:
         Detector configuration; see :class:`AlertPolicy`.
     """
 
-    def __init__(
-        self, network: Network, policy: Optional[AlertPolicy] = None
-    ) -> None:
+    def __init__(self, network: Network, policy: Optional[AlertPolicy] = None) -> None:
         self.network = network
         self.policy = policy or AlertPolicy()
         self._peer_members = peer_link_members(network)
@@ -271,9 +269,7 @@ class AlertManager:
         ]
 
     # ------------------------------------------------------------------
-    def observe(
-        self, window_index: int, estimate: WindowEstimate
-    ) -> List[Alert]:
+    def observe(self, window_index: int, estimate: WindowEstimate) -> List[Alert]:
         """Feed one emitted window estimate; returns newly-raised alerts."""
         policy = self.policy
         model = estimate.model
@@ -288,16 +284,26 @@ class AlertManager:
             if policy.link_high is not None:
                 alerts.extend(
                     self._threshold_alerts(
-                        "link", link, value, self._link_threshold,
-                        policy.link_high, policy.link_low,
-                        window_index, estimate,
+                        "link",
+                        link,
+                        value,
+                        self._link_threshold,
+                        policy.link_high,
+                        policy.link_low,
+                        window_index,
+                        estimate,
                     )
                 )
             if policy.link_shift is not None:
                 alerts.extend(
                     self._shift_alerts(
-                        "link", link, value, self._link_shift,
-                        policy.link_shift, window_index, estimate,
+                        "link",
+                        link,
+                        value,
+                        self._link_shift,
+                        policy.link_shift,
+                        window_index,
+                        estimate,
                     )
                 )
         if policy.peer_high is not None or policy.peer_shift is not None:
@@ -306,16 +312,26 @@ class AlertManager:
                 if policy.peer_high is not None:
                     alerts.extend(
                         self._threshold_alerts(
-                            "peer", asn, value, self._peer_threshold,
-                            policy.peer_high, policy.peer_low,
-                            window_index, estimate,
+                            "peer",
+                            asn,
+                            value,
+                            self._peer_threshold,
+                            policy.peer_high,
+                            policy.peer_low,
+                            window_index,
+                            estimate,
                         )
                     )
                 if policy.peer_shift is not None:
                     alerts.extend(
                         self._shift_alerts(
-                            "peer", asn, value, self._peer_shift,
-                            policy.peer_shift, window_index, estimate,
+                            "peer",
+                            asn,
+                            value,
+                            self._peer_shift,
+                            policy.peer_shift,
+                            window_index,
+                            estimate,
                         )
                     )
         return alerts

@@ -66,9 +66,7 @@ class PackedRingBuffer:
         # and a partially-filled tail) so compaction runs at most once per
         # retention's worth of appended words — amortised O(1) per word.
         self._phys_words = 2 * self._retention_words + 2
-        self._words = np.zeros(
-            (self._num_paths, self._phys_words), dtype=np.uint64
-        )
+        self._words = np.zeros((self._num_paths, self._phys_words), dtype=np.uint64)
         #: Absolute interval of bit 0 of physical word column 0 (mult. of 64).
         self._origin = 0
         #: Oldest retained (addressable) absolute interval (mult. of 64).
@@ -207,9 +205,7 @@ class PackedRingBuffer:
             last = rel_stop // WORD_BITS
             backend = PackedBackend(self._words[:, first:last], stop - start)
             return ObservationMatrix.from_backend(backend)
-        whole = PackedBackend(
-            self._words[:, :used_words], self._end - self._origin
-        )
+        whole = PackedBackend(self._words[:, :used_words], self._end - self._origin)
         return ObservationMatrix.from_backend(
             whole.slice_intervals(rel_start, rel_stop)
         )

@@ -145,9 +145,7 @@ def checkpoint_state(engine: StreamingEstimator) -> dict:
     return state
 
 
-def save_checkpoint(
-    engine: StreamingEstimator, path: Union[str, Path]
-) -> Path:
+def save_checkpoint(engine: StreamingEstimator, path: Union[str, Path]) -> Path:
     """Write the engine's state to ``path``; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(checkpoint_state(engine)), encoding="utf-8")

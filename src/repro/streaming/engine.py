@@ -194,10 +194,7 @@ class StreamingEstimator:
                     break
                 chunk = np.asarray(chunk, dtype=bool)[:budget]
             self.ingest(chunk)
-            if (
-                max_intervals is not None
-                and self.intervals_ingested >= max_intervals
-            ):
+            if (max_intervals is not None and self.intervals_ingested >= max_intervals):
                 break
         return self.timeline
 
@@ -220,9 +217,7 @@ class StreamingEstimator:
             window_index = self.windows_emitted
             self.windows_emitted += 1
             if self.alert_manager is not None:
-                self.alerts.extend(
-                    self.alert_manager.observe(window_index, estimate)
-                )
+                self.alerts.extend(self.alert_manager.observe(window_index, estimate))
             # Bound derived state for long-lived monitors: the ring bounds
             # raw observations, these bound per-window models and alerts.
             if (
@@ -232,10 +227,7 @@ class StreamingEstimator:
                 del self.timeline.windows[
                     : len(self.timeline.windows) - self.max_windows
                 ]
-            if (
-                self.max_alerts is not None
-                and len(self.alerts) > self.max_alerts
-            ):
+            if (self.max_alerts is not None and len(self.alerts) > self.max_alerts):
                 del self.alerts[: len(self.alerts) - self.max_alerts]
         return emitted
 

@@ -139,9 +139,7 @@ def write_ndjson_trace(
     elif isinstance(observations, np.ndarray):
         matrix = np.asarray(observations, dtype=bool)
         if matrix.ndim != 2:
-            raise ScenarioError(
-                "write_ndjson_trace expects a (T, paths) matrix"
-            )
+            raise ScenarioError("write_ndjson_trace expects a (T, paths) matrix")
         blocks = (matrix,)
         num_paths = matrix.shape[1]
     else:
@@ -177,9 +175,7 @@ class NDJSONTraceSource(ObservationSource):
     campaigns replay in bounded memory.
     """
 
-    def __init__(
-        self, path: Union[str, Path], chunk_intervals: int = 64
-    ) -> None:
+    def __init__(self, path: Union[str, Path], chunk_intervals: int = 64) -> None:
         if chunk_intervals < 1:
             raise ScenarioError("chunk_intervals must be >= 1")
         self.path = Path(path)

@@ -64,9 +64,7 @@ def line_topology(num_links: int, asn_of: Optional[Sequence[int]] = None) -> Net
     asn_of = list(asn_of) if asn_of is not None else [0] * num_links
     if len(asn_of) != num_links:
         raise TopologyError("asn_of must have one entry per link")
-    links = [
-        Link(index=i, src=i, dst=i + 1, asn=asn_of[i]) for i in range(num_links)
-    ]
+    links = [Link(index=i, src=i, dst=i + 1, asn=asn_of[i]) for i in range(num_links)]
     paths = [Path(index=0, links=tuple(range(num_links)))]
     return Network(links, paths, name=f"line-{num_links}")
 
@@ -84,9 +82,7 @@ def star_topology(num_spokes: int, distinct_asns: bool = True) -> Network:
     hub = 0
     # In-links: vertex (i+1) -> hub; out-links: hub -> vertex (num_spokes+1+j).
     for i in range(num_spokes):
-        links.append(
-            Link(index=i, src=i + 1, dst=hub, asn=i if distinct_asns else 0)
-        )
+        links.append(Link(index=i, src=i + 1, dst=hub, asn=i if distinct_asns else 0))
     for j in range(num_spokes):
         links.append(
             Link(
@@ -153,9 +149,7 @@ def network_from_paths(
             src=2 * i,
             dst=2 * i + 1,
             asn=asn_of.get(link_name, 10_000 + i),
-            router_links=frozenset(
-                router_links_of.get(link_name, (100_000 + i,))
-            ),
+            router_links=frozenset(router_links_of.get(link_name, (100_000 + i,))),
         )
         for i, link_name in enumerate(order)
     ]

@@ -118,9 +118,7 @@ class RouteOracle:
             if target in pred:
                 routes = [
                     tuple(p)
-                    for p in _build_paths_from_predecessors(
-                        {source}, target, pred
-                    )
+                    for p in _build_paths_from_predecessors({source}, target, pred)
                 ]
         self._ecmp[key] = routes
         return routes

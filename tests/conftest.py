@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,23 @@ from repro.simulation.probing import oracle_path_status
 from repro.topology.brite import BriteConfig, generate_brite_network
 from repro.topology.builders import fig1_topology
 from repro.topology.traceroute import TracerouteConfig, generate_sparse_network
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_dataset_cache(tmp_path_factory):
+    """Point the dataset parse cache at a per-session scratch directory.
+
+    Keeps the suite hermetic (no writes under ``~/.cache``) while still
+    exercising — and benefiting from — the cache across tests.
+    """
+    cache_dir = tmp_path_factory.mktemp("dataset-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

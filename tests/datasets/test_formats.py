@@ -1,0 +1,205 @@
+"""Tests for the dataset file-format parsers (all offline, on fixtures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DatasetSpec,
+    derive_network,
+    parse_caida,
+    parse_gml,
+    parse_rocketfuel,
+    partition_into_ases,
+)
+from repro.datasets.registry import datasets_root
+from repro.exceptions import DatasetError
+
+
+# ----------------------------------------------------------------------
+# GML (Topology Zoo)
+# ----------------------------------------------------------------------
+def _abilene_text() -> str:
+    return (datasets_root() / "abilene.gml").read_text()
+
+
+def test_gml_parses_abilene():
+    parsed = parse_gml(_abilene_text())
+    assert parsed.graph.number_of_nodes() == 11
+    assert parsed.graph.number_of_edges() == 14
+    assert parsed.labels[0] == "New York"
+    assert parsed.labels[7] == "Kansas City"
+    # Every node got an AS from the partition.
+    assert set(parsed.asn_of) == set(parsed.graph.nodes)
+
+
+def test_gml_partition_groups_are_bounded():
+    parsed = parse_gml(_abilene_text(), group_size=3)
+    sizes: dict = {}
+    for asn in parsed.asn_of.values():
+        sizes[asn] = sizes.get(asn, 0) + 1
+    assert all(size <= 3 for size in sizes.values())
+    assert sum(sizes.values()) == 11
+
+
+def test_gml_tolerates_extra_attributes_and_quoted_numbers():
+    text = """
+    Creator "x"
+    graph [
+      directed 0
+      node [ id 0 label "A" Latitude 1.5 hyper [ nested 1 ] ]
+      node [ id 1 label "0" ]
+      edge [ source 0 target 1 LinkSpeed "10" ]
+    ]
+    """
+    parsed = parse_gml(text)
+    assert parsed.graph.number_of_edges() == 1
+    assert parsed.labels[1] == "0"  # quoted numbers stay strings
+
+
+def test_gml_declared_asn_attribute_wins():
+    text = """
+    graph [
+      node [ id 0 asn 10 ]
+      node [ id 1 asn 10 ]
+      node [ id 2 asn 20 ]
+      edge [ source 0 target 1 ]
+      edge [ source 1 target 2 ]
+    ]
+    """
+    parsed = parse_gml(text)
+    assert parsed.asn_of == {0: 10, 1: 10, 2: 20}
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "not gml at all",
+        "graph [ ]",
+        "graph [ node [ id 0 ] ]",
+        "graph [ node [ label \"missing id\" ] edge [ source 0 target 1 ] ]",
+        "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 ] ]",
+        "graph [ node [ id",
+    ],
+)
+def test_gml_malformed_rejected(text):
+    with pytest.raises(DatasetError):
+        parse_gml(text)
+
+
+# ----------------------------------------------------------------------
+# Rocketfuel-style ISP maps
+# ----------------------------------------------------------------------
+def _rocketfuel_text() -> str:
+    return (datasets_root() / "rocketfuel-1221.edges").read_text()
+
+
+def test_rocketfuel_parses_fixture():
+    parsed = parse_rocketfuel(_rocketfuel_text())
+    assert parsed.graph.number_of_nodes() == 15
+    assert parsed.graph.number_of_edges() == 24
+    # POPs become ASes, numbered in sorted name order.
+    pops = {"Adelaide", "Brisbane", "Cairns", "Canberra", "Melbourne",
+            "Perth", "Sydney"}
+    assert len(set(parsed.asn_of.values())) == len(pops)
+
+
+def test_rocketfuel_pop_grouping_is_line_order_independent():
+    text = _rocketfuel_text()
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    reversed_text = "\n".join(reversed(lines))
+    a = parse_rocketfuel(text)
+    b = parse_rocketfuel(reversed_text)
+    # Node numbering differs, but the POP -> AS map is identical.
+    def pops_by_asn(parsed):
+        result: dict = {}
+        for node, asn in parsed.asn_of.items():
+            result.setdefault(asn, set()).add(parsed.labels[node])
+        return {asn: frozenset(names) for asn, names in result.items()}
+
+    assert pops_by_asn(a) == pops_by_asn(b)
+
+
+def test_rocketfuel_nodes_without_pop_become_singletons():
+    parsed = parse_rocketfuel("a@X b@X 1\nb@X lonely 2\n")
+    lonely = [n for n, label in parsed.labels.items() if label == "lonely"]
+    assert len(lonely) == 1
+    asn = parsed.asn_of[lonely[0]]
+    assert list(parsed.asn_of.values()).count(asn) == 1
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["a@X", "a@X b@X c@X d@X", "a@X b@X notanumber", "@X b@X 1", "a@ b@X 1"],
+)
+def test_rocketfuel_malformed_rejected(text):
+    with pytest.raises(DatasetError):
+        parse_rocketfuel(text)
+
+
+# ----------------------------------------------------------------------
+# CAIDA AS relationships
+# ----------------------------------------------------------------------
+def _caida_text() -> str:
+    return (datasets_root() / "caida-asrel.txt").read_text()
+
+
+def test_caida_parses_fixture():
+    parsed, relationships = parse_caida(_caida_text())
+    assert parsed.graph.number_of_edges() == len(relationships) == 33
+    # Every AS is its own correlation set.
+    assert parsed.asn_of == {n: n for n in parsed.graph.nodes}
+    assert relationships[(174, 3356)] == 0
+    assert relationships[(6939, 13335)] == -1
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["174|3356", "174|x|0", "174|3356|7", "174|174|0"],
+)
+def test_caida_malformed_rejected(text):
+    with pytest.raises(DatasetError):
+        parse_caida(text)
+
+
+# ----------------------------------------------------------------------
+# Derivation
+# ----------------------------------------------------------------------
+def test_derive_network_deterministic():
+    parsed = parse_gml(_abilene_text())
+    spec = DatasetSpec(num_vantage_points=3, num_destinations=6, num_paths=18)
+    a = derive_network(parsed, spec, "abilene")
+    b = derive_network(parsed, spec, "abilene")
+    assert [p.links for p in a.paths] == [p.links for p in b.paths]
+    assert [(link.src, link.dst, link.asn) for link in a.links] == [
+        (link.src, link.dst, link.asn) for link in b.links
+    ]
+
+
+def test_derive_network_seed_changes_selection():
+    parsed = parse_gml(_abilene_text())
+    a = derive_network(parsed, DatasetSpec(seed=1), "abilene")
+    b = derive_network(parsed, DatasetSpec(seed=2), "abilene")
+    assert [p.links for p in a.paths] != [p.links for p in b.paths]
+
+
+def test_derive_network_clamps_oversized_requests():
+    parsed = parse_caida(_caida_text())[0]
+    spec = DatasetSpec(num_vantage_points=500, num_destinations=500, num_paths=5000)
+    network = derive_network(parsed, spec, "caida")
+    assert network.num_paths >= 1
+
+
+def test_partition_handles_disconnected_graphs():
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    graph.add_edge(10, 11)
+    asn_of = partition_into_ases(graph, group_size=2)
+    assert set(asn_of) == {0, 1, 10, 11}
+    assert len(set(asn_of.values())) == 2

@@ -116,9 +116,7 @@ def test_campaign_by_name(capsys, tmp_path):
 def test_campaign_from_json_spec(capsys, tmp_path):
     spec_path = tmp_path / "sweep.json"
     spec_path.write_text(
-        json.dumps(
-            {"campaign": "scaling", "scale": "small", "seed": 7, "workers": 2}
-        )
+        json.dumps({"campaign": "scaling", "scale": "small", "seed": 7, "workers": 2})
     )
     assert main(["campaign", str(spec_path)]) == 0
     out = capsys.readouterr().out
@@ -129,6 +127,129 @@ def test_campaign_from_json_spec(capsys, tmp_path):
 def test_campaign_unknown_name():
     with pytest.raises(SystemExit, match="unknown campaign"):
         main(["campaign", "figure9"])
+
+
+def test_campaign_list(capsys):
+    assert main(["campaign", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("figure3", "figure4", "scaling", "ablation", "realworld"):
+        assert name in out
+
+
+def test_campaign_without_target_or_list():
+    with pytest.raises(SystemExit, match="--list"):
+        main(["campaign"])
+
+
+def test_campaign_realworld_with_filters(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "realworld",
+                "--scale",
+                "tiny",
+                "--oracle",
+                "--dataset",
+                "saved-peering",
+                "--scenario",
+                "gravity",
+                "--workers",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "saved-peering" in out
+    assert "gravity" in out
+    assert "Correlation-complete" in out
+
+
+def test_campaign_filters_rejected_for_figure_sweeps():
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "figure4", "--dataset", "abilene"])
+
+
+def test_datasets_list(capsys):
+    assert main(["datasets", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "abilene" in out
+    assert "caida-asrel" in out
+    assert "(generated)" in out
+
+
+def test_datasets_info(capsys):
+    assert main(["datasets", "info", "abilene"]) == 0
+    out = capsys.readouterr().out
+    assert "gml" in out
+    assert "num_links" in out
+
+
+def test_datasets_info_unknown_name():
+    with pytest.raises(SystemExit, match="unknown dataset"):
+        main(["datasets", "info", "atlantis"])
+
+
+def test_datasets_validate(capsys):
+    assert main(["datasets", "validate"]) == 0
+    out = capsys.readouterr().out
+    assert "all datasets load" in out
+    assert "FAIL" not in out
+
+
+def test_scenarios_list(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("diurnal", "gravity", "cascade", "flash_crowd", "maintenance"):
+        assert name in out
+
+
+def test_scenarios_info(capsys):
+    assert main(["scenarios", "info", "maintenance"]) == 0
+    out = capsys.readouterr().out
+    assert "maintenance_marginal" in out
+
+
+def test_monitor_dataset_scenario(capsys):
+    assert (
+        main(
+            [
+                "monitor",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "abilene",
+                "--scenario",
+                "diurnal",
+                "--intervals",
+                "48",
+                "--window",
+                "32",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "abilene" in out
+    assert "diurnal" in out
+    assert "refits" in out
+
+
+def test_monitor_unsupported_scenario_errors():
+    # caida-asrel has no correlated link groups; no_stationarity needs them.
+    with pytest.raises(SystemExit, match="correlated link groups"):
+        main(
+            [
+                "monitor",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "caida-asrel",
+                "--scenario",
+                "no_stationarity",
+            ]
+        )
 
 
 def test_campaign_invalid_overrides_rejected():

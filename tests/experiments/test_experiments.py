@@ -20,7 +20,8 @@ def test_scale_lookup():
     assert scale_by_name("paper").name == "paper"
     with pytest.raises(KeyError):
         scale_by_name("bogus")
-    assert set(SCALES) == {"small", "paper"}
+    assert scale_by_name("tiny").name == "tiny"
+    assert set(SCALES) == {"tiny", "small", "paper"}
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,167 @@
+"""Tests for the real-topology (dataset x scenario x estimator) sweep.
+
+Includes the PR's acceptance gate: every registered dataset and scenario
+runs through ``campaign`` with ``workers=4`` bit-identical to serial,
+entirely from bundled fixture files (no network access).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_names, load_dataset
+from repro.experiments.config import TINY
+from repro.experiments.realworld import (
+    ESTIMATOR_ORDER,
+    merge_realworld,
+    realworld_specs,
+    realworld_trial,
+    run_realworld,
+)
+from repro.runner import run_trials
+from repro.runner.campaign import CampaignSpec, run_campaign
+from repro.simulation.library import get_scenario, scenario_names
+
+
+def test_specs_cover_supported_grid():
+    specs = realworld_specs(TINY, seed=3, oracle=True)
+    cells = {(s.topology, s.scenario, s.estimator) for s in specs}
+    assert len(cells) == len(specs)
+    datasets_seen = {s.topology for s in specs}
+    scenarios_seen = {s.scenario for s in specs}
+    # Every registered dataset and scenario contributes to the sweep.
+    assert datasets_seen == set(dataset_names())
+    assert scenarios_seen == set(scenario_names())
+    # Unsupported combos are skipped, supported ones carry all estimators.
+    networks = {name: load_dataset(name) for name in dataset_names()}
+    for dataset, network in networks.items():
+        for scenario in scenario_names():
+            expected = get_scenario(scenario).supports(network)
+            present = {
+                s.estimator
+                for s in specs
+                if s.topology == dataset and s.scenario == scenario
+            }
+            assert present == (set(ESTIMATOR_ORDER) if expected else set())
+
+
+def test_specs_reject_unknown_names():
+    with pytest.raises(Exception, match="unknown dataset"):
+        realworld_specs(TINY, 3, datasets=["atlantis"])
+    with pytest.raises(Exception, match="unknown scenario"):
+        realworld_specs(TINY, 3, scenarios=["sharknado"])
+    with pytest.raises(ValueError, match="unknown estimators"):
+        realworld_specs(TINY, 3, estimators=["Magic"])
+
+
+def test_specs_reject_empty_sweep():
+    # no_independence needs correlated groups; caida-asrel has none.
+    with pytest.raises(ValueError, match="empty"):
+        realworld_specs(
+            TINY, 3, datasets=["caida-asrel"], scenarios=["no_independence"]
+        )
+
+
+def test_single_cell_trial_and_merge():
+    specs = realworld_specs(
+        TINY,
+        seed=3,
+        oracle=True,
+        datasets=["saved-peering"],
+        scenarios=["gravity"],
+    )
+    assert len(specs) == len(ESTIMATOR_ORDER)
+    results = run_trials(realworld_trial, specs, workers=1)
+    merged = merge_realworld(results)
+    assert merged.datasets() == ["saved-peering"]
+    assert merged.scenarios() == ["gravity"]
+    for estimator in ESTIMATOR_ORDER:
+        metrics = merged.rows[("saved-peering", "gravity", estimator)]
+        assert 0.0 <= metrics.mean_absolute_error <= 1.0
+    table = merged.to_table("saved-peering")
+    assert "gravity" in table and "Correlation-complete" in table
+
+
+def test_run_realworld_restricted_sweep():
+    result = run_realworld(
+        TINY,
+        seed=3,
+        oracle=True,
+        datasets=["abilene"],
+        scenarios=["diurnal", "maintenance"],
+        workers=1,
+    )
+    assert result.datasets() == ["abilene"]
+    assert result.scenarios() == ["diurnal", "maintenance"]
+    assert result.dataset_stats["abilene"]["num_links"] == 21.0
+
+
+def test_full_grid_campaign_workers4_bit_identical_to_serial():
+    """Acceptance: the whole registry, through campaign, sharded = serial."""
+    serial = run_campaign(
+        CampaignSpec(
+            campaign="realworld",
+            scale="tiny",
+            seed=3,
+            oracle=True,
+            workers=1,
+        )
+    )
+    parallel = run_campaign(
+        CampaignSpec(
+            campaign="realworld",
+            scale="tiny",
+            seed=3,
+            oracle=True,
+            workers=4,
+        )
+    )
+    assert serial.num_trials == parallel.num_trials
+    a = serial.replicates[0].result
+    b = parallel.replicates[0].result
+    assert set(a.rows) == set(b.rows)
+    # The grid really covered every dataset and scenario.
+    assert a.datasets() == dataset_names()
+    assert a.scenarios() == scenario_names()
+    for key, serial_metrics in a.rows.items():
+        parallel_metrics = b.rows[key]
+        assert (
+            serial_metrics.mean_absolute_error
+            == parallel_metrics.mean_absolute_error
+        )
+        assert np.array_equal(serial_metrics.errors, parallel_metrics.errors)
+        assert serial_metrics.num_links_scored == parallel_metrics.num_links_scored
+    assert serial.replicates[0].rendered == parallel.replicates[0].rendered
+    assert serial.replicates[0].summary == parallel.replicates[0].summary
+
+
+def test_campaign_spec_filters_validated():
+    with pytest.raises(ValueError, match="does not accept"):
+        CampaignSpec(campaign="figure4", dataset="abilene")
+    with pytest.raises(ValueError, match="unknown dataset"):
+        CampaignSpec(campaign="realworld", dataset="atlantis")
+    with pytest.raises(ValueError, match="unknown scenario"):
+        CampaignSpec(campaign="realworld", scenario="sharknado")
+    spec = CampaignSpec(
+        campaign="realworld", dataset="abilene,saved-peering", scenario="gravity"
+    )
+    assert spec.dataset == "abilene,saved-peering"
+
+
+def test_campaign_filters_restrict_the_sweep():
+    outcome = run_campaign(
+        CampaignSpec(
+            campaign="realworld",
+            scale="tiny",
+            seed=3,
+            oracle=True,
+            workers=1,
+            dataset="saved-peering",
+            scenario="gravity,cascade",
+        )
+    )
+    result = outcome.replicates[0].result
+    assert result.datasets() == ["saved-peering"]
+    assert result.scenarios() == ["cascade", "gravity"]
+    assert outcome.to_json_dict()["dataset"] == "saved-peering"

@@ -82,17 +82,13 @@ def test_bayesian_independence_fooled_by_correlation(
     # Section 3.1: "Bayesian-Independence incorrectly determines that
     # {e1, e3} is the solution with the highest probability and always
     # picks it over the correct one, {e2, e3}".
-    algorithm = BayesianIndependenceInference(
-        EstimatorConfig(pruning_tolerance=0.0)
-    )
+    algorithm = BayesianIndependenceInference(EstimatorConfig(pruning_tolerance=0.0))
     algorithm.prepare(fig1_case1, correlated_observations)
     inferred = algorithm.infer(fig1_case1, frozenset({0, 1, 2}))
     assert inferred == frozenset({0, 2})
 
 
-def test_bayesian_correlation_handles_correlation(
-    fig1_case1, correlated_observations
-):
+def test_bayesian_correlation_handles_correlation(fig1_case1, correlated_observations):
     algorithm = BayesianCorrelationInference(
         EstimatorConfig(requested_subset_size=2, pruning_tolerance=0.0),
         random_state=3,
@@ -117,9 +113,7 @@ def test_infer_all_returns_one_set_per_interval(fig1_case1, correlated_observati
     ],
 )
 def test_inference_decent_on_dense_topology(algorithm_factory, small_brite):
-    scenario = build_scenario(
-        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
-    )
+    scenario = build_scenario(small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4)
     experiment = run_experiment(scenario, 80, random_state=5, oracle=True)
     metrics = evaluate_inference(algorithm_factory(), experiment)
     # Dense topology + perfect observations: the favourable regime.
@@ -128,9 +122,7 @@ def test_inference_decent_on_dense_topology(algorithm_factory, small_brite):
 
 
 def test_inference_inferred_sets_within_candidates(small_brite):
-    scenario = build_scenario(
-        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
-    )
+    scenario = build_scenario(small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4)
     experiment = run_experiment(scenario, 30, random_state=5, oracle=True)
     algorithm = BayesianIndependenceInference(EstimatorConfig(seed=1))
     algorithm.prepare(small_brite, experiment.observations)
@@ -141,9 +133,7 @@ def test_inference_inferred_sets_within_candidates(small_brite):
 
 
 def test_inference_explains_all_congested_paths(small_brite):
-    scenario = build_scenario(
-        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4
-    )
+    scenario = build_scenario(small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 4)
     experiment = run_experiment(scenario, 30, random_state=6, oracle=True)
     algorithm = SparsityInference()
     for t in range(experiment.num_intervals):

@@ -107,13 +107,7 @@ def test_update_equals_recompute_property(matrix, row):
 
 
 @settings(max_examples=40, deadline=None)
-@given(
-    matrix=arrays(
-        np.float64,
-        (5, 5),
-        elements=st.sampled_from([0.0, 1.0]),
-    )
-)
+@given(matrix=arrays( np.float64, (5, 5), elements=st.sampled_from([0.0, 1.0]), ))
 def test_null_space_columns_orthonormal(matrix):
     basis = null_space(matrix)
     if basis.shape[1]:

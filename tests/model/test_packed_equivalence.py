@@ -52,9 +52,7 @@ def _random_path_sets(rng, num_paths, count=12):
     sets = [[]]
     for _ in range(count):
         size = int(rng.integers(1, min(num_paths, 6) + 1))
-        sets.append(
-            sorted(rng.choice(num_paths, size=size, replace=False).tolist())
-        )
+        sets.append(sorted(rng.choice(num_paths, size=size, replace=False).tolist()))
     return sets
 
 
@@ -107,9 +105,7 @@ def test_slice_equivalence_aligned_and_unaligned():
     packed = ObservationMatrix(matrix, backend="packed")
     dense = ObservationMatrix(matrix, backend="dense")
     windows = [(0, 64), (64, 192), (0, 500), (3, 130), (65, 100), (499, 500), (100, 100)]
-    windows += [
-        tuple(sorted(rng.integers(0, 501, size=2).tolist())) for _ in range(20)
-    ]
+    windows += [tuple(sorted(rng.integers(0, 501, size=2).tolist())) for _ in range(20)]
     for start, stop in windows:
         packed_window = packed.slice_intervals(start, stop)
         dense_window = dense.slice_intervals(start, stop)
@@ -173,12 +169,8 @@ def fig_scenario_observations(request):
     "estimator_factory",
     [
         lambda: IndependenceEstimator(EstimatorConfig(pruning_tolerance=0.0)),
-        lambda: CorrelationHeuristicEstimator(
-            EstimatorConfig(pruning_tolerance=0.0)
-        ),
-        lambda: CorrelationCompleteEstimator(
-            EstimatorConfig(pruning_tolerance=0.0)
-        ),
+        lambda: CorrelationHeuristicEstimator(EstimatorConfig(pruning_tolerance=0.0)),
+        lambda: CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0)),
     ],
     ids=["independence", "heuristic", "complete"],
 )
@@ -218,9 +210,7 @@ def test_estimator_outputs_identical_on_simulated_scenario():
         ),
         13,
     )
-    scenario = build_scenario(
-        network, ScenarioConfig(kind=ScenarioKind.RANDOM), 17
-    )
+    scenario = build_scenario(network, ScenarioConfig(kind=ScenarioKind.RANDOM), 17)
     experiment = run_experiment(scenario, 400, random_state=19)
     assert experiment.observations.backend_name == "packed"
     for estimator_factory in (
@@ -233,9 +223,7 @@ def test_estimator_outputs_identical_on_simulated_scenario():
         )
         packed_marginals = packed_model.link_marginals()
         dense_marginals = dense_model.link_marginals()
-        np.testing.assert_allclose(
-            packed_marginals, dense_marginals, rtol=0, atol=1e-9
-        )
+        np.testing.assert_allclose(packed_marginals, dense_marginals, rtol=0, atol=1e-9)
 
 
 def test_frequency_cache_counters_and_bound():

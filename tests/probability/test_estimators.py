@@ -24,9 +24,7 @@ ALL_ESTIMATORS = [
 
 @pytest.fixture(scope="module")
 def brite_experiment(small_brite):
-    scenario = build_scenario(
-        small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 1
-    )
+    scenario = build_scenario(small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 1)
     return run_experiment(scenario, 500, random_state=2, oracle=True)
 
 
@@ -41,9 +39,7 @@ def test_estimators_produce_valid_probabilities(estimator_cls, small_brite, brit
 
 
 @pytest.mark.parametrize("estimator_cls", ALL_ESTIMATORS)
-def test_estimators_reasonably_accurate_oracle(
-    estimator_cls, brite_experiment
-):
+def test_estimators_reasonably_accurate_oracle(estimator_cls, brite_experiment):
     estimator = estimator_cls(EstimatorConfig(seed=3))
     metrics = evaluate_estimator(estimator, brite_experiment)
     assert metrics.mean_absolute_error < 0.15

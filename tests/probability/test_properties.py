@@ -31,12 +31,8 @@ def driver_models(draw):
     num_drivers = draw(st.integers(1, 4))
     drivers = []
     for _ in range(num_drivers):
-        probability = draw(
-            st.floats(0.05, 0.9, allow_nan=False, allow_infinity=False)
-        )
-        links = draw(
-            st.sets(st.integers(0, 3), min_size=1, max_size=3).map(frozenset)
-        )
+        probability = draw(st.floats(0.05, 0.9, allow_nan=False, allow_infinity=False))
+        links = draw(st.sets(st.integers(0, 3), min_size=1, max_size=3).map(frozenset))
         drivers.append(Driver(probability=probability, links=links))
     return CongestionModel(4, drivers)
 
@@ -81,9 +77,7 @@ def test_inclusion_exclusion_bounds(model, links):
 def test_monotonicity_of_all_good(model):
     """P(all of S good) is non-increasing in S."""
     for subset, superset in [([0], [0, 1]), ([1], [1, 2]), ([0, 2], [0, 2, 3])]:
-        assert (
-            model.prob_all_good(superset) <= model.prob_all_good(subset) + 1e-12
-        )
+        assert (model.prob_all_good(superset) <= model.prob_all_good(subset) + 1e-12)
 
 
 @settings(max_examples=25, deadline=None)

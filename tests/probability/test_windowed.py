@@ -26,9 +26,7 @@ def shifting_truth():
 def timeline(fig1_case1, shifting_truth):
     states = shifting_truth.sample(800, np.random.default_rng(4))
     observations = oracle_path_status(fig1_case1, states)
-    estimator = CorrelationCompleteEstimator(
-        EstimatorConfig(pruning_tolerance=0.0)
-    )
+    estimator = CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0))
     windowed = WindowedEstimator(estimator, window=200)
     return windowed.fit(fig1_case1, observations)
 

@@ -17,9 +17,7 @@ from repro.probability.independence import IndependenceEstimator
 
 
 def _fit(network, observations, **kwargs):
-    config = EstimatorConfig(
-        requested_subset_size=2, pruning_tolerance=0.0, **kwargs
-    )
+    config = EstimatorConfig(requested_subset_size=2, pruning_tolerance=0.0, **kwargs)
     estimator = CorrelationCompleteEstimator(config)
     return estimator.fit(network, observations)
 

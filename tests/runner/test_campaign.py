@@ -16,7 +16,13 @@ from repro.runner.campaign import (
 
 
 def test_registry_contents():
-    assert set(CAMPAIGNS) == {"figure3", "figure4", "scaling", "ablation"}
+    assert set(CAMPAIGNS) == {
+        "figure3",
+        "figure4",
+        "scaling",
+        "ablation",
+        "realworld",
+    }
     for definition in CAMPAIGNS.values():
         assert definition.description
 
@@ -31,9 +37,7 @@ def test_spec_validation():
 def test_load_spec(tmp_path):
     path = tmp_path / "sweep.json"
     path.write_text(
-        json.dumps(
-            {"campaign": "scaling", "scale": "small", "seed": 9, "workers": 2}
-        )
+        json.dumps({"campaign": "scaling", "scale": "small", "seed": 9, "workers": 2})
     )
     spec = load_campaign_spec(path)
     assert spec.campaign == "scaling"
@@ -83,11 +87,7 @@ def test_run_campaign_replicates(scaling_outcome):
 
 
 def test_run_campaign_reports_shards(scaling_outcome):
-    reported = [
-        name
-        for report in scaling_outcome.shards
-        for name, _ in report.trials
-    ]
+    reported = [name for report in scaling_outcome.shards for name, _ in report.trials]
     assert len(reported) == 6
     assert all(name.startswith("scaling") for name in reported)
 

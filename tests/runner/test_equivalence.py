@@ -44,9 +44,7 @@ def test_figure4_panels_bit_identical(figure4_serial, figure4_parallel):
     assert figure4_serial.subset_rows == figure4_parallel.subset_rows
     assert figure4_serial.topology_stats == figure4_parallel.topology_stats
     assert figure4_serial.to_table("brite") == figure4_parallel.to_table("brite")
-    assert figure4_serial.to_table("sparse") == figure4_parallel.to_table(
-        "sparse"
-    )
+    assert figure4_serial.to_table("sparse") == figure4_parallel.to_table("sparse")
 
 
 def test_figure3_bit_identical():
@@ -55,10 +53,7 @@ def test_figure3_bit_identical():
     assert set(serial.rows) == set(parallel.rows)
     for key, metrics in serial.rows.items():
         assert metrics.detection_rate == parallel.rows[key].detection_rate
-        assert (
-            metrics.false_positive_rate
-            == parallel.rows[key].false_positive_rate
-        )
+        assert (metrics.false_positive_rate == parallel.rows[key].false_positive_rate)
     assert serial.topology_stats == parallel.topology_stats
 
 
@@ -70,9 +65,7 @@ def test_ablation_bit_identical():
 
 def test_scaling_bit_identical():
     serial = run_algorithm1_scaling(TINY, seed=3, subset_sizes=[1, 2], workers=1)
-    parallel = run_algorithm1_scaling(
-        TINY, seed=3, subset_sizes=[1, 2], workers=2
-    )
+    parallel = run_algorithm1_scaling(TINY, seed=3, subset_sizes=[1, 2], workers=2)
     assert serial.num_paths == parallel.num_paths
     for a, b in zip(serial.rows, parallel.rows):
         assert a.requested_subset_size == b.requested_subset_size

@@ -136,9 +136,7 @@ def test_build_model_exact_marginals():
 def test_build_model_creates_shared_driver():
     network = _correlated_network()
     # Links a (0) and c (2) share router link 7.
-    model = build_congestion_model(
-        network, {0: 0.4, 2: 0.5}, correlation_strength=0.8
-    )
+    model = build_congestion_model(network, {0: 0.4, 2: 0.5}, correlation_strength=0.8)
     assert frozenset({0, 2}) in model.correlated_groups()
     # Correlation exists: joint good probability exceeds the product.
     assert model.prob_all_good([0, 2]) > model.prob_all_good([0]) * model.prob_all_good([2]) + 1e-9
@@ -146,9 +144,7 @@ def test_build_model_creates_shared_driver():
 
 def test_build_model_zero_strength_independent():
     network = _correlated_network()
-    model = build_congestion_model(
-        network, {0: 0.4, 2: 0.5}, correlation_strength=0.0
-    )
+    model = build_congestion_model(network, {0: 0.4, 2: 0.5}, correlation_strength=0.0)
     assert model.correlated_groups() == []
     assert model.prob_all_good([0, 2]) == pytest.approx(
         model.prob_all_good([0]) * model.prob_all_good([2])

@@ -1,0 +1,224 @@
+"""Tests for the scenario library registry and its generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.simulation.congestion import CongestionModel, NonStationaryModel
+from repro.simulation.experiment import run_experiment
+from repro.simulation.library import (
+    SCENARIOS,
+    ScenarioGenerator,
+    build_named_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.topology.builders import network_from_paths
+
+#: Scenario names this PR guarantees (new generators + classic regimes).
+EXPECTED = {
+    "random",
+    "concentrated",
+    "no_independence",
+    "no_stationarity",
+    "diurnal",
+    "gravity",
+    "cascade",
+    "flash_crowd",
+    "maintenance",
+}
+
+
+def _uncorrelated_network():
+    """A topology without shared router-level links."""
+    return network_from_paths([["a", "b"], ["a", "c"], ["d", "c"]])
+
+
+def test_registry_contents():
+    assert EXPECTED <= set(scenario_names())
+    for generator in SCENARIOS.values():
+        assert generator.description
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        get_scenario("sharknado")
+
+
+def test_duplicate_registration_rejected():
+    generator = SCENARIOS["diurnal"]
+    with pytest.raises(ScenarioError, match="already registered"):
+        register_scenario(generator)
+    register_scenario(generator, replace_existing=True)
+
+
+def test_unknown_parameter_override_rejected(small_brite):
+    with pytest.raises(ScenarioError, match="no parameters"):
+        build_named_scenario("diurnal", small_brite, 0, bogus_knob=1)
+
+
+def test_classic_generators_match_build_scenario(small_brite):
+    """The library's classic regimes delegate to the Section 3.2 builder."""
+    from repro.simulation.scenarios import (
+        ScenarioConfig,
+        ScenarioKind,
+        build_scenario,
+    )
+
+    direct = build_scenario(small_brite, ScenarioConfig(kind=ScenarioKind.RANDOM), 17)
+    registered = build_named_scenario("random", small_brite, 17)
+    assert registered.congestable == direct.congestable
+    assert np.array_equal(registered.true_marginals(), direct.true_marginals())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_generators_are_deterministic(small_brite, name):
+    a = build_named_scenario(name, small_brite, 5)
+    b = build_named_scenario(name, small_brite, 5)
+    assert a.congestable == b.congestable
+    assert np.array_equal(a.true_marginals(), b.true_marginals())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_generators_produce_valid_ground_truth(small_brite, name):
+    scenario = build_named_scenario(name, small_brite, 5)
+    marginals = scenario.true_marginals()
+    assert (marginals >= 0.0).all() and (marginals < 1.0).all()
+    assert scenario.ground_truth.congestable_links() <= scenario.congestable
+    # The ground truth drives the standard experiment pipeline unchanged.
+    result = run_experiment(scenario, 20, random_state=1, oracle=True)
+    assert result.link_states.shape == (20, small_brite.num_links)
+
+
+def test_correlation_requiring_generators_declare_it():
+    network = _uncorrelated_network()
+    for name in ("no_independence", "no_stationarity"):
+        generator = get_scenario(name)
+        assert not generator.supports(network)
+        with pytest.raises(ScenarioError, match="correlated link groups"):
+            generator.build(network, 0)
+    for name in sorted(EXPECTED - {"no_independence", "no_stationarity"}):
+        assert get_scenario(name).supports(network)
+
+
+# ----------------------------------------------------------------------
+# Generator-specific behaviour
+# ----------------------------------------------------------------------
+def test_diurnal_cycles_marginals(small_brite):
+    scenario = build_named_scenario("diurnal", small_brite, 3)
+    truth = scenario.ground_truth
+    assert isinstance(truth, NonStationaryModel)
+    assert len(truth.epochs) == 8
+    link = sorted(scenario.congestable)[0]
+    per_epoch = [model.marginal(link) for model, _ in truth.epochs]
+    # Trough at the start of the cycle, peak mid-cycle.
+    assert per_epoch[0] == pytest.approx(min(per_epoch))
+    assert max(per_epoch) > 2.5 * min(per_epoch)
+
+
+def test_diurnal_respects_overrides(small_brite):
+    scenario = build_named_scenario(
+        "diurnal", small_brite, 3, num_epochs=4, epoch_length=10
+    )
+    truth = scenario.ground_truth
+    assert len(truth.epochs) == 4
+    assert all(length == 10 for _, length in truth.epochs)
+
+
+def test_gravity_congests_loaded_links(small_brite):
+    scenario = build_named_scenario("gravity", small_brite, 3)
+    truth = scenario.ground_truth
+    assert isinstance(truth, CongestionModel)
+    degrees = small_brite.link_degrees()
+    congested_degree = np.mean([degrees[e] for e in scenario.congestable])
+    quiet = [e for e in range(small_brite.num_links) if e not in scenario.congestable]
+    quiet_degree = np.mean([degrees[e] for e in quiet])
+    # Load concentrates on criss-crossed links, so the congested set is
+    # systematically higher-degree than the rest.
+    assert congested_degree > quiet_degree
+
+
+def test_cascade_builds_chained_groups(small_brite):
+    scenario = build_named_scenario("cascade", small_brite, 3)
+    truth = scenario.ground_truth
+    groups = truth.correlated_groups()
+    assert len(groups) == 3
+    for group in groups:
+        assert len(group) >= 2
+    # Groups chain: each later group is adjacent to an earlier one, so the
+    # union is one connected region of the link-adjacency graph.
+    from repro.simulation.library import _link_adjacency
+
+    adjacency = _link_adjacency(small_brite)
+    seen = set(sorted(groups, key=sorted)[0])
+    # Union-reachability over the congested set.
+    frontier = list(seen)
+    members = set().union(*groups)
+    while frontier:
+        link = frontier.pop()
+        for neighbor in adjacency[link]:
+            if neighbor in members and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert seen == members
+
+
+def test_flash_crowd_spikes_hot_links(small_brite):
+    scenario = build_named_scenario("flash_crowd", small_brite, 3)
+    truth = scenario.ground_truth
+    assert isinstance(truth, NonStationaryModel)
+    quiet_model, quiet_length = truth.epochs[0]
+    spike_model, spike_length = truth.epochs[1]
+    assert quiet_length == 30 and spike_length == 10
+    spiked = [
+        e
+        for e in scenario.congestable
+        if spike_model.marginal(e) >= 0.8 and quiet_model.marginal(e) < 0.5
+    ]
+    assert spiked, "no hot link spikes in the spike epoch"
+    # The hot links form whole monitored paths into one destination.
+    hot = set(spiked)
+    assert any(hot >= set(path.links) for path in small_brite.paths)
+
+
+def test_maintenance_degrades_one_as(small_brite):
+    scenario = build_named_scenario("maintenance", small_brite, 3)
+    truth = scenario.ground_truth
+    normal_model, _ = truth.epochs[0]
+    window_model, _ = truth.epochs[1]
+    maintained = [
+        members
+        for members in small_brite.correlation_sets
+        if all(window_model.marginal(e) >= 0.8 for e in members)
+    ]
+    assert len(maintained) == 1
+    # Outside the window the maintained AS behaves normally.
+    assert all(normal_model.marginal(e) < 0.8 for e in sorted(maintained[0]))
+
+
+def test_custom_registration_roundtrip(small_brite):
+    def builder(network, rng, params):
+        from repro.simulation.congestion import Driver
+
+        model = CongestionModel(
+            network.num_links,
+            [Driver(probability=params["p"], links=frozenset({0}))],
+        )
+        return model, frozenset({0})
+
+    generator = ScenarioGenerator(
+        name="test-custom",
+        description="single-link test scenario",
+        builder=builder,
+        defaults={"p": 0.5},
+    )
+    register_scenario(generator)
+    try:
+        scenario = build_named_scenario("test-custom", small_brite, 0, p=0.25)
+        assert scenario.ground_truth.marginal(0) == pytest.approx(0.25)
+        assert scenario.name == "test-custom"
+    finally:
+        del SCENARIOS["test-custom"]

@@ -46,9 +46,7 @@ def test_threshold_detector_validation():
 def test_level_shift_detector_matches_change_points_semantics():
     series = [0.1, 0.12, 0.5, 0.52, 0.1, 0.11]
     detector = LevelShiftDetector(threshold=0.2)
-    fired = [
-        i for i, value in enumerate(series) if detector.update(value) is not None
-    ]
+    fired = [i for i, value in enumerate(series) if detector.update(value) is not None]
     expected = [
         i + 1
         for i in range(len(series) - 1)
@@ -129,9 +127,7 @@ def test_streaming_shifts_match_offline_change_points(shifting_run):
     network, dense = shifting_run
     from repro.model.status import ObservationMatrix
 
-    estimator = CorrelationCompleteEstimator(
-        EstimatorConfig(pruning_tolerance=0.0)
-    )
+    estimator = CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0))
     offline = WindowedEstimator(estimator, window=200).fit(
         network, ObservationMatrix(dense)
     )

@@ -34,9 +34,7 @@ def setup():
 
 def _engine(network, with_alerts=True):
     manager = (
-        AlertManager(
-            network, AlertPolicy(peer_high=0.5, peer_low=0.4, link_shift=0.2)
-        )
+        AlertManager(network, AlertPolicy(peer_high=0.5, peer_low=0.4, link_shift=0.2))
         if with_alerts
         else None
     )
@@ -69,9 +67,7 @@ def test_restart_resumes_identically(setup, tmp_path):
     assert resumed.next_window_start == interrupted.next_window_start
     resumed.ingest(dense[430:])
 
-    spans = (
-        interrupted.timeline.window_spans() + resumed.timeline.window_spans()
-    )
+    spans = (interrupted.timeline.window_spans() + resumed.timeline.window_spans())
     assert spans == uninterrupted.timeline.window_spans()
     for full, part in zip(
         uninterrupted.timeline.windows,
@@ -109,9 +105,7 @@ def test_checkpoint_preserves_counters_and_workload(setup, tmp_path):
     assert resumed.cache_hits == engine.cache_hits
     assert resumed.cache_misses == engine.cache_misses
     assert resumed._workload == engine._workload
-    assert (
-        resumed.buffer.view().matrix == engine.buffer.view().matrix
-    ).all()
+    assert (resumed.buffer.view().matrix == engine.buffer.view().matrix).all()
 
 
 def test_checkpoint_is_json_and_portable(setup, tmp_path):
@@ -149,9 +143,7 @@ def test_window_numbering_survives_repeated_restores(setup, tmp_path):
         engine.ingest(dense[start:boundary])
         alerts.extend(engine.alerts)
     assert engine.windows_emitted == uninterrupted.windows_emitted
-    assert [
-        (a.kind, a.scope, a.target, a.window_index) for a in alerts
-    ] == [
+    assert [(a.kind, a.scope, a.target, a.window_index) for a in alerts] == [
         (a.kind, a.scope, a.target, a.window_index)
         for a in uninterrupted.alerts
     ]
@@ -175,9 +167,7 @@ def test_restore_applies_new_alert_policy_to_old_targets(setup):
     for target, detector in manager._peer_threshold.items():
         assert detector.high == 0.9, target  # new policy, old target
         # ... while the hysteresis state survived the restart.
-        assert detector.active == engine.alert_manager._peer_threshold[
-            target
-        ].active
+        assert detector.active == engine.alert_manager._peer_threshold[target].active
 
 
 def test_checkpoint_preserves_resource_bounds(setup):

@@ -87,9 +87,7 @@ def _assert_timelines_match(network, offline, streaming, tol=1e-9):
 
 
 @pytest.mark.parametrize("backend", ["packed", "dense"])
-@pytest.mark.parametrize(
-    "window,stride", [(200, 200), (200, 100), (150, 70)]
-)
+@pytest.mark.parametrize("window,stride", [(200, 200), (200, 100), (150, 70)])
 def test_streaming_matches_offline(network, horizon, backend, window, stride):
     observations = ObservationMatrix(horizon, backend=backend)
     offline = WindowedEstimator(_estimator(), window=window, stride=stride).fit(
@@ -117,9 +115,7 @@ def test_warm_workload_does_not_change_results(network, horizon):
     cold = StreamingEstimator(
         network, _estimator(), window=150, stride=70, workload_limit=0
     )
-    warm = StreamingEstimator(
-        network, _estimator(), window=150, stride=70
-    )
+    warm = StreamingEstimator(network, _estimator(), window=150, stride=70)
     cold.ingest(horizon)
     warm.ingest(horizon)
     assert cold.timeline.window_spans() == warm.timeline.window_spans()
@@ -148,9 +144,7 @@ def test_refits_are_incremental_not_full_horizon(network, horizon):
 
 
 def test_unusable_windows_skipped_like_offline(network):
-    blocks = np.vstack(
-        [np.ones((100, 3), dtype=bool), np.zeros((100, 3), dtype=bool)]
-    )
+    blocks = np.vstack([np.ones((100, 3), dtype=bool), np.zeros((100, 3), dtype=bool)])
     offline = WindowedEstimator(_estimator(), window=100).fit(
         network, ObservationMatrix(blocks)
     )
@@ -176,9 +170,7 @@ def test_eviction_never_outruns_refit_cursor(network, horizon):
     offline = WindowedEstimator(_estimator(), window=100).fit(
         network, ObservationMatrix(horizon)
     )
-    engine = StreamingEstimator(
-        network, _estimator(), window=100, retention=100
-    )
+    engine = StreamingEstimator(network, _estimator(), window=100, retention=100)
     engine.ingest(horizon)  # one giant chunk; engine must self-throttle
     _assert_timelines_match(network, offline, engine.timeline)
 

@@ -65,9 +65,7 @@ def test_network_from_paths_basic():
 
 
 def test_network_from_paths_asn_grouping():
-    network = network_from_paths(
-        [["a", "b"], ["c"]], asn_of={"a": 5, "b": 5, "c": 9}
-    )
+    network = network_from_paths([["a", "b"], ["c"]], asn_of={"a": 5, "b": 5, "c": 9})
     assert sorted(network.correlation_sets, key=sorted) == [
         frozenset({0, 1}),
         frozenset({2}),

@@ -83,9 +83,7 @@ def test_sparse_determinism():
 
 
 def test_sparse_campaign_discards(small_sparse):
-    config = TracerouteConfig(
-        num_probes=300, response_prob=0.85, max_kept_paths=100
-    )
+    config = TracerouteConfig(num_probes=300, response_prob=0.85, max_kept_paths=100)
     network, campaign = generate_sparse_network(config, 1, return_campaign=True)
     # With imperfect responders a substantial share is discarded, mirroring
     # the paper's "most traceroutes ... had to be discarded".

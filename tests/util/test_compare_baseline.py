@@ -1,0 +1,56 @@
+"""Unit tests for the benchmark-comparison gate (benchmarks/compare_baseline.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_SCRIPT = (Path(__file__).resolve().parents[2] / "benchmarks" / "compare_baseline.py")
+_spec = importlib.util.spec_from_file_location("compare_baseline", _SCRIPT)
+compare_baseline = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_baseline)
+
+
+def _row(rows, name):
+    (match,) = [row for row in rows if row[0] == name]
+    return match
+
+
+def test_regression_flagged_on_enough_cores():
+    baseline = {"bench::test_x": {"mean_s": 1.0}}
+    current = {"bench::test_x": {"mean_s": 2.0}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=8)
+    assert _row(rows, "bench::test_x")[4] == "REGRESSION"
+
+
+def test_parallel_benchmark_skipped_below_core_floor():
+    baseline = {"bench::test_sweep_workers4": {"mean_s": 1.0}}
+    current = {"bench::test_sweep_workers4": {"mean_s": 10.0}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=1)
+    name, base_s, cur_s, ratio, note = _row(rows, "bench::test_sweep_workers4")
+    assert note == "skipped: <4 cores"
+    assert ratio is None
+
+
+def test_parallel_benchmark_gated_normally_with_enough_cores():
+    baseline = {"bench::test_sweep_workers4": {"mean_s": 1.0}}
+    current = {"bench::test_sweep_workers4": {"mean_s": 10.0}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=4)
+    assert _row(rows, "bench::test_sweep_workers4")[4] == "REGRESSION"
+
+
+def test_serial_benchmarks_unaffected_by_core_count():
+    baseline = {"bench::test_x": {"mean_s": 1.0}}
+    current = {"bench::test_x": {"mean_s": 1.1}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=1)
+    assert _row(rows, "bench::test_x")[4] == ""
+
+
+def test_skipped_rows_render_everywhere():
+    baseline = {"bench::test_sweep_workers4": {"mean_s": 1.0}}
+    current = {"bench::test_sweep_workers4": {"mean_s": 10.0}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=1)
+    text = compare_baseline.render_text(rows)
+    markdown = compare_baseline.render_markdown(rows, threshold=1.5)
+    assert "skipped: <4 cores" in text
+    assert "skipped: <4 cores" in markdown
