@@ -14,11 +14,14 @@ Usage::
                              [--seed N] [--oracle] [--workers W]
                              [--replicates R] [--output DIR]
                              [--dataset NAMES] [--scenario NAMES]
+                             [--estimator NAMES]
     repro-tomography campaign --list
     repro-tomography datasets list|info NAME|validate
     repro-tomography scenarios list|info NAME
+    repro-tomography estimators list|info NAME
     repro-tomography monitor [--scale SCALE] [--seed N] [--oracle]
                              [--dataset NAME] [--scenario NAME]
+                             [--estimator NAME]
                              [--intervals T] [--window W] [--stride S]
                              [--chunk C] [--checkpoint PATH]
     repro-tomography --version
@@ -27,9 +30,10 @@ Usage::
 ``--workers`` shards a sweep across processes (0 = all local CPUs) with
 results bit-identical to the serial run; ``campaign`` runs a named sweep
 (or a JSON sweep spec) with per-shard progress and optional JSON results
-on disk — the ``realworld`` campaign sweeps every registered dataset and
-scenario, restrictable with ``--dataset``/``--scenario`` (comma-separated
-names from ``datasets list`` / ``scenarios list``).
+on disk — the ``realworld`` campaign sweeps every registered dataset,
+scenario, and estimator, restrictable with
+``--dataset``/``--scenario``/``--estimator`` (comma-separated names from
+``datasets list`` / ``scenarios list`` / ``estimators list``).
 """
 
 from __future__ import annotations
@@ -143,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated registered scenarios (realworld campaign only)",
     )
+    sub.add_argument(
+        "--estimator",
+        type=str,
+        default=None,
+        help="comma-separated registered estimators (realworld campaign only)",
+    )
     sub = subparsers.add_parser(
         "datasets",
         help="inspect the registered real-topology datasets",
@@ -170,6 +180,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("name", nargs="?", default=None, help="scenario name (info)")
     sub = subparsers.add_parser(
+        "estimators",
+        help="inspect the registered probability estimators",
+    )
+    sub.add_argument(
+        "action",
+        choices=("list", "info"),
+        help="list the registry or describe one estimator",
+    )
+    sub.add_argument(
+        "name", nargs="?", default=None, help="estimator name or alias (info)"
+    )
+    sub = subparsers.add_parser(
         "monitor",
         help="stream a live scenario through the incremental estimator",
     )
@@ -191,6 +213,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="registered scenario generator (default: no_stationarity)",
+    )
+    sub.add_argument(
+        "--estimator",
+        type=str,
+        default=None,
+        help="registered estimator to refit with (default: Correlation-complete)",
     )
     sub.add_argument(
         "--intervals",
@@ -331,6 +359,8 @@ def _run_campaign(args: argparse.Namespace) -> None:
         overrides["dataset"] = args.dataset
     if args.scenario is not None:
         overrides["scenario"] = args.scenario
+    if args.estimator is not None:
+        overrides["estimator"] = args.estimator
     try:
         spec = replace(spec, **overrides)
     except ValueError as exc:
@@ -450,8 +480,52 @@ def _print_scenarios(args: argparse.Namespace) -> None:
         print(f"    {key} = {value}")
 
 
+def _print_estimators(args: argparse.Namespace) -> None:
+    from repro.exceptions import EstimationError
+    from repro.probability.registry import (
+        ESTIMATORS,
+        estimator_names,
+        get_estimator,
+        paper_estimator_names,
+    )
+
+    if args.action == "list":
+        rows = []
+        for name in estimator_names():
+            entry = ESTIMATORS[name]
+            rows.append(
+                [
+                    name,
+                    entry.cost_multiplier,
+                    ", ".join(entry.aliases) or "-",
+                    entry.description,
+                ]
+            )
+        print("Registered estimators")
+        print(
+            format_table(["Estimator", "Cost x", "Aliases", "Description"], rows)
+        )
+        print(f"paper legend order: {', '.join(paper_estimator_names())}")
+        return
+    if not args.name:
+        raise SystemExit("estimators info: provide an estimator name")
+    try:
+        entry = get_estimator(args.name)
+    except EstimationError as exc:
+        raise SystemExit(str(exc)) from None
+    estimator = entry.factory(None)
+    print(f"{entry.name}: {entry.description}")
+    print(f"  class: {type(estimator).__module__}.{type(estimator).__qualname__}")
+    print(f"  cost multiplier: {entry.cost_multiplier}")
+    print(f"  aliases: {', '.join(entry.aliases) or '-'}")
+    print(
+        "  paper legend position: "
+        f"{entry.paper_rank if entry.paper_rank is not None else '- (variant)'}"
+    )
+    print(f"  pipeline stages: {' -> '.join(estimator.stage_names())}")
+
+
 def _run_monitor(args: argparse.Namespace) -> None:
-    from repro.probability.correlation_complete import CorrelationCompleteEstimator
     from repro.probability.base import EstimatorConfig
     from repro.probability.windowed import peer_link_members
     from repro.simulation.probing import PathProber, StreamingProber
@@ -478,12 +552,20 @@ def _run_monitor(args: argparse.Namespace) -> None:
             raise SystemExit(str(exc)) from None
     else:
         network = generate_brite_network(scale.brite, random_state=args.seed)
-    from repro.exceptions import ScenarioError
+    from repro.exceptions import EstimationError, ScenarioError
+    from repro.probability.registry import make_estimator
 
     try:
         generator = get_scenario(args.scenario or "no_stationarity")
         scenario = generator.build(network, random_state=derive_rng(args.seed, 1))
     except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        estimator = make_estimator(
+            args.estimator or "Correlation-complete",
+            EstimatorConfig(seed=args.seed),
+        )
+    except EstimationError as exc:
         raise SystemExit(str(exc)) from None
     prober = None if args.oracle else PathProber(num_packets=scale.num_packets)
     source = StreamingProber(
@@ -494,7 +576,7 @@ def _run_monitor(args: argparse.Namespace) -> None:
     )
     engine = StreamingEstimator(
         network,
-        CorrelationCompleteEstimator(EstimatorConfig(seed=args.seed)),
+        estimator,
         window=args.window,
         stride=args.stride,
         alert_manager=AlertManager(network, AlertPolicy()),
@@ -502,7 +584,8 @@ def _run_monitor(args: argparse.Namespace) -> None:
     members = peer_link_members(network)
     print(
         f"monitoring {network.num_paths} paths over {network.num_links} links "
-        f"in {len(members)} ASes ({network.name}, scenario {scenario.name}); "
+        f"in {len(members)} ASes ({network.name}, scenario {scenario.name}, "
+        f"estimator {engine.estimator.name}); "
         f"window={engine.window} stride={engine.stride}"
     )
     reported = 0
@@ -564,6 +647,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _print_datasets(args)
     elif args.command == "scenarios":
         _print_scenarios(args)
+    elif args.command == "estimators":
+        _print_estimators(args)
     elif args.command == "monitor":
         _run_monitor(args)
     return 0

@@ -15,8 +15,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.config import ExperimentScale, SMALL
 from repro.metrics.probability import evaluate_estimator
 from repro.metrics.reporting import format_table
-from repro.probability.base import EstimatorConfig
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.base import EstimatorConfig, ProbabilityEstimator
+from repro.probability.registry import make_estimator
 from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import run_experiment
 from repro.simulation.probing import PathProber
@@ -26,34 +26,29 @@ from repro.topology.traceroute import generate_sparse_network
 from repro.util.rng import derive_rng, spawn_seeds, stable_hash
 
 
-class _NoRedundancyEstimator(CorrelationCompleteEstimator):
-    """Correlation-complete restricted to Algorithm 1's minimal equations."""
-
-    name = "Correlation-complete (no redundancy)"
-
-    def _redundant_path_sets(self, index, frequency, pool, selected):
-        return []
+def _complete(cfg: EstimatorConfig) -> ProbabilityEstimator:
+    return make_estimator("Correlation-complete", cfg)
 
 
-#: Ablation variants: label -> estimator factory from a base config.
-VARIANTS: List[Tuple[str, Callable[[EstimatorConfig], CorrelationCompleteEstimator]]] = [
-    ("full", lambda cfg: CorrelationCompleteEstimator(cfg)),
-    (
-        "unweighted",
-        lambda cfg: CorrelationCompleteEstimator(replace(cfg, weighted=False)),
-    ),
-    (
-        "no prior",
-        lambda cfg: CorrelationCompleteEstimator(replace(cfg, prior_weight=0.0)),
-    ),
+#: Ablation variants: label -> estimator factory from a base config. The
+#: "no redundancy" stage variant is a registered estimator in its own
+#: right (:mod:`repro.probability.registry`); the others are config
+#: toggles on the paper's algorithm.
+VARIANTS: List[Tuple[str, Callable[[EstimatorConfig], ProbabilityEstimator]]] = [
+    ("full", _complete),
+    ("unweighted", lambda cfg: _complete(replace(cfg, weighted=False))),
+    ("no prior", lambda cfg: _complete(replace(cfg, prior_weight=0.0))),
     (
         "no pruning tolerance",
-        lambda cfg: CorrelationCompleteEstimator(replace(cfg, pruning_tolerance=0.0)),
+        lambda cfg: _complete(replace(cfg, pruning_tolerance=0.0)),
     ),
-    ("no redundancy", lambda cfg: _NoRedundancyEstimator(cfg)),
+    (
+        "no redundancy",
+        lambda cfg: make_estimator("Correlation-complete (no redundancy)", cfg),
+    ),
     (
         "singletons only",
-        lambda cfg: CorrelationCompleteEstimator(replace(cfg, requested_subset_size=1)),
+        lambda cfg: _complete(replace(cfg, requested_subset_size=1)),
     ),
 ]
 

@@ -22,10 +22,13 @@ import numpy as np
 from repro.experiments.config import ExperimentScale, SMALL
 from repro.metrics.probability import ProbabilityMetrics, evaluate_estimator
 from repro.metrics.reporting import format_table
-from repro.probability.base import EstimatorConfig, ProbabilityEstimator
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
-from repro.probability.correlation_heuristic import CorrelationHeuristicEstimator
-from repro.probability.independence import IndependenceEstimator
+from repro.probability.base import EstimatorConfig
+from repro.probability.pipeline import SharedFitWorkspace
+from repro.probability.registry import (
+    get_estimator,
+    make_estimator,
+    paper_estimator_names,
+)
 from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import ExperimentResult, run_experiment
 from repro.simulation.probing import PathProber
@@ -42,21 +45,8 @@ SCENARIO_ORDER: Tuple[str, ...] = (
     "No Independence",
 )
 
-#: Estimator labels in the paper's legend order.
-ESTIMATOR_ORDER: Tuple[str, ...] = (
-    "Independence",
-    "Correlation-heuristic",
-    "Correlation-complete",
-)
-
-
-def _estimators(seed: int) -> List[ProbabilityEstimator]:
-    config = EstimatorConfig(seed=seed)
-    return [
-        IndependenceEstimator(config),
-        CorrelationHeuristicEstimator(config),
-        CorrelationCompleteEstimator(config),
-    ]
+#: Estimator labels in the paper's legend order (from the registry).
+ESTIMATOR_ORDER: Tuple[str, ...] = paper_estimator_names()
 
 
 @dataclass
@@ -151,9 +141,11 @@ def figure4_specs(
                         group=(seed, topology_name, label),
                         # Rough relative cost hints (sparse instances and
                         # the correlation estimators dominate) so the
-                        # longest-processing-time partition balances shards.
+                        # longest-processing-time partition balances
+                        # shards; the per-estimator budget multiplier is
+                        # registry metadata.
                         cost=(2.0 if topology_name == "sparse" else 1.0)
-                        * (1.0 if estimator_name == "Independence" else 2.5),
+                        * get_estimator(estimator_name).cost_multiplier,
                         params={
                             "scale": scale,
                             "seed": seed,
@@ -167,17 +159,21 @@ def figure4_specs(
     return specs
 
 
+def _cell_key(kind: str, spec: TrialSpec) -> Tuple[Any, ...]:
+    """Shard-cache key of a sweep cell's shared intermediate.
+
+    One key shape for both the simulated experiment and its fit
+    workspace, so the two can never drift apart and map different
+    experiments onto one workspace.
+    """
+    return (kind, spec.topology, spec.scenario, spec.seeds, spec.params["oracle"])
+
+
 def _shared_experiment(
     spec: TrialSpec, cache: Dict[Any, Any], network: Network
 ) -> ExperimentResult:
     """Simulate (or fetch) the trial's scenario + observation run."""
-    key = (
-        "experiment",
-        spec.topology,
-        spec.scenario,
-        spec.seeds,
-        spec.params["oracle"],
-    )
+    key = _cell_key("experiment", spec)
     if key not in cache:
         scale: ExperimentScale = spec.params["scale"]
         kind = ScenarioKind(spec.params["kind"])
@@ -199,21 +195,37 @@ def _shared_experiment(
     return cache[key]
 
 
+def _shared_workspace(
+    spec: TrialSpec, cache: Dict[Any, Any], experiment: ExperimentResult
+) -> SharedFitWorkspace:
+    """The group's shared fit workspace (one warm cache per sweep cell).
+
+    Trials of one (topology, scenario, seed) group run on one shard and
+    share the shard-local cache, so all estimators of the cell fit against
+    a single warm :class:`FrequencyCache` instead of three cold ones.
+    """
+    key = _cell_key("workspace", spec)
+    if key not in cache:
+        cache[key] = SharedFitWorkspace(experiment.observations)
+    return cache[key]
+
+
 def figure4_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> Dict[str, Any]:
     """Run one Fig. 4 sweep cell: simulate (shared per group) and fit."""
     network: Network = spec.params["network"]
     experiment = _shared_experiment(spec, cache, network)
-    (estimator,) = [
-        candidate
-        for candidate in _estimators(spec.params["seed"])
-        if candidate.name == spec.estimator
-    ]
+    estimator = make_estimator(
+        spec.estimator, EstimatorConfig(seed=spec.params["seed"])
+    )
     evaluate_subsets = (
         spec.scenario == "No Independence"
         and spec.estimator == "Correlation-complete"
     )
     metrics = evaluate_estimator(
-        estimator, experiment, evaluate_subsets=evaluate_subsets
+        estimator,
+        experiment,
+        evaluate_subsets=evaluate_subsets,
+        workspace=_shared_workspace(spec, cache, experiment),
     )
     return {"metrics": metrics, "evaluated_subsets": evaluate_subsets}
 

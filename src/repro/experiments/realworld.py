@@ -22,13 +22,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.registry import dataset_names, get_dataset, load_dataset
+from repro.exceptions import EstimationError
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.metrics.probability import ProbabilityMetrics, evaluate_estimator
 from repro.metrics.reporting import format_table
-from repro.probability.base import EstimatorConfig, ProbabilityEstimator
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
-from repro.probability.correlation_heuristic import CorrelationHeuristicEstimator
-from repro.probability.independence import IndependenceEstimator
+from repro.probability.base import EstimatorConfig
+from repro.probability.pipeline import SharedFitWorkspace
+from repro.probability.registry import (
+    get_estimator,
+    make_estimator,
+    paper_estimator_names,
+)
 from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import run_experiment
 from repro.simulation.library import get_scenario, scenario_names
@@ -36,21 +40,8 @@ from repro.simulation.probing import PathProber
 from repro.topology.graph import Network
 from repro.util.rng import derive_rng, spawn_seeds, stable_hash
 
-#: Estimator labels in the paper's legend order.
-ESTIMATOR_ORDER: Tuple[str, ...] = (
-    "Independence",
-    "Correlation-heuristic",
-    "Correlation-complete",
-)
-
-
-def _estimators(seed: int) -> List[ProbabilityEstimator]:
-    config = EstimatorConfig(seed=seed)
-    return [
-        IndependenceEstimator(config),
-        CorrelationHeuristicEstimator(config),
-        CorrelationCompleteEstimator(config),
-    ]
+#: Estimator labels in the paper's legend order (from the registry).
+ESTIMATOR_ORDER: Tuple[str, ...] = paper_estimator_names()
 
 
 @dataclass
@@ -110,12 +101,11 @@ def realworld_specs(
     dataset_list = list(datasets) if datasets else dataset_names()
     scenario_list = list(scenarios) if scenarios else scenario_names()
     estimator_list = list(estimators) if estimators else list(ESTIMATOR_ORDER)
-    unknown_estimators = set(estimator_list) - set(ESTIMATOR_ORDER)
-    if unknown_estimators:
-        raise ValueError(
-            f"unknown estimators {sorted(unknown_estimators)}; "
-            f"known: {list(ESTIMATOR_ORDER)}"
-        )
+    try:
+        # Canonicalise through the registry (aliases become table labels).
+        estimator_list = [get_estimator(name).name for name in estimator_list]
+    except EstimationError as exc:
+        raise ValueError(str(exc)) from None
     for name in dataset_list:
         get_dataset(name)  # raises on unknown names before any loading
     generators = {name: get_scenario(name) for name in scenario_list}
@@ -140,9 +130,10 @@ def realworld_specs(
                         index=len(specs),
                         group=(seed, dataset, scenario),
                         # Simulation and fitting scale with the link count;
-                        # the correlation estimators dominate within a group.
+                        # the per-estimator budget multiplier (correlation
+                        # estimators dominate a group) is registry metadata.
                         cost=(network.num_links / 32.0)
-                        * (1.0 if estimator == "Independence" else 2.5),
+                        * get_estimator(estimator).cost_multiplier,
                         params={
                             "scale": scale,
                             "seed": seed,
@@ -161,15 +152,19 @@ def realworld_specs(
     return specs
 
 
+def _cell_key(kind: str, spec: TrialSpec) -> Tuple[Any, ...]:
+    """Shard-cache key of a sweep cell's shared intermediate.
+
+    One key shape for both the simulated experiment and its fit
+    workspace, so the two can never drift apart and map different
+    experiments onto one workspace.
+    """
+    return (kind, spec.topology, spec.scenario, spec.seeds, spec.params["oracle"])
+
+
 def _shared_experiment(spec: TrialSpec, cache: Dict[Any, Any], network: Network):
     """Simulate (or fetch) the trial's scenario + observation run."""
-    key = (
-        "experiment",
-        spec.topology,
-        spec.scenario,
-        spec.seeds,
-        spec.params["oracle"],
-    )
+    key = _cell_key("experiment", spec)
     if key not in cache:
         scale: ExperimentScale = spec.params["scale"]
         stream = stable_hash((spec.topology, spec.scenario))
@@ -186,16 +181,26 @@ def _shared_experiment(spec: TrialSpec, cache: Dict[Any, Any], network: Network)
     return cache[key]
 
 
+def _shared_workspace(spec: TrialSpec, cache: Dict[Any, Any], experiment):
+    """The group's shared fit workspace (one warm cache per sweep cell)."""
+    key = _cell_key("workspace", spec)
+    if key not in cache:
+        cache[key] = SharedFitWorkspace(experiment.observations)
+    return cache[key]
+
+
 def realworld_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> Dict[str, Any]:
     """Run one sweep cell: simulate (shared per group) and fit."""
     network: Network = spec.params["network"]
     experiment = _shared_experiment(spec, cache, network)
-    (estimator,) = [
-        candidate
-        for candidate in _estimators(spec.params["seed"])
-        if candidate.name == spec.estimator
-    ]
-    metrics = evaluate_estimator(estimator, experiment)
+    estimator = make_estimator(
+        spec.estimator, EstimatorConfig(seed=spec.params["seed"])
+    )
+    metrics = evaluate_estimator(
+        estimator,
+        experiment,
+        workspace=_shared_workspace(spec, cache, experiment),
+    )
     return {"metrics": metrics}
 
 

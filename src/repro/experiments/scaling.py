@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.experiments.config import ExperimentScale, SMALL
 from repro.metrics.reporting import format_table
 from repro.probability.base import EstimatorConfig
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.registry import make_estimator
 from repro.runner import ProgressFn, TrialResult, TrialSpec, run_trials
 from repro.simulation.experiment import run_experiment
 from repro.simulation.probing import PathProber
@@ -123,8 +123,9 @@ def scaling_trial(spec: TrialSpec, cache: Dict[Any, Any]) -> ScalingRow:
     del cache  # the experiment arrives with the spec; nothing to share
     experiment = spec.params["experiment"]
     size = spec.params["subset_size"]
-    estimator = CorrelationCompleteEstimator(
-        EstimatorConfig(requested_subset_size=size, seed=spec.seeds[0])
+    estimator = make_estimator(
+        "Correlation-complete",
+        EstimatorConfig(requested_subset_size=size, seed=spec.seeds[0]),
     )
     with Timer() as timer:
         model = estimator.fit(experiment.network, experiment.observations)

@@ -46,6 +46,108 @@ def _group_duplicate_rows(matrix: np.ndarray) -> "tuple[np.ndarray, np.ndarray]"
     return np.asarray(first_of_group, dtype=np.intp), inverse
 
 
+class SystemWorkspace:
+    """Reusable growth arenas for :class:`EquationSystem` blocks.
+
+    A sweep trial that fits several estimators against one observation set
+    churns through several short-lived equation systems; the workspace
+    lets them append into one capacity-doubling arena instead of
+    reallocating block lists per fit. The estimation pipeline threads one
+    workspace per trial through its
+    :class:`~repro.probability.pipeline.FitContext`.
+
+    Only one system may grow in the workspace at a time: beginning a new
+    system recycles the arena, invalidating the previous system's matrix
+    views. Sweep trials fit sequentially, so this is the natural lifetime.
+    """
+
+    #: Initial row capacity of a fresh arena.
+    INITIAL_CAPACITY = 256
+
+    def __init__(self) -> None:
+        self._rows: Optional[np.ndarray] = None
+        self._rhs: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._prior: Optional[np.ndarray] = None
+        self._width = -1
+        self._count = 0
+        # Bumped on every begin(); systems remember the generation they
+        # were issued so a stale system can never read a recycled arena.
+        self._generation = 0
+
+    def begin(self, num_unknowns: int) -> int:
+        """Recycle the arena for a new system; returns its generation."""
+        if self._rows is None or self._width != num_unknowns:
+            capacity = (
+                self._rows.shape[0]
+                if self._rows is not None
+                else self.INITIAL_CAPACITY
+            )
+            self._rows = np.empty((capacity, num_unknowns))
+            self._rhs = np.empty(capacity)
+            self._weights = np.empty(capacity)
+            self._prior = np.empty(capacity, dtype=bool)
+            self._width = num_unknowns
+        self._count = 0
+        self._generation += 1
+        return self._generation
+
+    @property
+    def generation(self) -> int:
+        """Identity of the arena's current (live) system."""
+        return self._generation
+
+    def _ensure(self, needed: int) -> None:
+        capacity = self._rows.shape[0]
+        if needed <= capacity:
+            return
+        capacity = max(needed, 2 * capacity)
+        for name in ("_rows", "_rhs", "_weights", "_prior"):
+            old = getattr(self, name)
+            shape = (capacity, self._width) if old.ndim == 2 else (capacity,)
+            grown = np.empty(shape, dtype=old.dtype)
+            grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        rows: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray,
+        prior: bool,
+    ) -> None:
+        """Copy one validated equation block into the arena."""
+        count = rows.shape[0]
+        self._ensure(self._count + count)
+        stop = self._count + count
+        self._rows[self._count : stop] = rows
+        self._rhs[self._count : stop] = rhs
+        self._weights[self._count : stop] = weights
+        self._prior[self._count : stop] = prior
+        self._count = stop
+
+    @property
+    def num_equations(self) -> int:
+        """Rows appended since the last :meth:`begin`."""
+        return self._count
+
+    def matrix_view(self) -> np.ndarray:
+        """The live system's coefficient rows (a view into the arena)."""
+        return self._rows[: self._count]
+
+    def rhs_view(self) -> np.ndarray:
+        """The live system's right-hand sides (a view into the arena)."""
+        return self._rhs[: self._count]
+
+    def weights_view(self) -> np.ndarray:
+        """The live system's equation weights (a view into the arena)."""
+        return self._weights[: self._count]
+
+    def prior_view(self) -> np.ndarray:
+        """The live system's prior-row mask (a view into the arena)."""
+        return self._prior[: self._count]
+
+
 @dataclass
 class Solution:
     """Solved unknowns with identifiability flags.
@@ -83,13 +185,20 @@ class EquationSystem:
 
     Equations are stored as blocks: :meth:`add` appends a 1-row block,
     :meth:`add_batch` appends a whole matrix at once (no per-row Python
-    overhead), which is the entry point the batched estimators use.
+    overhead), which is the entry point the batched estimators use. With a
+    :class:`SystemWorkspace`, blocks land in the workspace's reusable
+    arena instead (one live system per workspace at a time — beginning a
+    newer system there invalidates this one's matrix views).
     """
 
-    def __init__(self, num_unknowns: int) -> None:
+    def __init__(
+        self, num_unknowns: int, workspace: Optional[SystemWorkspace] = None
+    ) -> None:
         if num_unknowns < 0:
             raise EstimationError("num_unknowns must be non-negative")
         self.num_unknowns = num_unknowns
+        self._workspace = workspace
+        self._generation = workspace.begin(num_unknowns) if workspace else 0
         self._blocks: List[np.ndarray] = []
         self._rhs_blocks: List[np.ndarray] = []
         self._weight_blocks: List[np.ndarray] = []
@@ -156,15 +265,29 @@ class EquationSystem:
                 raise EstimationError("rows and weights lengths differ")
         if np.any(weights <= 0.0):
             raise EstimationError("equation weight must be positive")
-        self._blocks.append(rows)
-        self._rhs_blocks.append(rhs)
-        self._weight_blocks.append(weights)
-        self._prior_blocks.append(np.full(rows.shape[0], bool(prior)))
+        if self._workspace is not None:
+            self._arena().append(rows, rhs, weights, bool(prior))
+        else:
+            self._blocks.append(rows)
+            self._rhs_blocks.append(rhs)
+            self._weight_blocks.append(weights)
+            self._prior_blocks.append(np.full(rows.shape[0], bool(prior)))
         self._num_equations += rows.shape[0]
+
+    def _arena(self) -> SystemWorkspace:
+        """The backing workspace, after checking this system still owns it."""
+        if self._workspace.generation != self._generation:
+            raise EstimationError(
+                "workspace was recycled by a newer EquationSystem; "
+                "this system's equations are gone"
+            )
+        return self._workspace
 
     @property
     def matrix(self) -> np.ndarray:
         """The system matrix A, shape (num_equations, num_unknowns)."""
+        if self._workspace is not None:
+            return self._arena().matrix_view()
         if not self._blocks:
             return np.zeros((0, self.num_unknowns))
         return np.concatenate(self._blocks, axis=0)
@@ -172,6 +295,8 @@ class EquationSystem:
     @property
     def rhs(self) -> np.ndarray:
         """The right-hand side b, shape (num_equations,)."""
+        if self._workspace is not None:
+            return self._arena().rhs_view()
         if not self._rhs_blocks:
             return np.zeros(0)
         return np.concatenate(self._rhs_blocks)
@@ -179,9 +304,20 @@ class EquationSystem:
     @property
     def weights(self) -> np.ndarray:
         """Per-equation precisions, shape (num_equations,)."""
+        if self._workspace is not None:
+            return self._arena().weights_view()
         if not self._weight_blocks:
             return np.zeros(0)
         return np.concatenate(self._weight_blocks)
+
+    @property
+    def prior_mask(self) -> np.ndarray:
+        """Boolean mask of regulariser rows, shape (num_equations,)."""
+        if self._workspace is not None:
+            return self._arena().prior_view()
+        if not self._prior_blocks:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(self._prior_blocks)
 
     @staticmethod
     def _solve_bounded(
@@ -273,7 +409,7 @@ class EquationSystem:
             # bound binds, so no unconstrained pre-solve is needed (on the
             # log-probability systems the bound almost always binds).
             values = self._solve_bounded(r_factor, compressed_rhs, upper_bound)
-        data_mask = ~np.concatenate(self._prior_blocks)
+        data_mask = ~self.prior_mask
         data_matrix = matrix[data_mask]
         data_rhs = rhs[data_mask]
         if data_matrix.shape[0] == 0:

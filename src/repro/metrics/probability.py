@@ -18,6 +18,7 @@ from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.probability.base import ProbabilityEstimator
+from repro.probability.pipeline import SharedFitWorkspace
 from repro.probability.query import CongestionProbabilityModel
 from repro.probability.subsets import potentially_congested_links
 from repro.simulation.congestion import GroundTruth
@@ -115,6 +116,7 @@ def evaluate_estimator(
     result: ExperimentResult,
     evaluate_subsets: bool = False,
     max_subset_size: int = 2,
+    workspace: Optional[SharedFitWorkspace] = None,
 ) -> ProbabilityMetrics:
     """Fit ``estimator`` on an experiment and score it against ground truth.
 
@@ -128,8 +130,12 @@ def evaluate_estimator(
     evaluate_subsets:
         Also score the congestion probabilities of the *identifiable*
         correlation subsets of size 2..``max_subset_size`` (Fig. 4(d)).
+    workspace:
+        A trial's :class:`~repro.probability.pipeline.SharedFitWorkspace`;
+        the fit then reuses the cell's warm frequency cache and equation
+        arena instead of cold-starting (values are identical either way).
     """
-    model = estimator.fit(result.network, result.observations)
+    model = estimator.fit(result.network, result.observations, workspace=workspace)
     active = sorted(
         potentially_congested_links(
             result.network,

@@ -1,30 +1,33 @@
 """Shared estimator interface, configuration, and fitting utilities.
 
-Every Probability Computation algorithm in this package:
+Every Probability Computation algorithm in this package runs the same
+staged pipeline (see :mod:`repro.probability.pipeline`):
 
-1. determines the potentially congested links from the observations;
-2. assembles an unknown index (correlation subsets, or plain links for the
-   Independence baseline);
-3. chooses path sets, applies Eq. 1 in log domain using empirical all-good
-   frequencies, and solves the resulting linear system;
-4. wraps the solution into a :class:`CongestionProbabilityModel`.
+1. **prune** — determine the potentially congested links;
+2. **frequency** — bind the fit to its empirical all-good frequency cache
+   (cold, or checked out of a trial's shared workspace);
+3. **discover** — assemble an unknown index (correlation subsets, or plain
+   links for the Independence baseline) and the candidate path sets;
+4. **assemble** — apply Eq. 1 in log domain and build the linear system;
+5. **solve** — (bounded, optionally weighted) least squares;
+6. **build_model** — wrap the solution into a
+   :class:`CongestionProbabilityModel` carrying a :class:`FitReport`.
 
-The algorithms differ in steps 2-3; the common plumbing lives here.
+The algorithms differ in stages 3-4 and the model wrap; the common
+plumbing lives here. ``FrequencyCache`` and ``FitReport`` are defined in
+:mod:`repro.probability.pipeline` and re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 import weakref
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )
@@ -33,10 +36,30 @@ import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.model.status import ObservationMatrix
+from repro.probability.pipeline import (
+    EstimationPipeline,
+    FitContext,
+    FitReport,
+    FrequencyCache,
+    SharedFitWorkspace,
+    StageFn,
+)
 from repro.probability.query import CongestionProbabilityModel
 from repro.probability.subsets import potentially_congested_links
 from repro.topology.graph import Network
 from repro.util.rng import as_generator
+
+__all__ = [
+    "EstimatorConfig",
+    "FitReport",
+    "FrequencyCache",
+    "ProbabilityEstimator",
+    "log_frequency_weight",
+    "log_frequency_weights",
+    "sampled_path_combinations",
+    "shared_sampled_pool",
+    "singleton_path_sets",
+]
 
 
 @dataclass
@@ -101,157 +124,6 @@ class EstimatorConfig:
             raise EstimationError("path-set enumeration bounds must be >= 1")
         if not 0.0 <= self.min_frequency < 1.0:
             raise EstimationError("min_frequency must be in [0, 1)")
-
-
-@dataclass
-class FitReport:
-    """Diagnostics attached to every fitted model.
-
-    Attributes
-    ----------
-    num_unknowns, num_equations, rank:
-        Size and rank of the solved system.
-    num_identifiable:
-        Unknowns pinned down uniquely.
-    residual:
-        Root-mean-square equation residual.
-    path_sets:
-        The path sets whose Eq. 1 equations entered the system, in
-        selection order (Algorithm 1's output ``P^``).
-    frequency_cache_hits, frequency_cache_misses:
-        :class:`FrequencyCache` traffic during the fit — how often an
-        empirical all-good frequency was re-used vs computed by the packed
-        kernel. Misses count distinct path sets evaluated against the
-        observations; a hot windowed rerun should show hits dominating.
-    """
-
-    num_unknowns: int = 0
-    num_equations: int = 0
-    rank: int = 0
-    num_identifiable: int = 0
-    residual: float = 0.0
-    path_sets: List[FrozenSet[int]] = field(default_factory=list)
-    frequency_cache_hits: int = 0
-    frequency_cache_misses: int = 0
-
-
-class FrequencyCache:
-    """Batch-aware, bounded memo over empirical all-good frequencies.
-
-    A thin facade over the observation backend's batched Eq. 1 kernel
-    (:meth:`repro.model.status.ObservationMatrix.all_good_frequencies`):
-    single queries memoise through ``__call__``, and :meth:`query_many`
-    evaluates a whole batch of path sets in one packed-kernel invocation,
-    only computing the sets the memo has not seen.
-
-    The memo is *bounded* (``max_entries``, FIFO eviction) so that windowed
-    and long-horizon reruns cannot grow it without limit, and it counts
-    hits/misses/evictions for diagnosability — estimators surface the
-    counters in :class:`FitReport`.
-    """
-
-    #: Default bound on memoised path sets (~a few MB of keys at worst).
-    DEFAULT_MAX_ENTRIES = 65536
-
-    def __init__(
-        self,
-        observations: ObservationMatrix,
-        max_entries: int = DEFAULT_MAX_ENTRIES,
-    ) -> None:
-        if max_entries < 1:
-            raise EstimationError("FrequencyCache max_entries must be >= 1")
-        self._observations = observations
-        self._cache: Dict[FrozenSet[int], float] = {}
-        self._max_entries = max_entries
-        # Keys accessed since the last reset_touched(), in first-touch
-        # order (a dict used as an ordered set). ``None`` = tracking off
-        # (the default), so ordinary fits pay neither time nor memory;
-        # reset_touched() switches it on.
-        self._touched: Optional[Dict[FrozenSet[int], None]] = None
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    @property
-    def num_intervals(self) -> int:
-        """Observation horizon ``T`` backing the frequencies."""
-        return self._observations.num_intervals
-
-    def _store(self, key: FrozenSet[int], value: float) -> None:
-        if len(self._cache) >= self._max_entries:
-            # FIFO eviction: drop the oldest insertion (dicts preserve
-            # insertion order). Estimators touch a path set in bursts, so
-            # recency-of-insertion is a good enough proxy for usefulness.
-            self._cache.pop(next(iter(self._cache)))
-            self.evictions += 1
-        self._cache[key] = value
-
-    def __call__(self, path_set: Iterable[int]) -> float:
-        key = frozenset(path_set)
-        if self._touched is not None:
-            self._touched[key] = None
-        value = self._cache.get(key)
-        if value is None:
-            self.misses += 1
-            value = self._observations.all_good_frequency(key)
-            self._store(key, value)
-        else:
-            self.hits += 1
-        return value
-
-    def query_many(self, path_sets: Sequence[Iterable[int]]) -> np.ndarray:
-        """Frequencies for a batch of path sets, one kernel call for misses.
-
-        Returns a float array aligned with ``path_sets``. Duplicate keys
-        within the batch are evaluated once.
-        """
-        keys = [frozenset(path_set) for path_set in path_sets]
-        resolved: Dict[FrozenSet[int], float] = {}
-        missing: List[FrozenSet[int]] = []
-        if self._touched is not None:
-            for key in keys:
-                self._touched[key] = None
-        for key in keys:
-            if key in resolved:
-                continue
-            value = self._cache.get(key)
-            if value is None:
-                missing.append(key)
-            else:
-                self.hits += 1
-                resolved[key] = value
-        if missing:
-            self.misses += len(missing)
-            values = self._observations.all_good_frequencies(missing)
-            for key, value in zip(missing, values):
-                resolved[key] = float(value)
-                self._store(key, float(value))
-        return np.array([resolved[key] for key in keys])
-
-    def prefetch(self, path_sets: Sequence[Iterable[int]]) -> None:
-        """Warm the memo for ``path_sets`` without returning values."""
-        self.query_many(path_sets)
-
-    def reset_touched(self) -> None:
-        """Start (or restart) access tracking from an empty touched set.
-
-        Tracking is off by default so ordinary fits keep the documented
-        bounded-memory behaviour; callers that need the access trace (the
-        streaming engine, between prefetch and fit) switch it on here and
-        clear it with the same call on each reuse.
-        """
-        self._touched = {}
-
-    def touched_keys(self) -> List[FrozenSet[int]]:
-        """Path sets accessed since the last :meth:`reset_touched`.
-
-        The streaming engine prefetches the previous workload, resets, and
-        harvests these after the fit — so the carried workload is exactly
-        the frequency queries the fit actually made, and path sets the
-        estimator no longer needs fall out instead of accumulating.
-        Empty when tracking was never enabled.
-        """
-        return list(self._touched) if self._touched is not None else []
 
 
 def log_frequency_weight(frequency: float, num_intervals: int) -> float:
@@ -398,10 +270,14 @@ def shared_sampled_pool(
 class ProbabilityEstimator(ABC):
     """Abstract Probability Computation algorithm.
 
-    Subclasses implement :meth:`fit`, which consumes the network and the
-    path observations and returns a queryable
-    :class:`CongestionProbabilityModel` carrying a :class:`FitReport` on its
-    ``report`` attribute.
+    Every estimator is a *stage configuration* of the shared
+    :class:`~repro.probability.pipeline.EstimationPipeline`: subclasses
+    implement the ``discover``, ``assemble``, and ``build_model`` stages
+    (the ``prune``/``frequency``/``solve`` stages are common), and
+    :meth:`fit` runs the pipeline over a fresh
+    :class:`~repro.probability.pipeline.FitContext`, returning a queryable
+    :class:`CongestionProbabilityModel` carrying a :class:`FitReport` on
+    its ``report`` attribute.
     """
 
     #: Human-readable algorithm name (used in experiment tables).
@@ -412,40 +288,95 @@ class ProbabilityEstimator(ABC):
         # weighted=False) never leak into a config shared between estimators.
         self.config = replace(config) if config is not None else EstimatorConfig()
         self.config.validate()
-        #: Optional hook: a callable mapping an :class:`ObservationMatrix`
-        #: to the :class:`FrequencyCache` the fit should use. The streaming
-        #: engine injects pre-warmed caches here so overlapping windowed
-        #: refits skip re-deriving frequencies the previous window already
-        #: computed. ``None`` (the default) builds a cold cache per fit.
-        self.frequency_factory: Optional[
-            Callable[[ObservationMatrix], FrequencyCache]
-        ] = None
 
-    def _make_frequency(self, observations: ObservationMatrix) -> FrequencyCache:
-        """The frequency cache backing one fit (honours the injection hook)."""
-        if self.frequency_factory is not None:
-            return self.frequency_factory(observations)
-        return FrequencyCache(observations)
+    # ------------------------------------------------------------------
+    # The one fit path
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        network: Network,
+        observations: ObservationMatrix,
+        workspace: Optional[SharedFitWorkspace] = None,
+    ) -> CongestionProbabilityModel:
+        """Estimate congestion probabilities from path observations.
+
+        ``workspace`` checks the fit into a trial's
+        :class:`~repro.probability.pipeline.SharedFitWorkspace`: the fit
+        reads the workspace's warm frequency cache and equation arena
+        instead of cold-starting both. Injection is fixed at context
+        creation — the estimator itself stays stateless between fits.
+        """
+        context = FitContext(
+            network=network,
+            observations=observations,
+            config=self.config,
+            frequency=(
+                workspace.checkout(observations) if workspace is not None else None
+            ),
+            system_workspace=workspace.system if workspace is not None else None,
+        )
+        return self.pipeline().run(context)
+
+    def pipeline(self) -> EstimationPipeline:
+        """This estimator's staged fit path."""
+        return EstimationPipeline(self._stages())
+
+    def stage_names(self) -> List[str]:
+        """The estimator's pipeline stages, in execution order."""
+        return [name for name, _ in self._stages()]
+
+    def _stages(self) -> List[Tuple[str, StageFn]]:
+        return [
+            ("prune", self._stage_prune),
+            ("frequency", self._stage_frequency),
+            ("discover", self._stage_discover),
+            ("assemble", self._stage_assemble),
+            ("solve", self._stage_solve),
+            ("build_model", self._stage_build_model),
+        ]
+
+    # ------------------------------------------------------------------
+    # Shared stages
+    # ------------------------------------------------------------------
+    def _stage_prune(self, context: FitContext) -> None:
+        """Drop always-good links; short-circuit when nothing can congest."""
+        context.active = potentially_congested_links(
+            context.network, context.observations, self.config.pruning_tolerance
+        )
+        context.always_good = (
+            frozenset(range(context.network.num_links)) - context.active
+        )
+        if not context.active:
+            context.finish(self._empty_model(context), FitReport())
+
+    def _stage_frequency(self, context: FitContext) -> None:
+        """Bind the fit's frequency cache (cold unless a workspace injected
+        a warm one) and start per-fit hit/miss accounting."""
+        if context.frequency is None:
+            context.frequency = FrequencyCache(context.observations)
+        context.begin_frequency_accounting()
+
+    def _stage_solve(self, context: FitContext) -> None:
+        """Bounded least squares in log domain (probabilities <= 1)."""
+        context.solution = context.system.solve(upper_bound=0.0)
+
+    # ------------------------------------------------------------------
+    # Estimator-specific stages
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _stage_discover(self, context: FitContext) -> None:
+        """Build the unknown index and candidate path sets."""
 
     @abstractmethod
-    def fit(
-        self, network: Network, observations: ObservationMatrix
-    ) -> CongestionProbabilityModel:
-        """Estimate congestion probabilities from path observations."""
+    def _stage_assemble(self, context: FitContext) -> None:
+        """Turn usable path sets into the log-domain equation system."""
 
-    # ------------------------------------------------------------------
-    # Shared helpers
-    # ------------------------------------------------------------------
-    def _active_links(
-        self, network: Network, observations: ObservationMatrix
-    ) -> FrozenSet[int]:
-        return potentially_congested_links(
-            network, observations, self.config.pruning_tolerance
+    @abstractmethod
+    def _stage_build_model(self, context: FitContext) -> None:
+        """Wrap the solution into the model + report (``context.finish``)."""
+
+    def _empty_model(self, context: FitContext) -> CongestionProbabilityModel:
+        """The model when pruning leaves no potentially congested link."""
+        return CongestionProbabilityModel(
+            context.network, {}, {}, always_good_links=context.always_good
         )
-
-    @staticmethod
-    def _attach_report(
-        model: CongestionProbabilityModel, report: FitReport
-    ) -> CongestionProbabilityModel:
-        model.report = report  # type: ignore[attr-defined]
-        return model

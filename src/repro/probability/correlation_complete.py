@@ -17,9 +17,11 @@ subset, the probability that all its links are good, by:
    unknown as identifiable iff the final null space vanishes on its
    coordinate.
 
-Deviations from the listing (documented in DESIGN.md): the enumeration of
-path subsets on line 11 is bounded (size- and count-capped, smallest first)
-and the unknown ordering ``E^`` is the configurable index of
+Steps 1-3 are the pipeline's ``discover`` stage, the redundancy pass plus
+system construction its ``assemble`` stage. Deviations from the listing
+(documented in DESIGN.md): the enumeration of path subsets on line 11 is
+bounded (size- and count-capped, smallest first) and the unknown ordering
+``E^`` is the configurable index of
 :class:`~repro.probability.subsets.SubsetIndex` rather than the full
 exponential family — both are the paper's own "configurable subset of the
 computable probabilities" resource knob (Section 4).
@@ -36,7 +38,6 @@ from repro.linalg.nullspace import DEFAULT_TOL, null_space, null_space_update
 from repro.linalg.system import EquationSystem
 from repro.model.status import ObservationMatrix
 from repro.probability.base import (
-    EstimatorConfig,
     FitReport,
     FrequencyCache,
     ProbabilityEstimator,
@@ -44,6 +45,7 @@ from repro.probability.base import (
     shared_sampled_pool,
     singleton_path_sets,
 )
+from repro.probability.pipeline import FitContext
 from repro.probability.query import CongestionProbabilityModel
 from repro.probability.subsets import SubsetIndex
 from repro.topology.graph import Network
@@ -56,10 +58,10 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
     name = "Correlation-complete"
 
     # ------------------------------------------------------------------
-    def fit(
-        self, network: Network, observations: ObservationMatrix
-    ) -> CongestionProbabilityModel:
-        """Estimate all-good probabilities of correlation subsets.
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _stage_discover(self, context: FitContext) -> None:
+        """Assemble ``E^`` and run Algorithm 1's path-set selection.
 
         Raises
         ------
@@ -67,24 +69,65 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
             When no usable equation exists (e.g. every path was congested
             in every interval).
         """
-        active = self._active_links(network, observations)
-        frequency = self._make_frequency(observations)
-        always_good = frozenset(range(network.num_links)) - active
-        if not active:
-            model = CongestionProbabilityModel(
-                network, {}, {}, always_good_links=always_good
-            )
-            return self._attach_report(model, FitReport())
-
-        index, pool = self._build_index(network, observations, active)
-        path_sets = self._select_path_sets(index, frequency)
-        if not path_sets:
+        context.index, context.pool = self._build_index(
+            context.network, context.observations, context.active
+        )
+        context.path_sets = self._select_path_sets(context.index, context.frequency)
+        if not context.path_sets:
             raise EstimationError(
                 "Correlation-complete: no usable path-set equations "
                 "(were all paths always congested?)"
             )
-        extra = self._redundant_path_sets(index, frequency, pool, path_sets)
-        return self._solve(network, index, path_sets, extra, frequency, always_good)
+
+    def _stage_assemble(self, context: FitContext) -> None:
+        """Redundancy pass, then the weighted log-domain system + priors."""
+        context.extra_path_sets = self._redundant_path_sets(
+            context.index, context.frequency, context.pool, context.path_sets
+        )
+        all_sets = list(context.path_sets) + list(context.extra_path_sets)
+        rows, usable = context.index.rows_matrix(all_sets)
+        if not usable.all():
+            raise EstimationError("selected path set became unusable")
+        freqs = context.frequency.query_many(all_sets)
+        weights = (
+            log_frequency_weights(freqs, context.frequency.num_intervals)
+            if self.config.weighted
+            else np.ones(len(all_sets))
+        )
+        system = EquationSystem(
+            len(context.index), workspace=context.system_workspace
+        )
+        system.add_batch(rows, np.log(freqs), weights)
+        self._add_prior_equations(system, context.index)
+        context.system = system
+        context.used_path_sets = list(context.path_sets)
+
+    def _stage_build_model(self, context: FitContext) -> None:
+        solution = context.solution
+        log_good = np.minimum(solution.values, 0.0)
+        good = np.exp(log_good)
+        estimates: Dict[FrozenSet[int], float] = {}
+        identifiable: Dict[FrozenSet[int], bool] = {}
+        for position, subset in enumerate(context.index.subsets):
+            estimates[subset] = float(good[position])
+            identifiable[subset] = bool(solution.identifiable[position])
+        model = CongestionProbabilityModel(
+            context.network,
+            estimates,
+            identifiable,
+            always_good_links=context.always_good,
+        )
+        report = FitReport(
+            num_unknowns=len(context.index),
+            num_equations=len(context.system),
+            rank=solution.rank,
+            num_identifiable=int(solution.identifiable.sum()),
+            residual=solution.residual,
+            path_sets=list(context.used_path_sets),
+            frequency_cache_hits=context.frequency_hits,
+            frequency_cache_misses=context.frequency_misses,
+        )
+        context.finish(model, report)
 
     # ------------------------------------------------------------------
     # Unknown discovery
@@ -325,54 +368,16 @@ class CorrelationCompleteEstimator(ProbabilityEstimator):
                         row[position] -= 1.0
                         system.add(row, 0.0, self.config.prior_weight, prior=True)
 
-    # ------------------------------------------------------------------
-    # Solving
-    # ------------------------------------------------------------------
-    def _solve(
-        self,
-        network: Network,
-        index: SubsetIndex,
-        path_sets: Sequence[FrozenSet[int]],
-        extra_path_sets: Sequence[FrozenSet[int]],
-        frequency: FrequencyCache,
-        always_good: FrozenSet[int],
-    ) -> CongestionProbabilityModel:
-        """Least-squares solve of the log-domain Eq. 1 system."""
-        all_sets = list(path_sets) + list(extra_path_sets)
-        rows, usable = index.rows_matrix(all_sets)
-        if not usable.all():
-            raise EstimationError("selected path set became unusable")
-        freqs = frequency.query_many(all_sets)
-        weights = (
-            log_frequency_weights(freqs, frequency.num_intervals)
-            if self.config.weighted
-            else np.ones(len(all_sets))
-        )
-        system = EquationSystem(len(index))
-        system.add_batch(rows, np.log(freqs), weights)
-        self._add_prior_equations(system, index)
-        solution = system.solve(upper_bound=0.0)
-        log_good = np.minimum(solution.values, 0.0)
-        good = np.exp(log_good)
-        estimates: Dict[FrozenSet[int], float] = {}
-        identifiable: Dict[FrozenSet[int], bool] = {}
-        for position, subset in enumerate(index.subsets):
-            estimates[subset] = float(good[position])
-            identifiable[subset] = bool(solution.identifiable[position])
-        model = CongestionProbabilityModel(
-            network,
-            estimates,
-            identifiable,
-            always_good_links=always_good,
-        )
-        report = FitReport(
-            num_unknowns=len(index),
-            num_equations=len(system),
-            rank=solution.rank,
-            num_identifiable=int(solution.identifiable.sum()),
-            residual=solution.residual,
-            path_sets=list(path_sets),
-            frequency_cache_hits=frequency.hits,
-            frequency_cache_misses=frequency.misses,
-        )
-        return self._attach_report(model, report)
+
+class CorrelationCompleteNoRedundancy(CorrelationCompleteEstimator):
+    """Correlation-complete restricted to Algorithm 1's minimal equations.
+
+    The ablation's "no redundancy" stage configuration: the assemble stage
+    skips the variance-reduction pass, so the system holds exactly the
+    rank-guaranteeing path sets Algorithm 1 selected.
+    """
+
+    name = "Correlation-complete (no redundancy)"
+
+    def _redundant_path_sets(self, index, frequency, pool, selected):
+        return []

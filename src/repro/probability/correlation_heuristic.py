@@ -23,17 +23,15 @@ import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.linalg.system import EquationSystem
-from repro.model.status import ObservationMatrix
 from repro.probability.base import (
     FitReport,
-    FrequencyCache,
     ProbabilityEstimator,
     shared_sampled_pool,
     singleton_path_sets,
 )
+from repro.probability.pipeline import FitContext
 from repro.probability.query import CongestionProbabilityModel
 from repro.probability.subsets import SubsetIndex
-from repro.topology.graph import Network
 
 
 class CorrelationHeuristicEstimator(ProbabilityEstimator):
@@ -51,24 +49,14 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
         # unweighted, so rarely-good (high-variance) path sets inject noise.
         self.config.weighted = False
 
-    def fit(
-        self, network: Network, observations: ObservationMatrix
-    ) -> CongestionProbabilityModel:
-        """Estimate per-link good probabilities with joint nuisance unknowns."""
-        active = self._active_links(network, observations)
-        always_good = frozenset(range(network.num_links)) - active
-        frequency = self._make_frequency(observations)
-        if not active:
-            model = CongestionProbabilityModel(
-                network, {}, {}, always_good_links=always_good
-            )
-            return self._attach_report(model, FitReport())
-
-        pool: List[FrozenSet[int]] = list(singleton_path_sets(observations))
+    def _stage_discover(self, context: FitContext) -> None:
+        """Redundant pool (singletons, oversampled combos, selectors) plus
+        the singleton-subset index the joint unknowns live in."""
+        pool: List[FrozenSet[int]] = list(singleton_path_sets(context.observations))
         pool.extend(
             shared_sampled_pool(
-                network,
-                observations,
+                context.network,
+                context.observations,
                 count=self.config.pair_sample * self.POOL_FACTOR,
                 # Larger sets than Correlation-complete enumerates: their
                 # small all-good frequencies carry most of the extra noise.
@@ -76,59 +64,71 @@ class CorrelationHeuristicEstimator(ProbabilityEstimator):
                 seed=self.config.seed,
             )
         )
+        active = context.active
         active_sets = [
-            frozenset(c & active) for c in network.correlation_sets if c & active
+            frozenset(c & active)
+            for c in context.network.correlation_sets
+            if c & active
         ]
         for members in active_sets:
             for link in sorted(members):
-                selector = network.paths_covering([link]) - network.paths_covering(
-                    members - {link}
-                )
+                selector = context.network.paths_covering(
+                    [link]
+                ) - context.network.paths_covering(members - {link})
                 if selector:
                     pool.append(frozenset(selector))
-
-        index = SubsetIndex.build(
-            network,
+        context.pool = pool
+        context.index = SubsetIndex.build(
+            context.network,
             active,
             pool,
             requested_subset_size=1,
             hard_subset_cap=self.config.hard_subset_cap + 2,
         )
-        # Deduplicate the pool, then evaluate every frequency in one batched
-        # kernel call and every equation row in one index sweep.
-        deduped: List[FrozenSet[int]] = list(dict.fromkeys(pool))
-        frequencies = frequency.query_many(deduped)
+
+    def _stage_assemble(self, context: FitContext) -> None:
+        """Deduplicate the pool, then evaluate every frequency in one batched
+        kernel call and every equation row in one index sweep."""
+        deduped: List[FrozenSet[int]] = list(dict.fromkeys(context.pool))
+        frequencies = context.frequency.query_many(deduped)
         frequent = frequencies > self.config.min_frequency
         candidates = [s for s, keep in zip(deduped, frequent) if keep]
-        rows, usable = index.rows_matrix(candidates)
+        rows, usable = context.index.rows_matrix(candidates)
         if rows.shape[0] == 0:
             raise EstimationError("Correlation-heuristic: no usable path-set equations")
-        used: List[FrozenSet[int]] = [s for s, keep in zip(candidates, usable) if keep]
-        system = EquationSystem(len(index))
+        context.used_path_sets = [
+            s for s, keep in zip(candidates, usable) if keep
+        ]
+        system = EquationSystem(
+            len(context.index), workspace=context.system_workspace
+        )
         system.add_batch(rows, np.log(frequencies[frequent][usable]))
-        solution = system.solve(upper_bound=0.0)
+        context.system = system
+
+    def _stage_build_model(self, context: FitContext) -> None:
+        solution = context.solution
         good = np.exp(np.minimum(solution.values, 0.0))
         estimates: Dict[FrozenSet[int], float] = {}
         identifiable: Dict[FrozenSet[int], bool] = {}
-        for i, subset in enumerate(index.subsets):
+        for i, subset in enumerate(context.index.subsets):
             estimates[subset] = float(good[i])
             # Advertised output is per-link only ([9] computes "the
             # congestion probability of each individual link").
             identifiable[subset] = bool(solution.identifiable[i]) and len(subset) == 1
         model = CongestionProbabilityModel(
-            network,
+            context.network,
             estimates,
             identifiable,
-            always_good_links=always_good,
+            always_good_links=context.always_good,
         )
         report = FitReport(
-            num_unknowns=len(index),
-            num_equations=len(system),
+            num_unknowns=len(context.index),
+            num_equations=len(context.system),
             rank=solution.rank,
             num_identifiable=int(solution.identifiable.sum()),
             residual=solution.residual,
-            path_sets=used,
-            frequency_cache_hits=frequency.hits,
-            frequency_cache_misses=frequency.misses,
+            path_sets=list(context.used_path_sets),
+            frequency_cache_hits=context.frequency_hits,
+            frequency_cache_misses=context.frequency_misses,
         )
-        return self._attach_report(model, report)
+        context.finish(model, report)

@@ -17,23 +17,21 @@ No-Independence scenarios expose (Fig. 4).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet
 
 import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.linalg.system import EquationSystem
-from repro.model.status import ObservationMatrix
 from repro.probability.base import (
     FitReport,
-    FrequencyCache,
     ProbabilityEstimator,
     log_frequency_weights,
     shared_sampled_pool,
     singleton_path_sets,
 )
+from repro.probability.pipeline import FitContext
 from repro.probability.query import CongestionProbabilityModel
-from repro.topology.graph import Network
 
 
 class IndependenceEstimator(ProbabilityEstimator):
@@ -52,34 +50,39 @@ class IndependenceEstimator(ProbabilityEstimator):
         super().__init__(config)
         self.config.weighted = weighted
 
-    def fit(
-        self, network: Network, observations: ObservationMatrix
-    ) -> CongestionProbabilityModel:
-        """Estimate per-link good probabilities from path observations."""
-        active = sorted(self._active_links(network, observations))
-        always_good = frozenset(range(network.num_links)) - frozenset(active)
-        frequency = self._make_frequency(observations)
-        if not active:
-            model = CongestionProbabilityModel(
-                network, {}, {}, always_good_links=always_good, independent=True
-            )
-            return self._attach_report(model, FitReport())
+    def _empty_model(self, context: FitContext) -> CongestionProbabilityModel:
+        return CongestionProbabilityModel(
+            context.network,
+            {},
+            {},
+            always_good_links=context.always_good,
+            independent=True,
+        )
 
-        path_sets: List[FrozenSet[int]] = list(singleton_path_sets(observations))
-        path_sets.extend(
+    def _stage_discover(self, context: FitContext) -> None:
+        """Candidate pool: every live single path plus sampled multi-sets.
+
+        The unknowns are simply the active links (no correlation index),
+        so discovery is just the equation pool.
+        """
+        context.path_sets = list(singleton_path_sets(context.observations))
+        context.path_sets.extend(
             shared_sampled_pool(
-                network,
-                observations,
+                context.network,
+                context.observations,
                 count=self.config.pair_sample,
                 max_size=self.config.path_set_max_size,
                 seed=self.config.seed,
             )
         )
 
-        # One batched frequency-kernel call for the whole pool, then a
-        # vectorized coverage pass builds every equation row at once.
-        frequencies = frequency.query_many(path_sets)
-        incidence = network.incidence[:, active]
+    def _stage_assemble(self, context: FitContext) -> None:
+        """One batched frequency-kernel call for the whole pool, then a
+        vectorized coverage pass builds every equation row at once."""
+        active = sorted(context.active)
+        path_sets = context.path_sets
+        frequencies = context.frequency.query_many(path_sets)
+        incidence = context.network.incidence[:, active]
         coverage = np.zeros((len(path_sets), len(active)), dtype=bool)
         for i, path_set in enumerate(path_sets):
             coverage[i] = incidence[list(path_set)].any(axis=0)
@@ -92,18 +95,22 @@ class IndependenceEstimator(ProbabilityEstimator):
         rows = coverage[usable].astype(float)
         freqs = frequencies[usable]
         weights = (
-            log_frequency_weights(freqs, frequency.num_intervals)
+            log_frequency_weights(freqs, context.frequency.num_intervals)
             if self.config.weighted
             else np.ones(len(freqs))
         )
-        system = EquationSystem(len(active))
+        system = EquationSystem(len(active), workspace=context.system_workspace)
         system.add_batch(rows, np.log(freqs), weights)
-        used: List[FrozenSet[int]] = [
+        context.system = system
+        context.used_path_sets = [
             frozenset(path_set)
             for path_set, keep in zip(path_sets, usable)
             if keep
         ]
-        solution = system.solve(upper_bound=0.0)
+
+    def _stage_build_model(self, context: FitContext) -> None:
+        active = sorted(context.active)
+        solution = context.solution
         good = np.exp(np.minimum(solution.values, 0.0))
         estimates: Dict[FrozenSet[int], float] = {}
         identifiable: Dict[FrozenSet[int], bool] = {}
@@ -111,20 +118,20 @@ class IndependenceEstimator(ProbabilityEstimator):
             estimates[frozenset({link})] = float(good[i])
             identifiable[frozenset({link})] = bool(solution.identifiable[i])
         model = CongestionProbabilityModel(
-            network,
+            context.network,
             estimates,
             identifiable,
-            always_good_links=always_good,
+            always_good_links=context.always_good,
             independent=True,
         )
         report = FitReport(
             num_unknowns=len(active),
-            num_equations=len(system),
+            num_equations=len(context.system),
             rank=solution.rank,
             num_identifiable=int(solution.identifiable.sum()),
             residual=solution.residual,
-            path_sets=used,
-            frequency_cache_hits=frequency.hits,
-            frequency_cache_misses=frequency.misses,
+            path_sets=list(context.used_path_sets),
+            frequency_cache_hits=context.frequency_hits,
+            frequency_cache_misses=context.frequency_misses,
         )
-        return self._attach_report(model, report)
+        context.finish(model, report)

@@ -1,0 +1,209 @@
+"""Named-estimator registry: every Probability Computation algorithm by name.
+
+Mirrors the dataset (:mod:`repro.datasets.registry`) and scenario
+(:mod:`repro.simulation.library`) registries: every estimator the sweep
+drivers, the campaign runner, the streaming engine, and the CLI can name
+is registered here with its factory and sweep metadata — so consumers
+stop hard-coding estimator class imports and ``name == "Independence"``
+string matches.
+
+Registered entries:
+
+* the three algorithms of the paper's Fig. 4 legend (``Independence``,
+  ``Correlation-heuristic``, ``Correlation-complete``), in
+  :func:`paper_estimator_names` order;
+* the ablation's ``Correlation-complete (no redundancy)`` stage variant.
+
+``cost_multiplier`` is the probe/compute budget of one fit relative to
+the Independence baseline; the sweep drivers scale their
+longest-processing-time cost hints by it instead of string-matching
+estimator names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import EstimationError
+from repro.probability.base import EstimatorConfig, ProbabilityEstimator
+from repro.probability.correlation_complete import (
+    CorrelationCompleteEstimator,
+    CorrelationCompleteNoRedundancy,
+)
+from repro.probability.correlation_heuristic import CorrelationHeuristicEstimator
+from repro.probability.independence import IndependenceEstimator
+
+#: A factory building a fresh estimator from an optional config.
+EstimatorFactory = Callable[[Optional[EstimatorConfig]], ProbabilityEstimator]
+
+
+@dataclass(frozen=True)
+class EstimatorEntry:
+    """One registered estimator: factory + sweep metadata.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key; equals the estimator class's ``name`` (the
+        label experiment tables and trial specs use).
+    factory:
+        Builds a fresh estimator from an optional
+        :class:`~repro.probability.base.EstimatorConfig`.
+    description:
+        One-line summary shown by ``repro-tomography estimators list``.
+    cost_multiplier:
+        Probe/compute budget of one fit relative to the Independence
+        baseline — sweep drivers scale their LPT cost hints by it.
+    paper_rank:
+        Position in the paper's Fig. 4 legend order, or ``None`` for
+        variants outside the paper's comparison.
+    aliases:
+        Lower-case shorthand names (CLI convenience); resolved by
+        :func:`get_estimator`.
+    """
+
+    name: str
+    factory: EstimatorFactory
+    description: str
+    cost_multiplier: float = 2.5
+    paper_rank: Optional[int] = None
+    aliases: Tuple[str, ...] = ()
+
+
+#: All registered estimators by canonical name, in registration order.
+ESTIMATORS: Dict[str, EstimatorEntry] = {}
+
+#: Alias -> canonical name.
+_ALIASES: Dict[str, str] = {}
+
+
+def register_estimator(
+    entry: EstimatorEntry, replace_existing: bool = False
+) -> None:
+    """Register an estimator; re-registration requires ``replace_existing``."""
+    if entry.name in ESTIMATORS and not replace_existing:
+        raise EstimationError(f"estimator {entry.name!r} is already registered")
+    stale = [alias for alias, name in _ALIASES.items() if name == entry.name]
+    for alias in stale:
+        del _ALIASES[alias]
+    for alias in entry.aliases:
+        owner = _ALIASES.get(alias)
+        if owner is not None and owner != entry.name:
+            raise EstimationError(
+                f"estimator alias {alias!r} already points at {owner!r}"
+            )
+        if alias in ESTIMATORS:
+            raise EstimationError(
+                f"estimator alias {alias!r} shadows a canonical name"
+            )
+        _ALIASES[alias] = entry.name
+    ESTIMATORS[entry.name] = entry
+
+
+def estimator_names() -> List[str]:
+    """Registered canonical names, in registration order."""
+    return list(ESTIMATORS)
+
+
+def paper_estimator_names() -> Tuple[str, ...]:
+    """The paper's Fig. 4 legend order (estimators with a ``paper_rank``)."""
+    ranked = [entry for entry in ESTIMATORS.values() if entry.paper_rank is not None]
+    return tuple(
+        entry.name for entry in sorted(ranked, key=lambda e: e.paper_rank)
+    )
+
+
+def get_estimator(name: str) -> EstimatorEntry:
+    """Look up a registered estimator by canonical name or alias.
+
+    Raises
+    ------
+    EstimationError
+        With the known names, on an unknown ``name``.
+    """
+    entry = ESTIMATORS.get(name)
+    if entry is not None:
+        return entry
+    canonical = _ALIASES.get(str(name).lower())
+    if canonical is not None:
+        return ESTIMATORS[canonical]
+    raise EstimationError(
+        f"unknown estimator {name!r}; known estimators: {estimator_names()}"
+    )
+
+
+def make_estimator(
+    name: str, config: Optional[EstimatorConfig] = None
+) -> ProbabilityEstimator:
+    """Build a fresh estimator by registered name (or alias)."""
+    return get_estimator(name).factory(config)
+
+
+def resolve_estimator(
+    estimator: Union[ProbabilityEstimator, str, None],
+    config: Optional[EstimatorConfig] = None,
+    default: str = "Correlation-complete",
+) -> ProbabilityEstimator:
+    """Normalise an estimator argument: instance, registry name, or None.
+
+    The windowed and streaming front-ends accept any of the three;
+    instances pass through unchanged (``config`` is ignored for them),
+    names and ``None`` (-> ``default``) build through the registry.
+    """
+    if isinstance(estimator, ProbabilityEstimator):
+        return estimator
+    return make_estimator(default if estimator is None else estimator, config)
+
+
+register_estimator(
+    EstimatorEntry(
+        name="Independence",
+        factory=lambda config=None: IndependenceEstimator(config),
+        description=(
+            "Per-link probabilities assuming all links independent "
+            "(the CLINK [11] Probability Computation step)"
+        ),
+        cost_multiplier=1.0,
+        paper_rank=0,
+        aliases=("independence",),
+    )
+)
+register_estimator(
+    EstimatorEntry(
+        name="Correlation-heuristic",
+        factory=lambda config=None: CorrelationHeuristicEstimator(config),
+        description=(
+            "Correlation Sets via a large redundant unweighted equation "
+            "pool (the earlier heuristic of [9])"
+        ),
+        cost_multiplier=2.5,
+        paper_rank=1,
+        aliases=("correlation-heuristic", "heuristic"),
+    )
+)
+register_estimator(
+    EstimatorEntry(
+        name="Correlation-complete",
+        factory=lambda config=None: CorrelationCompleteEstimator(config),
+        description=(
+            "The paper's Algorithm 1 + 2: minimal rank-increasing path-set "
+            "selection over correlation subsets"
+        ),
+        cost_multiplier=2.5,
+        paper_rank=2,
+        aliases=("correlation-complete", "complete"),
+    )
+)
+register_estimator(
+    EstimatorEntry(
+        name="Correlation-complete (no redundancy)",
+        factory=lambda config=None: CorrelationCompleteNoRedundancy(config),
+        description=(
+            "Ablation variant: Algorithm 1's minimal equations only, no "
+            "variance-reduction redundancy pass"
+        ),
+        cost_multiplier=2.5,
+        aliases=("no-redundancy",),
+    )
+)

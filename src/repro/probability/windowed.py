@@ -17,15 +17,15 @@ per-interval diagnosis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.model.status import ObservationMatrix
 from repro.probability.base import ProbabilityEstimator
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
 from repro.probability.query import CongestionProbabilityModel
+from repro.probability.registry import resolve_estimator
 from repro.topology.graph import Network
 
 
@@ -126,7 +126,9 @@ class WindowedEstimator:
     Parameters
     ----------
     estimator:
-        Any :class:`ProbabilityEstimator`; defaults to Correlation-complete.
+        Any :class:`ProbabilityEstimator`, or a registered estimator name
+        (see :mod:`repro.probability.registry`); defaults to
+        Correlation-complete.
     window:
         Window length in intervals (the paper suggests horizons of
         "hours or so" per estimate).
@@ -137,13 +139,13 @@ class WindowedEstimator:
 
     def __init__(
         self,
-        estimator: Optional[ProbabilityEstimator] = None,
+        estimator: Union[ProbabilityEstimator, str, None] = None,
         window: int = 200,
         stride: Optional[int] = None,
     ) -> None:
         if window < 2:
             raise EstimationError("window must cover at least 2 intervals")
-        self.estimator = estimator or CorrelationCompleteEstimator()
+        self.estimator = resolve_estimator(estimator)
         self.window = window
         self.stride = stride if stride is not None else window
         if self.stride < 1:

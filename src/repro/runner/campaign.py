@@ -38,10 +38,11 @@ class CampaignDefinition:
     """How to build, merge, and present one named sweep.
 
     ``build`` receives the resolved :class:`CampaignSpec` (so campaigns
-    that accept dataset/scenario filters can honour them), the experiment
-    scale, and the replicate's seed. ``accepts_filters`` marks campaigns
-    that honour ``--dataset`` / ``--scenario``; specs carrying filters for
-    any other campaign are rejected at validation time.
+    that accept dataset/scenario/estimator filters can honour them), the
+    experiment scale, and the replicate's seed. ``accepts_filters`` marks
+    campaigns that honour ``--dataset`` / ``--scenario`` /
+    ``--estimator``; specs carrying filters for any other campaign are
+    rejected at validation time.
     """
 
     name: str
@@ -240,6 +241,7 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
             spec.oracle,
             datasets=_split_filter(spec.dataset),
             scenarios=_split_filter(spec.scenario),
+            estimators=_split_filter(spec.estimator),
         ),
         merge=_realworld.merge_realworld,
         render=_render_realworld,
@@ -255,9 +257,10 @@ class CampaignSpec:
 
     ``replicates > 1`` reruns the sweep at that many seeds spawned
     deterministically from ``seed``; all replicates' trials are sharded
-    through a single pool. ``dataset`` / ``scenario`` restrict a
-    filter-accepting campaign (``realworld``) to comma-separated
-    registered names.
+    through a single pool. ``dataset`` / ``scenario`` / ``estimator``
+    restrict a filter-accepting campaign (``realworld``) to
+    comma-separated registered names (estimator aliases are accepted —
+    see :mod:`repro.probability.registry`).
     """
 
     campaign: str
@@ -269,6 +272,7 @@ class CampaignSpec:
     output: Optional[str] = None
     dataset: Optional[str] = None
     scenario: Optional[str] = None
+    estimator: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.campaign not in CAMPAIGNS:
@@ -281,11 +285,22 @@ class CampaignSpec:
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = all local CPUs) or null")
         definition = CAMPAIGNS[self.campaign]
-        if (self.dataset or self.scenario) and not definition.accepts_filters:
+        if (
+            self.dataset or self.scenario or self.estimator
+        ) and not definition.accepts_filters:
             raise ValueError(
                 f"campaign {self.campaign!r} does not accept "
-                "dataset/scenario filters"
+                "dataset/scenario/estimator filters"
             )
+        if self.estimator:
+            from repro.exceptions import EstimationError
+            from repro.probability.registry import get_estimator
+
+            for name in _split_filter(self.estimator) or []:
+                try:
+                    get_estimator(name)
+                except EstimationError as exc:
+                    raise ValueError(str(exc)) from None
         if self.dataset:
             from repro.datasets.registry import get_dataset
             from repro.exceptions import DatasetError
@@ -353,6 +368,7 @@ class CampaignOutcome:
             "workers": self.spec.workers,
             "dataset": self.spec.dataset,
             "scenario": self.spec.scenario,
+            "estimator": self.spec.estimator,
             "seeds": self.seeds,
             "num_trials": self.num_trials,
             "elapsed_s": round(self.elapsed, 4),

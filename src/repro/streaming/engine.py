@@ -20,18 +20,25 @@ therefore amortised (one big kernel call plus cache hits) without ever
 recomputing over the full horizon, the way a warm memoised store keeps
 congestion state current across control decisions in streaming
 traffic-engineering controllers.
+
+The warm cache reaches the fit through the estimation pipeline's
+:class:`~repro.probability.pipeline.SharedFitWorkspace` — per-window
+immutable injection via the fit's context, so the estimator object itself
+carries no engine state and stays freely shareable.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.linalg.system import SystemWorkspace
 from repro.model.packed import WORD_BITS
-from repro.probability.base import FrequencyCache, ProbabilityEstimator
-from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.base import ProbabilityEstimator
+from repro.probability.pipeline import SharedFitWorkspace
+from repro.probability.registry import resolve_estimator
 from repro.probability.windowed import CongestionTimeline, WindowEstimate
 from repro.streaming.alerts import Alert, AlertManager
 from repro.streaming.buffer import PackedRingBuffer
@@ -46,7 +53,9 @@ class StreamingEstimator:
     network:
         The monitored topology (fixes the path width of the ring).
     estimator:
-        Any :class:`ProbabilityEstimator`; defaults to Correlation-complete.
+        Any :class:`ProbabilityEstimator`, or a registered estimator name
+        (see :mod:`repro.probability.registry`); defaults to
+        Correlation-complete.
     window:
         Window length in intervals (matches ``WindowedEstimator``).
     stride:
@@ -78,7 +87,7 @@ class StreamingEstimator:
     def __init__(
         self,
         network: Network,
-        estimator: Optional[ProbabilityEstimator] = None,
+        estimator: Union[ProbabilityEstimator, str, None] = None,
         window: int = 200,
         stride: Optional[int] = None,
         retention: Optional[int] = None,
@@ -91,7 +100,7 @@ class StreamingEstimator:
         if window < 2:
             raise EstimationError("window must cover at least 2 intervals")
         self.network = network
-        self.estimator = estimator or CorrelationCompleteEstimator()
+        self.estimator = resolve_estimator(estimator)
         self.window = window
         self.stride = stride if stride is not None else window
         if self.stride < 1:
@@ -128,6 +137,10 @@ class StreamingEstimator:
         self.alerts: List[Alert] = []
         self._next_start = 0
         self._workload: List[frozenset] = []
+        # Equation-arena carried across windows: each refit's fit context
+        # checks it out through its SharedFitWorkspace, so consecutive
+        # windows reuse one growth buffer instead of reallocating.
+        self._system_workspace = SystemWorkspace()
         #: Global count of windows ever emitted — includes windows trimmed
         #: by ``max_windows`` and, after a checkpoint restore, windows
         #: emitted before the restart. Alert window indices come from it,
@@ -233,7 +246,10 @@ class StreamingEstimator:
 
     def _fit_window(self, start: int, stop: int) -> Optional[WindowEstimate]:
         observations = self._ring.window(start, stop)
-        cache = FrequencyCache(observations)
+        workspace = SharedFitWorkspace(
+            observations, system=self._system_workspace
+        )
+        cache = workspace.frequency
         if self._workload:
             # One batched kernel call evaluates the previous window's whole
             # frequency workload against the new window. The subsequent fit
@@ -242,16 +258,13 @@ class StreamingEstimator:
             # touches intervals outside [start, stop).
             cache.prefetch(self._workload)
         cache.reset_touched()
-        previous_factory = self.estimator.frequency_factory
-        self.estimator.frequency_factory = lambda _observations: cache
         try:
-            model = self.estimator.fit(self.network, observations)
+            model = self.estimator.fit(self.network, observations, workspace=workspace)
         except EstimationError:
             # Skipped window: keep the last good window's workload — one
             # degenerate window must not cold-start the refits after it.
             return None
         finally:
-            self.estimator.frequency_factory = previous_factory
             self.cache_hits += cache.hits
             self.cache_misses += cache.misses
         # Carry forward only the queries this (successful) fit actually

@@ -166,9 +166,39 @@ def test_campaign_realworld_with_filters(capsys):
     assert "Correlation-complete" in out
 
 
+def test_campaign_realworld_with_estimator_filter(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "realworld",
+                "--scale",
+                "tiny",
+                "--oracle",
+                "--dataset",
+                "saved-peering",
+                "--scenario",
+                "gravity",
+                # Alias resolution: canonicalised through the registry.
+                "--estimator",
+                "independence",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Independence" in out
+    # One dataset x one scenario x one estimator = a single trial.
+    assert "1 trial(s)" in out
+
+
 def test_campaign_filters_rejected_for_figure_sweeps():
     with pytest.raises(SystemExit, match="invalid campaign options"):
         main(["campaign", "figure4", "--dataset", "abilene"])
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "figure4", "--estimator", "independence"])
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "realworld", "--estimator", "bogus"])
 
 
 def test_datasets_list(capsys):
@@ -209,6 +239,74 @@ def test_scenarios_info(capsys):
     assert main(["scenarios", "info", "maintenance"]) == 0
     out = capsys.readouterr().out
     assert "maintenance_marginal" in out
+
+
+def test_estimators_list(capsys):
+    assert main(["estimators", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "Independence",
+        "Correlation-heuristic",
+        "Correlation-complete",
+        "Correlation-complete (no redundancy)",
+    ):
+        assert name in out
+    assert "paper legend order" in out
+
+
+def test_estimators_info(capsys):
+    assert main(["estimators", "info", "complete"]) == 0
+    out = capsys.readouterr().out
+    assert "Correlation-complete" in out
+    assert "prune -> frequency -> discover -> assemble -> solve -> build_model" in out
+    assert "cost multiplier" in out
+
+
+def test_estimators_info_unknown_name():
+    with pytest.raises(SystemExit, match="unknown estimator"):
+        main(["estimators", "info", "wat"])
+    with pytest.raises(SystemExit, match="provide an estimator name"):
+        main(["estimators", "info"])
+
+
+def test_monitor_estimator_flag(capsys):
+    assert (
+        main(
+            [
+                "monitor",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "abilene",
+                "--scenario",
+                "diurnal",
+                "--estimator",
+                "independence",
+                "--intervals",
+                "48",
+                "--window",
+                "32",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "estimator Independence" in out
+
+
+def test_monitor_unknown_estimator_errors():
+    with pytest.raises(SystemExit, match="unknown estimator"):
+        main(
+            [
+                "monitor",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "abilene",
+                "--estimator",
+                "bogus",
+            ]
+        )
 
 
 def test_monitor_dataset_scenario(capsys):

@@ -51,7 +51,7 @@ def test_specs_reject_unknown_names():
         realworld_specs(TINY, 3, datasets=["atlantis"])
     with pytest.raises(Exception, match="unknown scenario"):
         realworld_specs(TINY, 3, scenarios=["sharknado"])
-    with pytest.raises(ValueError, match="unknown estimators"):
+    with pytest.raises(ValueError, match="unknown estimator"):
         realworld_specs(TINY, 3, estimators=["Magic"])
 
 

@@ -1,0 +1,110 @@
+"""Registry consistency: every consumer-facing estimator name resolves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.probability.base import EstimatorConfig, ProbabilityEstimator
+from repro.probability.registry import (
+    ESTIMATORS,
+    EstimatorEntry,
+    estimator_names,
+    get_estimator,
+    make_estimator,
+    paper_estimator_names,
+    register_estimator,
+    resolve_estimator,
+)
+
+
+def test_every_entry_constructs_and_names_match():
+    """Every registered estimator is importable/constructible, and its
+    canonical registry name equals the class's experiment-table label."""
+    for name in estimator_names():
+        entry = ESTIMATORS[name]
+        estimator = entry.factory(None)
+        assert isinstance(estimator, ProbabilityEstimator)
+        assert estimator.name == name == entry.name
+        assert entry.cost_multiplier > 0
+
+
+def test_canonical_names_and_aliases_are_unique():
+    names = estimator_names()
+    assert len(names) == len(set(names))
+    aliases = [alias for entry in ESTIMATORS.values() for alias in entry.aliases]
+    assert len(aliases) == len(set(aliases))
+    assert not set(aliases) & set(names)
+
+
+def test_paper_order_matches_figure4_legend():
+    assert paper_estimator_names() == (
+        "Independence",
+        "Correlation-heuristic",
+        "Correlation-complete",
+    )
+    # The sweep drivers consume the registry order directly.
+    from repro.experiments.figure4 import ESTIMATOR_ORDER as FIG4
+    from repro.experiments.realworld import ESTIMATOR_ORDER as REALWORLD
+
+    assert FIG4 == paper_estimator_names()
+    assert REALWORLD == paper_estimator_names()
+
+
+def test_cost_multiplier_metadata():
+    """The probe-budget multiplier lives in the registry, not string matches."""
+    assert get_estimator("Independence").cost_multiplier == 1.0
+    assert get_estimator("Correlation-complete").cost_multiplier == 2.5
+    assert get_estimator("Correlation-heuristic").cost_multiplier == 2.5
+
+
+def test_alias_resolution():
+    assert get_estimator("independence").name == "Independence"
+    assert get_estimator("complete").name == "Correlation-complete"
+    assert get_estimator("heuristic").name == "Correlation-heuristic"
+    assert (
+        get_estimator("no-redundancy").name
+        == "Correlation-complete (no redundancy)"
+    )
+
+
+def test_unknown_name_lists_known_estimators():
+    with pytest.raises(EstimationError, match="known estimators"):
+        get_estimator("nope")
+
+
+def test_make_estimator_threads_config():
+    estimator = make_estimator("Correlation-complete", EstimatorConfig(seed=99))
+    assert estimator.config.seed == 99
+    # And the config is copied, never shared.
+    config = EstimatorConfig(weighted=True)
+    heuristic = make_estimator("Correlation-heuristic", config)
+    assert heuristic.config.weighted is False
+    assert config.weighted is True
+
+
+def test_resolve_estimator_accepts_instance_name_and_none():
+    instance = make_estimator("Independence")
+    assert resolve_estimator(instance) is instance
+    assert resolve_estimator("heuristic").name == "Correlation-heuristic"
+    assert resolve_estimator(None).name == "Correlation-complete"
+
+
+def test_double_registration_requires_replace():
+    entry = ESTIMATORS["Independence"]
+    with pytest.raises(EstimationError, match="already registered"):
+        register_estimator(entry)
+    register_estimator(entry, replace_existing=True)  # idempotent re-register
+    assert get_estimator("Independence") is entry
+
+
+def test_alias_collision_rejected():
+    clash = EstimatorEntry(
+        name="Clashing",
+        factory=lambda config=None: make_estimator("Independence", config),
+        description="clashes with an existing alias",
+        aliases=("independence",),
+    )
+    with pytest.raises(EstimationError, match="already points at"):
+        register_estimator(clash)
+    assert "Clashing" not in ESTIMATORS

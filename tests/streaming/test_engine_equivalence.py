@@ -217,16 +217,35 @@ def test_frequency_cache_touch_tracking_is_opt_in(network, horizon):
     assert cache.touched_keys() == []
 
 
-def test_engine_restores_caller_frequency_factory(network, horizon):
-    """The injection hook is a public surface; the engine must not clear it."""
-    from repro.probability.base import FrequencyCache
+def test_engine_leaves_estimator_stateless(network, horizon):
+    """Cache injection flows through the fit context, never the estimator.
+
+    The engine used to swap a mutable ``frequency_factory`` attribute on
+    the estimator around every refit (stateful injection that could leak
+    across fits); the pipeline's SharedFitWorkspace replaced it. The same
+    estimator instance must therefore produce an untouched cold fit right
+    after serving the engine.
+    """
+    import numpy as np
+
+    from repro.probability.base import EstimatorConfig
+    from repro.probability.correlation_complete import (
+        CorrelationCompleteEstimator,
+    )
 
     estimator = _estimator()
-    sentinel = lambda observations: FrequencyCache(observations)  # noqa: E731
-    estimator.frequency_factory = sentinel
+    assert not hasattr(estimator, "frequency_factory")
     engine = StreamingEstimator(network, estimator, window=200)
     engine.ingest(horizon[:400])
-    assert estimator.frequency_factory is sentinel
+    observations = ObservationMatrix(horizon[:200])
+    after_engine = estimator.fit(network, observations)
+    fresh = CorrelationCompleteEstimator(
+        EstimatorConfig(pruning_tolerance=0.0)
+    ).fit(network, observations)
+    assert np.array_equal(after_engine.link_marginals(), fresh.link_marginals())
+    assert after_engine.report.frequency_cache_misses == (
+        fresh.report.frequency_cache_misses
+    )
 
 
 def test_bounded_derived_state(network, horizon):
