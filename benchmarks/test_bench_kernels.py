@@ -1,0 +1,203 @@
+"""Benchmarks for the pluggable frequency kernels and executor modes.
+
+Two head-to-head comparisons, both at figure-4(a) scale:
+
+* **numpy vs numba kernel** — the same ``run_figure4`` sweep executed once
+  per kernel (plus a microbenchmark of the raw batched union-popcount
+  call). The merged figures must be **bit-identical** — swapping kernels
+  can never change a result, only its wall clock. The compiled kernel is
+  expected to take the batched frequency call at least ~3x faster; the
+  numba-side benchmarks skip where numba is not installed.
+* **serial vs process vs thread executor** — the figure4 sweep sharded
+  each way. All three merges must be bit-identical; the thread run is only
+  expected to beat serial when the active kernel releases the GIL, so
+  that gate additionally requires a GIL-free kernel.
+
+Wall clock on shared CI runners is noise, so — like the runner and
+streaming benchmarks — every speedup gate only *fails* when armed via
+``REPRO_BENCH_STRICT`` (and, for the sharded runs, only where enough
+cores are usable); otherwise the measured ratio is printed as a warning.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.model import kernels
+
+#: Worker shards of the pooled executor runs.
+WORKERS = 4
+
+#: Minimum expected speedup of the compiled kernel over numpy on the raw
+#: batched union-popcount call (the fused loops skip the gather cube).
+MIN_KERNEL_SPEEDUP = 3.0
+
+#: Minimum expected speedup of the thread-sharded sweep over serial when
+#: the active kernel releases the GIL. Kept modest: the sweep also spends
+#: time in GIL-holding simulation code that threads cannot overlap.
+MIN_THREAD_SPEEDUP = 1.2
+
+_KERNEL_RUNS = {}
+_EXECUTOR_RUNS = {}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _require_numba():
+    kernel = kernels.get_kernel("numba")
+    if not kernel.is_available():
+        pytest.skip(f"numba kernel unavailable: {kernel.unavailable_reason()}")
+    return kernel
+
+
+def _kernel_run(name, scale):
+    """Figure4 at ``scale`` under kernel ``name``: (result, seconds)."""
+    if name not in _KERNEL_RUNS:
+        with kernels.use_kernel(name):
+            start = perf_counter()
+            result = run_figure4(scale, seed=2, workers=1)
+            elapsed = perf_counter() - start
+        _KERNEL_RUNS[name] = (result, elapsed)
+    return _KERNEL_RUNS[name]
+
+
+def _executor_run(mode, scale):
+    """Figure4 at ``scale`` under executor ``mode``: (result, seconds)."""
+    if mode not in _EXECUTOR_RUNS:
+        workers = 1 if mode == "serial" else WORKERS
+        executor = "process" if mode == "serial" else mode
+        start = perf_counter()
+        result = run_figure4(scale, seed=2, workers=workers, executor=executor)
+        elapsed = perf_counter() - start
+        _EXECUTOR_RUNS[mode] = (result, elapsed)
+    return _EXECUTOR_RUNS[mode]
+
+
+def _assert_bit_identical(reference, other):
+    """Two Figure4Results carry exactly the same bits, row by row."""
+    assert set(reference.rows) == set(other.rows)
+    for key, ref in reference.rows.items():
+        got = other.rows[key]
+        assert ref.mean_absolute_error == got.mean_absolute_error
+        assert np.array_equal(ref.errors, got.errors)
+        assert ref.subset_mean_absolute_error == got.subset_mean_absolute_error
+    assert reference.subset_rows == other.subset_rows
+    assert reference.topology_stats == other.topology_stats
+
+
+def _speedup_gate(speedup, minimum, label, strict):
+    """Fail when ``strict``, warn otherwise — identical message either way."""
+    if speedup >= minimum:
+        return
+    message = f"expected >= {minimum}x {label}, measured {speedup:.2f}x"
+    if strict and os.environ.get("REPRO_BENCH_STRICT"):
+        pytest.fail(message)
+    print(f"WARNING: {message} (non-strict run; not failing)")
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_figure4a_numpy(benchmark, bench_scale):
+    result, elapsed = benchmark.pedantic(
+        lambda: _kernel_run("numpy", bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(f"figure4 sweep, numpy kernel, serial: {elapsed:.2f}s")
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_figure4a_numba(benchmark, bench_scale):
+    _require_numba()
+    result, numba_s = benchmark.pedantic(
+        lambda: _kernel_run("numba", bench_scale), rounds=1, iterations=1
+    )
+    reference, numpy_s = _kernel_run("numpy", bench_scale)
+    # Bit-identity is the invariant, asserted strict or not.
+    _assert_bit_identical(reference, result)
+    speedup = numpy_s / numba_s if numba_s > 0 else float("inf")
+    print()
+    print(
+        f"figure4 sweep, numba kernel: numpy {numpy_s:.2f}s, "
+        f"numba {numba_s:.2f}s, end-to-end speedup {speedup:.2f}x"
+    )
+    # End-to-end includes simulation and solver time the kernel cannot
+    # touch, so the figure-level run is informational; the 3x contract is
+    # enforced on the raw kernel call below.
+    _speedup_gate(speedup, 1.0, "end-to-end speedup (numba vs numpy)", strict=True)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_union_popcount_speedup(benchmark, bench_scale):
+    """The raw batched call: compiled fused loops vs chunked numpy gather."""
+    numba = _require_numba()
+    numpy_kernel = kernels.get_kernel("numpy")
+    numpy_s = kernels.microbenchmark(numpy_kernel)
+    numba_s = benchmark.pedantic(
+        lambda: kernels.microbenchmark(numba), rounds=1, iterations=1
+    )
+    speedup = numpy_s / numba_s if numba_s > 0 else float("inf")
+    print()
+    print(
+        f"union popcount microbenchmark: numpy {numpy_s * 1e3:.2f}ms, "
+        f"numba {numba_s * 1e3:.2f}ms, speedup {speedup:.2f}x"
+    )
+    _speedup_gate(
+        speedup, MIN_KERNEL_SPEEDUP, "kernel speedup (numba vs numpy)", strict=True
+    )
+
+
+@pytest.mark.benchmark(group="executors")
+def test_executor_figure4_serial(benchmark, bench_scale):
+    result, elapsed = benchmark.pedantic(
+        lambda: _executor_run("serial", bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(f"figure4 sweep, serial: {elapsed:.2f}s")
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="executors")
+def test_executor_figure4_process_workers4(benchmark, bench_scale):
+    result, _ = benchmark.pedantic(
+        lambda: _executor_run("process", bench_scale), rounds=1, iterations=1
+    )
+    reference, _ = _executor_run("serial", bench_scale)
+    _assert_bit_identical(reference, result)
+
+
+@pytest.mark.benchmark(group="executors")
+def test_executor_figure4_thread_workers4(benchmark, bench_scale):
+    result, thread_s = benchmark.pedantic(
+        lambda: _executor_run("thread", bench_scale), rounds=1, iterations=1
+    )
+    reference, serial_s = _executor_run("serial", bench_scale)
+    # Bit-identity always holds, even where threads serialise on the GIL.
+    _assert_bit_identical(reference, result)
+    cores = _usable_cores()
+    gil_free = kernels.active_kernel().releases_gil
+    speedup = serial_s / thread_s if thread_s > 0 else float("inf")
+    print()
+    print(
+        f"figure4 sweep, {WORKERS} thread shards on {cores} core(s), "
+        f"kernel {kernels.active_kernel().name!r} "
+        f"(GIL-free: {gil_free}): serial {serial_s:.2f}s, "
+        f"thread {thread_s:.2f}s, speedup {speedup:.2f}x"
+    )
+    # Threads only overlap when the kernel drops the GIL; with the numpy
+    # kernel the run is correct but serialised, so no gate applies.
+    _speedup_gate(
+        speedup,
+        MIN_THREAD_SPEEDUP,
+        f"thread-shard speedup with {WORKERS} shards on {cores} cores",
+        strict=cores >= WORKERS and gil_free,
+    )

@@ -4,36 +4,43 @@ sweep the dataset/scenario libraries, or run the live monitoring engine.
 Usage::
 
     repro-tomography figure3 [--scale SCALE] [--seed N] [--oracle]
-                             [--workers W]
+                             [--workers W] [--executor E]
     repro-tomography figure4 [--scale SCALE] [--seed N] [--oracle]
-                             [--workers W]
+                             [--workers W] [--executor E]
     repro-tomography table2
     repro-tomography scaling [--scale SCALE] [--seed N] [--workers W]
+                             [--executor E]
     repro-tomography ablation [--scale SCALE] [--seed N] [--workers W]
+                             [--executor E]
     repro-tomography campaign NAME_OR_SPEC.json [--scale SCALE]
                              [--seed N] [--oracle] [--workers W]
-                             [--replicates R] [--output DIR]
-                             [--dataset NAMES] [--scenario NAMES]
-                             [--estimator NAMES]
+                             [--executor E] [--replicates R]
+                             [--output DIR] [--dataset NAMES]
+                             [--scenario NAMES] [--estimator NAMES]
     repro-tomography campaign --list
     repro-tomography datasets list|info NAME|validate
     repro-tomography scenarios list|info NAME
     repro-tomography estimators list|info NAME
+    repro-tomography kernels list [--bench] | info NAME
     repro-tomography monitor [--scale SCALE] [--seed N] [--oracle]
                              [--dataset NAME] [--scenario NAME]
-                             [--estimator NAME]
+                             [--estimator NAME] [--kernel K]
                              [--intervals T] [--window W] [--stride S]
                              [--chunk C] [--checkpoint PATH]
     repro-tomography --version
 
 ``SCALE`` is one of the registered presets (``tiny``/``small``/``paper``).
-``--workers`` shards a sweep across processes (0 = all local CPUs) with
-results bit-identical to the serial run; ``campaign`` runs a named sweep
+``--workers`` shards a sweep (0 = all local CPUs) with results
+bit-identical to the serial run; ``--executor`` picks how shards run
+(``process``, zero-copy ``thread``, or ``auto`` — thread exactly when the
+active frequency kernel is GIL-free). ``campaign`` runs a named sweep
 (or a JSON sweep spec) with per-shard progress and optional JSON results
 on disk — the ``realworld`` campaign sweeps every registered dataset,
 scenario, and estimator, restrictable with
 ``--dataset``/``--scenario``/``--estimator`` (comma-separated names from
 ``datasets list`` / ``scenarios list`` / ``estimators list``).
+``kernels`` inspects the frequency-kernel registry (numpy / optional
+compiled numba) and the active selection (``REPRO_KERNEL``).
 """
 
 from __future__ import annotations
@@ -75,7 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {_package_version()}",
     )
-    workers_help = "worker processes for the sweep (0 = all local CPUs)"
+    workers_help = "worker shards for the sweep (0 = all local CPUs)"
+    executor_help = (
+        "shard executor: process pool, zero-copy threads, or auto "
+        "(thread when the active kernel is GIL-free)"
+    )
+    from repro.runner.pool import EXECUTORS
+
     subparsers = parser.add_subparsers(dest="command", required=True)
     for figure in ("figure3", "figure4"):
         sub = subparsers.add_parser(figure, help=f"regenerate {figure}")
@@ -87,17 +100,26 @@ def _build_parser() -> argparse.ArgumentParser:
             help="use noise-free path observations",
         )
         sub.add_argument("--workers", type=int, default=1, help=workers_help)
+        sub.add_argument(
+            "--executor", choices=EXECUTORS, default="auto", help=executor_help
+        )
     sub = subparsers.add_parser("table2", help="print the assumption matrix")
     sub = subparsers.add_parser("scaling", help="Algorithm 1 scaling sweep")
     sub.add_argument("--scale", choices=sorted(SCALES), default="small")
     sub.add_argument("--seed", type=int, default=3)
     sub.add_argument("--workers", type=int, default=1, help=workers_help)
+    sub.add_argument(
+        "--executor", choices=EXECUTORS, default="auto", help=executor_help
+    )
     sub = subparsers.add_parser(
         "ablation", help="ablate the Correlation-complete solve refinements"
     )
     sub.add_argument("--scale", choices=sorted(SCALES), default="small")
     sub.add_argument("--seed", type=int, default=5)
     sub.add_argument("--workers", type=int, default=1, help=workers_help)
+    sub.add_argument(
+        "--executor", choices=EXECUTORS, default="auto", help=executor_help
+    )
     sub = subparsers.add_parser(
         "campaign",
         help="run a named sweep (figure3|figure4|scaling|ablation|realworld) "
@@ -123,6 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use noise-free path observations",
     )
     sub.add_argument("--workers", type=int, default=None, help=workers_help)
+    sub.add_argument(
+        "--executor", choices=EXECUTORS, default=None, help=executor_help
+    )
     sub.add_argument(
         "--replicates",
         type=int,
@@ -192,6 +217,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "name", nargs="?", default=None, help="estimator name or alias (info)"
     )
     sub = subparsers.add_parser(
+        "kernels",
+        help="inspect the frequency-kernel registry and active selection",
+    )
+    sub.add_argument(
+        "action",
+        choices=("list", "info"),
+        help="list the registry or describe one kernel",
+    )
+    sub.add_argument("name", nargs="?", default=None, help="kernel name (info)")
+    sub.add_argument(
+        "--bench",
+        action="store_true",
+        help="micro-benchmark each available kernel (list only)",
+    )
+    sub = subparsers.add_parser(
         "monitor",
         help="stream a live scenario through the incremental estimator",
     )
@@ -219,6 +259,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="registered estimator to refit with (default: Correlation-complete)",
+    )
+    sub.add_argument(
+        "--kernel",
+        type=str,
+        default=None,
+        help="pin the frequency kernel used by refits "
+        "(see 'kernels list'; default: the active selection)",
     )
     sub.add_argument(
         "--intervals",
@@ -260,6 +307,7 @@ def _print_figure3(args: argparse.Namespace) -> None:
         seed=args.seed,
         oracle=args.oracle,
         workers=_workers(args),
+        executor=args.executor,
     )
     print("Figure 3(a) — detection rate")
     print(result.to_table("detection"))
@@ -274,6 +322,7 @@ def _print_figure4(args: argparse.Namespace) -> None:
         seed=args.seed,
         oracle=args.oracle,
         workers=_workers(args),
+        executor=args.executor,
     )
     print("Figure 4(a) — mean absolute error, Brite")
     print(result.to_table("brite"))
@@ -302,7 +351,10 @@ def _print_table2() -> None:
 
 def _print_scaling(args: argparse.Namespace) -> None:
     result = run_algorithm1_scaling(
-        scale_by_name(args.scale), seed=args.seed, workers=_workers(args)
+        scale_by_name(args.scale),
+        seed=args.seed,
+        workers=_workers(args),
+        executor=args.executor,
     )
     print("Algorithm 1 scaling (equations formed vs naive 2^|P*| bound)")
     print(result.to_table())
@@ -361,6 +413,8 @@ def _run_campaign(args: argparse.Namespace) -> None:
         overrides["scenario"] = args.scenario
     if args.estimator is not None:
         overrides["estimator"] = args.estimator
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     try:
         spec = replace(spec, **overrides)
     except ValueError as exc:
@@ -525,6 +579,63 @@ def _print_estimators(args: argparse.Namespace) -> None:
     print(f"  pipeline stages: {' -> '.join(estimator.stage_names())}")
 
 
+def _print_kernels(args: argparse.Namespace) -> None:
+    from repro.model import kernels
+    from repro.model.kernels import numba_kernel
+
+    active = kernels.active_kernel()
+    if args.action == "list":
+        headers = ["Kernel", "Available", "GIL-free", "Active", "Description"]
+        if args.bench:
+            headers.insert(4, "Bench (ms)")
+        rows = []
+        for name in kernels.kernel_names():
+            kernel = kernels.get_kernel(name)
+            available = kernel.is_available()
+            cells = [
+                name,
+                "yes" if available else f"no ({kernel.unavailable_reason()})",
+                "yes" if kernel.releases_gil else "no",
+                "*" if kernel is active else "",
+                kernel.description,
+            ]
+            if args.bench:
+                cells.insert(
+                    4,
+                    f"{kernels.microbenchmark(kernel) * 1e3:.3f}"
+                    if available
+                    else "-",
+                )
+            rows.append(cells)
+        print("Frequency kernels")
+        print(format_table(headers, rows))
+        print(f"requested: {kernels.requested_kernel()} (env {kernels.KERNEL_ENV})")
+        print(
+            "numba: "
+            + (
+                f"version {numba_kernel.NUMBA_VERSION}"
+                if numba_kernel.NUMBA_VERSION
+                else "not installed"
+            )
+        )
+        return
+    if not args.name:
+        raise SystemExit("kernels info: provide a kernel name")
+    try:
+        kernel = kernels.get_kernel(args.name)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"{kernel.name}: {kernel.description}")
+    print(f"  class: {type(kernel).__module__}.{type(kernel).__qualname__}")
+    print(f"  releases the GIL: {kernel.releases_gil}")
+    print(f"  active: {kernel is active}")
+    if kernel.is_available():
+        print("  available: yes")
+        print(f"  micro-benchmark: {kernels.microbenchmark(kernel) * 1e3:.3f} ms")
+    else:
+        print(f"  available: no ({kernel.unavailable_reason()})")
+
+
 def _run_monitor(args: argparse.Namespace) -> None:
     from repro.probability.base import EstimatorConfig
     from repro.probability.windowed import peer_link_members
@@ -574,13 +685,17 @@ def _run_monitor(args: argparse.Namespace) -> None:
         prober=prober,
         chunk_intervals=args.chunk,
     )
-    engine = StreamingEstimator(
-        network,
-        estimator,
-        window=args.window,
-        stride=args.stride,
-        alert_manager=AlertManager(network, AlertPolicy()),
-    )
+    try:
+        engine = StreamingEstimator(
+            network,
+            estimator,
+            window=args.window,
+            stride=args.stride,
+            alert_manager=AlertManager(network, AlertPolicy()),
+            kernel=args.kernel,
+        )
+    except ValueError as exc:  # unknown --kernel name
+        raise SystemExit(str(exc)) from None
     members = peer_link_members(network)
     print(
         f"monitoring {network.num_paths} paths over {network.num_links} links "
@@ -621,7 +736,10 @@ def _print_ablation(args: argparse.Namespace) -> None:
     from repro.experiments.ablation import run_ablation
 
     result = run_ablation(
-        scale_by_name(args.scale), seed=args.seed, workers=_workers(args)
+        scale_by_name(args.scale),
+        seed=args.seed,
+        workers=_workers(args),
+        executor=args.executor,
     )
     print("Correlation-complete solve ablation (mean abs link error, "
           "No-Independence scenario)")
@@ -649,6 +767,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_scenarios(args)
     elif args.command == "estimators":
         _print_estimators(args)
+    elif args.command == "kernels":
+        _print_kernels(args)
     elif args.command == "monitor":
         _run_monitor(args)
     return 0

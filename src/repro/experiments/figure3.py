@@ -213,6 +213,7 @@ def run_figure3(
     oracle: bool = False,
     workers: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[str] = "process",
 ) -> Figure3Result:
     """Regenerate Fig. 3.
 
@@ -227,16 +228,21 @@ def run_figure3(
         Use noise-free path observations (isolates algorithmic error from
         E2E-monitoring error).
     workers:
-        Shard the sweep across this many processes (``1`` = serial in this
+        Shard the sweep across this many workers (``1`` = serial in this
         process, ``None`` = all local CPUs); results are bit-identical for
         any value.
     progress:
         Optional per-shard progress callback.
+    executor:
+        Shard executor — ``"process"`` (default), ``"thread"``
+        (zero-copy, needs a GIL-free kernel to overlap), or ``"auto"``
+        (see :func:`repro.runner.pool.run_trials`).
     """
     results = run_trials(
         figure3_trial,
         figure3_specs(scale, seed, oracle),
         workers=workers,
         progress=progress,
+        executor=executor,
     )
     return merge_figure3(results)

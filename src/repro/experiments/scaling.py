@@ -158,10 +158,12 @@ def run_algorithm1_scaling(
     subset_sizes: Optional[List[int]] = None,
     workers: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[str] = "process",
 ) -> ScalingResult:
     """Sweep Algorithm 1's requested subset size on a Brite instance.
 
-    ``workers`` shards the sweep points across processes; the sweep's
+    ``workers`` shards the sweep points across the requested ``executor``
+    (``"process"`` / ``"thread"`` / ``"auto"``); the sweep's
     equation-system statistics are bit-identical for any value (the
     per-point ``seconds`` column reports each worker's own wall clock).
     """
@@ -170,5 +172,6 @@ def run_algorithm1_scaling(
         scaling_specs(scale, seed, subset_sizes),
         workers=workers,
         progress=progress,
+        executor=executor,
     )
     return merge_scaling(results)

@@ -20,13 +20,23 @@ Two interchangeable backends implement the storage contract:
 * :class:`DenseBackend` — the original boolean matrix, kept for tests,
   tiny inputs, and as the executable specification the packed kernels are
   property-tested against.
+
+The packed backend's two hot loops — the batched gather/OR/popcount of
+:meth:`PackedBackend.all_good_counts` and the row popcounts of
+:meth:`PackedBackend.congestion_counts` — dispatch through the pluggable
+kernel layer (:mod:`repro.model.kernels`): the canonical numpy kernel by
+default, an optional compiled GIL-free numba kernel when selected via
+``REPRO_KERNEL`` (bit-identical either way).
 """
 
 from __future__ import annotations
 
+import sys
 from typing import List, Sequence
 
 import numpy as np
+
+from repro.model import kernels
 
 #: Intervals per storage word.
 WORD_BITS = 64
@@ -98,11 +108,11 @@ class PackedBackend:
             raise ValueError("num_intervals exceeds packed capacity")
         self.words = words
         self._num_intervals = int(num_intervals)
-        # Lazily-built copy of `words` with a trailing all-good dummy row:
-        # the batched kernel pads ragged path sets with the dummy index,
-        # which is a no-op under OR. Deferred so backends that never run a
-        # batch query (e.g. short-lived window slices) skip the copy.
-        self._words_padded: "np.ndarray | None" = None
+        # Kernel-owned caches tied to this word store (the numpy kernel
+        # keeps its dummy-padded copy of `words` here). Lazily filled so
+        # backends that never run a batch query — e.g. short-lived window
+        # slices — pay nothing.
+        self._kernel_scratch: dict = {}
 
     @classmethod
     def from_dense(cls, congested: np.ndarray) -> "PackedBackend":
@@ -112,9 +122,11 @@ class PackedBackend:
     # -- pickling --------------------------------------------------------
     # Observations cross process boundaries (the parallel campaign runner
     # ships them to and from pool workers) in their uint64 word form: the
-    # state is just the word matrix plus the horizon. The lazily-built
-    # padded copy is dropped — it is a cache, and strided window views are
-    # made contiguous so the payload is exactly the touched words.
+    # state is just the word matrix plus the horizon. The kernel scratch
+    # is dropped — it holds caches, and strided window views are made
+    # contiguous so the payload is exactly the touched words. Thread
+    # shards (``executor="thread"``) never pickle at all: they share this
+    # backend zero-copy.
     def __getstate__(self) -> dict:
         return {
             "words": np.ascontiguousarray(self.words),
@@ -124,7 +136,7 @@ class PackedBackend:
     def __setstate__(self, state: dict) -> None:
         self.words = state["words"]
         self._num_intervals = state["num_intervals"]
-        self._words_padded = None
+        self._kernel_scratch = {}
 
     # -- storage contract ------------------------------------------------
     @property
@@ -144,25 +156,34 @@ class PackedBackend:
         if not 0 <= interval < self._num_intervals:
             raise IndexError(f"interval {interval} outside horizon")
         word_index, bit_in_word = divmod(interval, WORD_BITS)
-        # One word column is copied (contiguity-safe for strided views);
-        # the byte/bit split mirrors pack_bool_matrix's MSB-first layout.
-        column = np.ascontiguousarray(self.words[:, word_index : word_index + 1])
         byte_index, bit_index = divmod(bit_in_word, 8)
-        byte_column = column.view(np.uint8)[:, byte_index]
-        return (byte_column >> np.uint8(7 - bit_index)) & np.uint8(1) > 0
+        # Extract the single queried bit by shift+mask on the (possibly
+        # strided) word column — no 8-byte-per-path contiguous copy of the
+        # whole word column just to read one byte of it. The shift maps
+        # pack_bool_matrix's layout (MSB-first bits, bytes in increasing
+        # memory order) onto the host's uint64 byte order.
+        if sys.byteorder == "little":
+            shift = np.uint64(8 * byte_index + (7 - bit_index))
+        else:  # pragma: no cover - big-endian hosts
+            shift = np.uint64(8 * (7 - byte_index) + (7 - bit_index))
+        column = self.words[:, word_index]
+        return (column >> shift) & np.uint64(1) > 0
 
     def congestion_counts(self) -> np.ndarray:
         """Per-path congested-interval counts, shape (num_paths,)."""
-        return np.bitwise_count(self.words).sum(axis=1, dtype=np.int64)
+        return kernels.active_kernel().congestion_counts(self.words)
 
     def all_good_counts(self, path_sets: Sequence[Sequence[int]]) -> np.ndarray:
         """Batched Eq. 1 numerator: all-good interval counts per path set.
 
         The kernel of the whole estimation stack: for each path set, OR the
         packed rows of its members and popcount the union. The whole batch
-        runs as a single padded gather + OR-reduction + popcount — no Python
-        per-set work. The empty set counts every interval. Returns an int64
-        array of len(path_sets).
+        runs through the active frequency kernel
+        (:mod:`repro.model.kernels`) — no Python per-set work. The empty
+        set counts every interval (an all-empty batch short-circuits; an
+        empty set inside a wider batch unions nothing and popcounts to
+        zero under either kernel). Returns an int64 array of
+        len(path_sets).
         """
         num_sets = len(path_sets)
         total = self._num_intervals
@@ -172,25 +193,19 @@ class PackedBackend:
         widest = max(len(m) for m in members)
         if widest == 0:
             return np.full(num_sets, total, dtype=np.int64)
-        if self._words_padded is None:
-            self._words_padded = np.concatenate(
-                [self.words, np.zeros((1, self.words.shape[1]), dtype=np.uint64)]
-            )
-        dummy = self.num_paths  # the all-good dummy row appended above
+        # Ragged sets become a rectangular index matrix padded with the
+        # dummy row index ``num_paths`` (an implicit all-good row, a no-op
+        # under OR) plus the true lengths; each kernel consumes whichever
+        # of the two paddings suits its loop structure.
+        dummy = self.num_paths
         indices = np.full((num_sets, widest), dummy, dtype=np.intp)
+        lengths = np.empty(num_sets, dtype=np.int64)
         for i, m in enumerate(members):
             indices[i, : len(m)] = m
-        counts = np.empty(num_sets, dtype=np.int64)
-        num_words = self.words.shape[1]
-        # Bound the gather's working set: chunk the batch so the padded
-        # (chunk, widest, words) cube stays small enough to live in cache.
-        chunk = max(1, (1 << 21) // max(1, widest * num_words * WORD_BYTES))
-        for lo in range(0, num_sets, chunk):
-            block = indices[lo : lo + chunk]
-            union = np.bitwise_or.reduce(self._words_padded[block], axis=1)
-            counts[lo : lo + chunk] = np.bitwise_count(union).sum(
-                axis=1, dtype=np.int64
-            )
+            lengths[i] = len(m)
+        counts = kernels.active_kernel().union_popcounts(
+            self.words, indices, lengths, self._kernel_scratch
+        )
         return total - counts
 
     def slice_intervals(self, start: int, stop: int) -> "PackedBackend":

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.linalg.system import EquationSystem, SystemWorkspace
+from repro.model.kernels import active_kernel
 from repro.model.status import ObservationMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,6 +90,10 @@ class FitReport:
     stage_seconds:
         Wall time per executed pipeline stage, keyed by stage name in
         execution order (see :data:`STAGE_ORDER`).
+    kernel:
+        Name of the frequency kernel (:mod:`repro.model.kernels`) active
+        when the pipeline finished this fit — diagnostic only; kernels are
+        bit-identical, so it never explains a numeric difference.
     """
 
     num_unknowns: int = 0
@@ -100,6 +105,7 @@ class FitReport:
     frequency_cache_hits: int = 0
     frequency_cache_misses: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    kernel: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -376,5 +382,6 @@ class EstimationPipeline:
                 "estimation pipeline finished without producing a model"
             )
         context.report.stage_seconds = dict(context.stage_seconds)
+        context.report.kernel = active_kernel().name
         context.model.report = context.report  # type: ignore[attr-defined]
         return context.model

@@ -1,25 +1,29 @@
-"""Parallel campaign execution: process-sharded sweeps, deterministic merge.
+"""Parallel campaign execution: sharded sweeps with a deterministic merge.
 
 The paper's sweeps are embarrassingly parallel over
 (topology, scenario, estimator, seed); this package decomposes them into
 independent :class:`TrialSpec` cells, shards the cells across a process
-pool, and merges worker results in canonical order so parallel runs are
-bit-identical to serial ones. See :mod:`repro.runner.pool` for the
-execution model and :mod:`repro.runner.campaign` for named campaigns, JSON
-sweep specs, and on-disk results.
+or thread pool (``executor="process"|"thread"|"auto"``), and merges
+worker results in canonical order so parallel runs are bit-identical to
+serial ones. See :mod:`repro.runner.pool` for the execution model and
+:mod:`repro.runner.campaign` for named campaigns, JSON sweep specs, and
+on-disk results.
 """
 
 from repro.runner.pool import (
+    EXECUTORS,
     ProgressFn,
     ShardReport,
     TrialFn,
     partition_specs,
+    resolve_executor,
     resolve_workers,
     run_trials,
 )
 from repro.runner.spec import TrialError, TrialResult, TrialSpec
 
 __all__ = [
+    "EXECUTORS",
     "ProgressFn",
     "ShardReport",
     "TrialError",
@@ -27,6 +31,7 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "partition_specs",
+    "resolve_executor",
     "resolve_workers",
     "run_trials",
 ]

@@ -28,7 +28,7 @@ from repro.experiments import figure4 as _figure4
 from repro.experiments import realworld as _realworld
 from repro.experiments import scaling as _scaling
 from repro.experiments.config import ExperimentScale, scale_by_name
-from repro.runner.pool import ProgressFn, ShardReport, run_trials
+from repro.runner.pool import EXECUTORS, ProgressFn, ShardReport, run_trials
 from repro.runner.spec import TrialResult, TrialSpec
 from repro.util.rng import spawn_seeds
 
@@ -257,7 +257,10 @@ class CampaignSpec:
 
     ``replicates > 1`` reruns the sweep at that many seeds spawned
     deterministically from ``seed``; all replicates' trials are sharded
-    through a single pool. ``dataset`` / ``scenario`` / ``estimator``
+    through a single pool. ``executor`` picks how shards run
+    (``"auto"`` — the default — threads when the active frequency kernel
+    is GIL-free, else processes; or an explicit ``"thread"`` /
+    ``"process"``). ``dataset`` / ``scenario`` / ``estimator``
     restrict a filter-accepting campaign (``realworld``) to
     comma-separated registered names (estimator aliases are accepted —
     see :mod:`repro.probability.registry`).
@@ -273,6 +276,7 @@ class CampaignSpec:
     dataset: Optional[str] = None
     scenario: Optional[str] = None
     estimator: Optional[str] = None
+    executor: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
         if self.campaign not in CAMPAIGNS:
@@ -284,6 +288,11 @@ class CampaignSpec:
             raise ValueError("replicates must be >= 1")
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = all local CPUs) or null")
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {list(EXECUTORS)}"
+            )
         definition = CAMPAIGNS[self.campaign]
         if (
             self.dataset or self.scenario or self.estimator
@@ -366,6 +375,7 @@ class CampaignOutcome:
             "scale": self.spec.scale,
             "oracle": self.spec.oracle,
             "workers": self.spec.workers,
+            "executor": self.spec.executor,
             "dataset": self.spec.dataset,
             "scenario": self.spec.scenario,
             "estimator": self.spec.estimator,
@@ -422,7 +432,11 @@ def run_campaign(
 
     start = perf_counter()
     results = run_trials(
-        definition.trial_fn, specs, workers=spec.workers, progress=record
+        definition.trial_fn,
+        specs,
+        workers=spec.workers,
+        progress=record,
+        executor=spec.executor,
     )
     elapsed = perf_counter() - start
     outcome = CampaignOutcome(

@@ -1,10 +1,24 @@
-"""Process-sharded trial execution with a deterministic merge.
+"""Sharded trial execution (processes or threads) with a deterministic merge.
 
 The executor takes a list of :class:`~repro.runner.spec.TrialSpec` and a
 top-level *trial function* ``fn(spec, cache) -> payload`` and runs every
 trial, either inline (``workers=1`` — the serial path is the degenerate
 single-shard case of the same code) or sharded across a
-``concurrent.futures.ProcessPoolExecutor``.
+``concurrent.futures`` pool. Two shard executors share one partition,
+merge, and fault model:
+
+* ``executor="process"`` — a ``ProcessPoolExecutor``: true parallelism
+  whatever kernel is active, at the cost of pickling specs (with their
+  embedded experiments/packed words) into workers and pool start-up.
+* ``executor="thread"`` — a ``ThreadPoolExecutor``: shards run in the
+  parent interpreter and share its packed observation words and
+  group-level fit workspaces **zero-copy** (nothing is pickled, no
+  processes fork). Real speedup requires the hot kernel loops to release
+  the GIL — i.e. the compiled numba kernel
+  (:mod:`repro.model.kernels`); under the pure-numpy kernel thread
+  shards mostly serialise on the GIL.
+* ``executor="auto"`` — thread when the active kernel releases the GIL,
+  process otherwise.
 
 Three properties the experiment drivers rely on:
 
@@ -29,7 +43,11 @@ from __future__ import annotations
 
 import os
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -63,6 +81,30 @@ class ShardReport:
             f"{len(self.trials)} trial(s) in {self.elapsed:.2f}s "
             f"(pid {self.worker_pid})"
         )
+
+
+#: Recognised shard-executor modes.
+EXECUTORS = ("auto", "thread", "process")
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Normalise an ``executor`` request to ``"thread"`` or ``"process"``.
+
+    ``"auto"`` (or ``None``) picks threads exactly when the active
+    frequency kernel runs its hot loops without the GIL (the compiled
+    numba kernel), because only then do thread shards actually overlap;
+    otherwise it picks processes. Either resolution is bit-identical —
+    the choice is purely a wall-clock/memory trade.
+    """
+    if executor is None or executor == "auto":
+        from repro.model.kernels import active_kernel
+
+        return "thread" if active_kernel().releases_gil else "process"
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {list(EXECUTORS)}"
+        )
+    return executor
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -148,7 +190,7 @@ def _run_shard(trial_fn: TrialFn, shard: int, specs: List[TrialSpec]) -> _ShardO
     return outcome
 
 
-def _abort_pool(pool: ProcessPoolExecutor) -> None:
+def _abort_pool(pool) -> None:
     """Shut the pool down and kill its in-flight worker processes.
 
     ``shutdown(cancel_futures=True)`` only cancels *unstarted* shards; a
@@ -157,7 +199,9 @@ def _abort_pool(pool: ProcessPoolExecutor) -> None:
     interpreter waiting on it at exit) until the trial finished on its
     own. There is no public API for terminating workers, so snapshot the
     executor's process table *before* shutdown clears it, then SIGTERM
-    the survivors.
+    the survivors. Thread pools have no process table (and threads cannot
+    be killed): for them this only cancels unstarted shards — an
+    in-flight thread shard runs to completion in the background.
     """
     processes = dict(getattr(pool, "_processes", None) or {})
     pool.shutdown(wait=False, cancel_futures=True)
@@ -188,6 +232,7 @@ def run_trials(
     workers: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
     timeout: Optional[float] = None,
+    executor: Optional[str] = "process",
 ) -> List[TrialResult]:
     """Execute every trial and merge results in canonical sweep order.
 
@@ -195,23 +240,33 @@ def run_trials(
     ----------
     trial_fn:
         Top-level function ``(spec, cache) -> payload``; must be
-        importable by name (picklable) when ``workers > 1``.
+        importable by name (picklable) when ``workers > 1`` on the
+        process executor. Thread shards call it directly.
     specs:
         The sweep's trials; ``spec.index`` values must be distinct.
     workers:
         Shard count: ``1`` runs inline (serial), ``None``/``0`` uses all
-        local CPUs, ``N`` uses at most N processes.
+        local CPUs, ``N`` uses at most N workers.
     progress:
         Called with a :class:`ShardReport` as each shard completes.
     timeout:
         Overall wall-clock bound in seconds; on expiry the pool is torn
         down and a :class:`TrialError` lists the unfinished shards.
+        Process shards are SIGTERMed; a hung *thread* shard cannot be
+        killed and runs to completion in the background after the error
+        is raised.
+    executor:
+        ``"process"`` (default) shards across a process pool,
+        ``"thread"`` across threads in this interpreter — zero-copy: no
+        spec/observation pickling, no fork start-up — and ``"auto"``
+        picks threads exactly when the active frequency kernel releases
+        the GIL (see :func:`resolve_executor`).
 
     Returns
     -------
     list of :class:`TrialResult`, sorted by ``spec.index`` — the same list
-    whatever the shard layout, because trials are pure functions of their
-    specs.
+    whatever the shard layout or executor, because trials are pure
+    functions of their specs.
     """
     specs = list(specs)
     if not specs:
@@ -219,6 +274,7 @@ def run_trials(
     by_index = {spec.index: spec for spec in specs}
     if len(by_index) != len(specs):
         raise ValueError("trial spec indices must be distinct")
+    mode = resolve_executor(executor)
     shards = partition_specs(specs, resolve_workers(workers))
     if len(shards) == 1 or resolve_workers(workers) == 1:
         outcomes = []
@@ -230,9 +286,18 @@ def run_trials(
         return _merge(outcomes, specs, by_index)
 
     outcomes = []
-    with ProcessPoolExecutor(
-        max_workers=len(shards), mp_context=_pool_context()
-    ) as pool:
+    if mode == "thread":
+        pool = ThreadPoolExecutor(max_workers=len(shards))
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_pool_context()
+        )
+    # Not a ``with`` block: ``Executor.__exit__`` joins workers, and a
+    # thread shard cannot be killed — a hung trial would block the abort
+    # path's TrialError behind its own join. Errors shut down without
+    # waiting (abandoned thread shards finish in the background); the
+    # success path still waits so no worker outlives its sweep.
+    try:
         futures = {
             pool.submit(_run_shard, trial_fn, shard_index, shard): (
                 shard_index,
@@ -287,6 +352,10 @@ def run_trials(
                 f"sweep timed out after {timeout}s; unfinished trials: "
                 + "; ".join(stuck)
             ) from None
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     return _merge(outcomes, specs, by_index)
 
 

@@ -108,6 +108,7 @@ def checkpoint_state(engine: StreamingEstimator) -> dict:
         "workload_limit": engine.workload_limit,
         "max_windows": engine.max_windows,
         "max_alerts": engine.max_alerts,
+        "kernel": engine.kernel,
         "num_paths": engine.buffer.num_paths,
         "num_links": engine.network.num_links,
         "estimator": engine.estimator.name,
@@ -216,6 +217,7 @@ def restore_engine(
         max_windows=None if max_windows is None else int(max_windows),
         max_alerts=None if max_alerts is None else int(max_alerts),
         ring=ring,
+        kernel=state.get("kernel"),
     )
     if engine.estimator.name != state.get("estimator"):
         raise EstimationError(

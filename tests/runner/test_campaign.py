@@ -118,3 +118,44 @@ def test_write_outcome(scaling_outcome, tmp_path):
     for shard in payload["shards"]:
         assert shard["trials"]
         assert shard["elapsed_s"] >= 0.0
+
+
+def test_spec_executor_validation():
+    assert CampaignSpec(campaign="scaling").executor == "auto"
+    for mode in ("auto", "thread", "process"):
+        assert CampaignSpec(campaign="scaling", executor=mode).executor == mode
+    with pytest.raises(ValueError, match="unknown executor"):
+        CampaignSpec(campaign="scaling", executor="greenlet")
+
+
+def test_load_spec_with_executor(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(
+        json.dumps({"campaign": "scaling", "workers": 2, "executor": "thread"})
+    )
+    assert load_campaign_spec(path).executor == "thread"
+
+
+def test_thread_campaign_matches_process_campaign():
+    thread = run_campaign(
+        CampaignSpec(campaign="scaling", scale="tiny", workers=2, executor="thread")
+    )
+    process = run_campaign(
+        CampaignSpec(campaign="scaling", scale="tiny", workers=2, executor="process")
+    )
+
+    def stable(outcome):
+        # Everything but each point's own wall clock is deterministic.
+        return [
+            {key: value for key, value in row.items() if key != "seconds"}
+            for row in outcome.replicates[0].summary["rows"]
+        ]
+
+    assert stable(thread) == stable(process)
+
+
+def test_outcome_json_records_executor(scaling_outcome, tmp_path):
+    payload = json.loads(
+        write_outcome(scaling_outcome, tmp_path / "results").read_text()
+    )
+    assert payload["executor"] == scaling_outcome.spec.executor

@@ -220,3 +220,42 @@ def test_restore_validates_structure(setup, tmp_path):
     wrong_links = dict(state, num_links=state["num_links"] + 1)
     with pytest.raises(EstimationError):
         restore_engine(wrong_links, network)
+
+
+def test_checkpoint_preserves_kernel_pin(setup, tmp_path):
+    network, dense = setup
+    engine = StreamingEstimator(
+        network,
+        CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0)),
+        window=150,
+        stride=70,
+        kernel="numpy",
+    )
+    engine.ingest(dense[:300])
+    path = save_checkpoint(engine, tmp_path / "pinned.json")
+    restored = restore_engine(
+        path,
+        network,
+        estimator=CorrelationCompleteEstimator(
+            EstimatorConfig(pruning_tolerance=0.0)
+        ),
+    )
+    assert restored.kernel == "numpy"
+    # An unpinned engine round-trips as unpinned.
+    free = _engine(network, with_alerts=False)
+    free.ingest(dense[:300])
+    path = save_checkpoint(free, tmp_path / "free.json")
+    restored = restore_engine(
+        path,
+        network,
+        estimator=CorrelationCompleteEstimator(
+            EstimatorConfig(pruning_tolerance=0.0)
+        ),
+    )
+    assert restored.kernel is None
+
+
+def test_engine_rejects_unknown_kernel(setup):
+    network, _ = setup
+    with pytest.raises(ValueError, match="unknown kernel"):
+        StreamingEstimator(network, window=16, kernel="simd")

@@ -46,6 +46,51 @@ def test_serial_benchmarks_unaffected_by_core_count():
     assert _row(rows, "bench::test_x")[4] == ""
 
 
+def test_kernel_mismatch_reported_not_gated():
+    baseline = {"bench::test_x": {"mean_s": 1.0, "kernel": "numpy"}}
+    current = {"bench::test_x": {"mean_s": 10.0, "kernel": "numba"}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=8)
+    name, base_s, cur_s, ratio, note = _row(rows, "bench::test_x")
+    assert note == "kernel: numpy vs numba"
+    assert ratio is None
+
+
+def test_missing_baseline_kernel_means_numpy():
+    # Pre-kernel-field baselines gate normally against a numpy run.
+    baseline = {"bench::test_x": {"mean_s": 1.0}}
+    current = {"bench::test_x": {"mean_s": 2.0, "kernel": "numpy"}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=8)
+    assert _row(rows, "bench::test_x")[4] == "REGRESSION"
+    # ... but mismatch against a numba run.
+    current = {"bench::test_x": {"mean_s": 2.0, "kernel": "numba"}}
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=8)
+    assert _row(rows, "bench::test_x")[4] == "kernel: numpy vs numba"
+
+
+def test_active_kernel_name_resolves():
+    assert compare_baseline.active_kernel_name() in ("numpy", "numba")
+
+
+def test_load_current_stamps_kernel(tmp_path):
+    import json
+
+    raw = {
+        "benchmarks": [
+            {
+                "fullname": "bench::test_x",
+                "group": "g",
+                "stats": {"mean": 1.0, "min": 0.9},
+            }
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(raw))
+    current = compare_baseline.load_current(path)
+    assert current["bench::test_x"]["kernel"] == (
+        compare_baseline.active_kernel_name()
+    )
+
+
 def test_skipped_rows_render_everywhere():
     baseline = {"bench::test_sweep_workers4": {"mean_s": 1.0}}
     current = {"bench::test_sweep_workers4": {"mean_s": 10.0}}
