@@ -20,6 +20,13 @@ When ``$GITHUB_STEP_SUMMARY`` is set (as it is in GitHub Actions), the
 same comparison is appended there as a Markdown table, so the timing
 deltas show up on the workflow run page; ``--markdown PATH`` writes the
 table to an explicit file instead.
+
+``--telemetry PATH`` points at the span-event JSONL the obs benchmarks
+drop (``bench_telemetry.jsonl``, written when they run under
+``REPRO_OBS=trace``). With ``--update`` the per-span self-time aggregate
+is committed alongside the timings; on a gate failure the top regressed
+spans (largest self-time growth vs that committed aggregate) are printed
+so the table's "what regressed" has a "where" attached.
 """
 
 from __future__ import annotations
@@ -89,7 +96,69 @@ def load_current(path: Path) -> dict:
     }
 
 
-def update_baseline(current: dict, raw_path: Path) -> None:
+def aggregate_telemetry(path: Path) -> dict:
+    """Per-span aggregate from a span-event JSONL trace.
+
+    Returns ``{name: {"count", "total_s", "self_s"}}`` where ``self_s``
+    is wall time minus the time spent in child spans (clamped at zero —
+    concurrent children can sum past their parent). Standalone
+    reimplementation of :func:`repro.obs.aggregate_spans` so this script
+    keeps working without the package on ``sys.path``.
+    """
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("type") == "span":
+                spans.append(event)
+    child_time: dict = {}
+    for event in spans:
+        parent = event.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + event["dur"]
+    aggregate: dict = {}
+    for event in spans:
+        entry = aggregate.setdefault(
+            event["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += event["dur"]
+        entry["self_s"] += max(event["dur"] - child_time.get(event["id"], 0.0), 0.0)
+    return aggregate
+
+
+def top_regressed_spans(baseline_spans: dict, current_spans: dict, limit: int = 3):
+    """Spans whose self-time grew, largest absolute growth first.
+
+    Rows are ``(name, base_self_s, cur_self_s, delta_s)``; spans absent
+    from the baseline aggregate are skipped (there is nothing to
+    regress against).
+    """
+    rows = []
+    for name, current in current_spans.items():
+        base = baseline_spans.get(name)
+        if base is None:
+            continue
+        delta = current["self_s"] - base["self_s"]
+        if delta > 0:
+            rows.append((name, base["self_s"], current["self_s"], delta))
+    rows.sort(key=lambda row: row[3], reverse=True)
+    return rows[:limit]
+
+
+def render_span_regressions(rows: list) -> str:
+    lines = ["top regressed spans (self-time vs committed aggregate):"]
+    for name, base_s, cur_s, delta in rows:
+        lines.append(
+            f"  {name}: {base_s:.3f}s -> {cur_s:.3f}s (+{delta:.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+def update_baseline(current: dict, raw_path: Path, spans: dict = None) -> None:
     raw = json.loads(raw_path.read_text())
     snapshot = {
         "note": (
@@ -110,6 +179,15 @@ def update_baseline(current: dict, raw_path: Path) -> None:
             for name, stats in current.items()
         },
     }
+    if spans:
+        snapshot["spans"] = {
+            name: {
+                "count": entry["count"],
+                "total_s": round(entry["total_s"], 4),
+                "self_s": round(entry["self_s"], 4),
+            }
+            for name, entry in sorted(spans.items())
+        }
     BASELINE_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     print(f"baseline updated: {BASELINE_PATH}")
 
@@ -228,14 +306,26 @@ def main(argv=None) -> int:
         help="append a Markdown comparison table to this file "
         "(default: $GITHUB_STEP_SUMMARY when set)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        help="span-event JSONL from the obs benchmarks "
+        "(bench_telemetry.jsonl); committed with --update, used to name "
+        "the top regressed spans on a gate failure",
+    )
     args = parser.parse_args(argv)
 
     current = load_current(args.current)
+    telemetry = None
+    if args.telemetry is not None and args.telemetry.exists():
+        telemetry = aggregate_telemetry(args.telemetry)
     if args.update:
-        update_baseline(current, args.current)
+        update_baseline(current, args.current, spans=telemetry)
         return 0
 
-    baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    baseline = baseline_doc["benchmarks"]
     rows = compare(baseline, current, args.threshold)
     print(render_text(rows))
 
@@ -249,6 +339,11 @@ def main(argv=None) -> int:
     regressions = [name for name, *_, note in rows if note == "REGRESSION"]
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond {args.threshold}x")
+        if telemetry is not None and baseline_doc.get("spans"):
+            regressed = top_regressed_spans(baseline_doc["spans"], telemetry)
+            if regressed:
+                print()
+                print(render_span_regressions(regressed))
         return 1
     print("\nno regressions beyond threshold")
     return 0

@@ -1,0 +1,160 @@
+"""Telemetry tour: watching a streaming monitor through ``repro.obs``.
+
+A guided pass over the observability layer using the flash-crowd
+monitoring scenario from ``examples/live_monitoring.py`` as the
+workload. Everything shown here also works on campaigns
+(``repro-tomography campaign ... `` drops ``telemetry.jsonl`` plus a
+metrics snapshot next to its result JSON when ``REPRO_OBS`` is set).
+
+The tour:
+
+1. turn on full tracing programmatically (``use_mode``) — the
+   environment equivalent is ``REPRO_OBS=trace`` with an optional
+   ``REPRO_OBS_TRACE=/path/to/telemetry.jsonl`` sink;
+2. stream a day of probe rounds through a :class:`StreamingEstimator`
+   with alerting, exactly as a live monitor would;
+3. read the metrics registry back: ingest rate, ring occupancy, refit
+   latency quantiles (p50/p99), alert transitions, frequency-cache and
+   kernel traffic — then export the same data as Prometheus text;
+4. render the span trace as a flame-style tree and reconcile it with
+   the per-stage timings the fit reports carry.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import EstimatorConfig, generate_brite_network, obs
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.probability.windowed import peer_link_members
+from repro.simulation.congestion import NonStationaryModel, build_congestion_model
+from repro.simulation.probing import PathProber, StreamingProber
+from repro.streaming import AlertManager, AlertPolicy, StreamingEstimator
+from repro.topology.brite import BriteConfig
+
+
+def build_workload():
+    """The live-monitoring scenario: a flash crowd hitting one peer."""
+    network = generate_brite_network(
+        BriteConfig(
+            num_ases=12,
+            as_attachment=2,
+            routers_per_as=4,
+            inter_as_links=2,
+            num_vantage_points=4,
+            num_destinations=50,
+            num_paths=160,
+        ),
+        random_state=41,
+    )
+    members = peer_link_members(network)
+    victim_asn, victim_links = max(members.items(), key=lambda kv: len(kv[1]))
+    background = [e for e in range(network.num_links) if e not in victim_links][:6]
+    quiet = build_congestion_model(
+        network,
+        {**{e: 0.05 for e in victim_links}, **{e: 0.2 for e in background}},
+    )
+    flash_crowd = build_congestion_model(
+        network,
+        {**{e: 0.7 for e in victim_links}, **{e: 0.2 for e in background}},
+    )
+    truth = NonStationaryModel([(quiet, 160), (flash_crowd, 160), (quiet, 160)])
+    return network, truth, victim_asn
+
+
+def main() -> None:
+    trace_path = Path(tempfile.gettempdir()) / "telemetry_tour.jsonl"
+    trace_path.unlink(missing_ok=True)
+    network, truth, victim_asn = build_workload()
+
+    # 1. Full tracing, scoped: metrics collect in the process registry
+    #    and every span appends one JSONL event to the sink.
+    with obs.use_mode("trace", trace_path):
+        source = StreamingProber(
+            network,
+            truth,
+            prober=PathProber(num_packets=1500),
+            chunk_intervals=16,
+        )
+        engine = StreamingEstimator(
+            network,
+            CorrelationCompleteEstimator(EstimatorConfig(seed=44)),
+            window=80,
+            alert_manager=AlertManager(
+                network,
+                AlertPolicy(peer_high=0.5, peer_low=0.35, link_shift=0.25),
+            ),
+        )
+
+        # 2. The monitoring loop. Instrumentation rides along: every
+        #    ingest bumps the interval counter and ring-occupancy gauge,
+        #    every refit lands in a latency histogram and a span.
+        print(f"Streaming {480} probe rounds (flash crowd mid-run)...")
+        for chunk in source.rounds(480, random_state=43):
+            engine.ingest(chunk)
+        obs.flush()
+
+    print(
+        f"{engine.refits} refits, {len(engine.alerts)} alerts "
+        f"(victim peer AS{victim_asn})\n"
+    )
+
+    # 3. The metrics registry, three ways.
+    snapshot = obs.global_registry().snapshot()
+    print("=== human summary (repro-tomography obs summary) ===")
+    print(obs.render_summary(snapshot))
+
+    print("=== Prometheus exposition, streaming families only ===")
+    for line in obs.render_prometheus(snapshot).splitlines():
+        if "repro_streaming" in line:
+            print(line)
+    print()
+
+    refit_hist = next(
+        payload
+        for name, _labels, payload in snapshot["histograms"]
+        if name == "repro_streaming_refit_seconds"
+    )
+    buckets = snapshot["families"]["repro_streaming_refit_seconds"]["buckets"]
+    p50 = obs.quantile_from_counts(buckets, refit_hist["counts"], 0.50)
+    p99 = obs.quantile_from_counts(buckets, refit_hist["counts"], 0.99)
+    print(f"refit latency: p50 ~{p50 * 1e3:.1f}ms, p99 ~{p99 * 1e3:.1f}ms\n")
+
+    # 4. The span trace: one tree per refit, stages nested inside fits.
+    events = obs.load_events(trace_path)
+    problems = obs.validate_events(events)
+    print(
+        f"=== span trace ({len(events)} events, "
+        f"{'valid' if not problems else 'INVALID'}) ==="
+    )
+    refits = [e for e in events if e["name"] == "streaming.refit"]
+    # Render just the first refit's subtree (its fit and stages).
+    wanted = {refits[0]["id"]}
+    grew = True
+    while grew:
+        grew = False
+        for e in events:
+            if e.get("parent") in wanted and e["id"] not in wanted:
+                wanted.add(e["id"])
+                grew = True
+    subtree = [e for e in events if e["id"] in wanted]
+    print(obs.render_tree(subtree))
+    print(f"(full trace: repro-tomography obs spans {trace_path} --tree)")
+
+    totals = obs.aggregate_spans(events)
+    heaviest = sorted(
+        totals.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+    )[:3]
+    print("\nheaviest spans by self-time:")
+    for name, entry in heaviest:
+        print(
+            f"  {name}: {entry['self_s']:.3f}s self over "
+            f"{int(entry['count'])} span(s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ Usage::
     repro-tomography scenarios list|info NAME
     repro-tomography estimators list|info NAME
     repro-tomography kernels list [--bench] | info NAME
+    repro-tomography obs summary [--snapshot FILE]
+    repro-tomography obs export [--format prom|json] [--snapshot FILE]
+    repro-tomography obs spans TRACE.jsonl [--tree] [--validate]
     repro-tomography monitor [--scale SCALE] [--seed N] [--oracle]
                              [--dataset NAME] [--scenario NAME]
                              [--estimator NAME] [--kernel K]
@@ -40,7 +43,12 @@ scenario, and estimator, restrictable with
 ``--dataset``/``--scenario``/``--estimator`` (comma-separated names from
 ``datasets list`` / ``scenarios list`` / ``estimators list``).
 ``kernels`` inspects the frequency-kernel registry (numpy / optional
-compiled numba) and the active selection (``REPRO_KERNEL``).
+compiled numba) and the active selection (``REPRO_KERNEL``). ``obs``
+inspects the telemetry layer (``REPRO_OBS=off|metrics|trace``): a human
+metrics summary, Prometheus/JSON export, and span-trace rendering or
+validation; campaign runs under ``REPRO_OBS=trace`` drop a
+``telemetry.jsonl`` (and a metrics snapshot) next to their ``--output``
+results.
 """
 
 from __future__ import annotations
@@ -230,6 +238,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bench",
         action="store_true",
         help="micro-benchmark each available kernel (list only)",
+    )
+    sub = subparsers.add_parser(
+        "obs",
+        help="inspect telemetry: metrics summary/export and span traces",
+    )
+    sub.add_argument(
+        "action",
+        choices=("summary", "export", "spans"),
+        help="summarise the metrics registry, export it, or read a span "
+        "trace",
+    )
+    sub.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="span-event JSONL file (spans action)",
+    )
+    sub.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        dest="obs_format",
+        help="export format: Prometheus text exposition or JSON snapshot",
+    )
+    sub.add_argument(
+        "--snapshot",
+        type=str,
+        default=None,
+        help="read metrics from this snapshot JSON file instead of the "
+        "live registry",
+    )
+    sub.add_argument(
+        "--tree",
+        action="store_true",
+        help="render the trace as a flame-style tree (spans action)",
+    )
+    sub.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the trace and exit non-zero on errors "
+        "(spans action)",
     )
     sub = subparsers.add_parser(
         "monitor",
@@ -425,6 +474,14 @@ def _run_campaign(args: argparse.Namespace) -> None:
         f"{spec.replicates} replicate(s), "
         f"workers={'auto' if spec.workers is None else spec.workers}"
     )
+    # Route span events next to the campaign's results (REPRO_OBS_TRACE
+    # still wins); write_outcome drops the metrics snapshot there too.
+    from repro import obs
+
+    if obs.trace_enabled() and spec.output:
+        from pathlib import Path
+
+        obs.set_default_trace_path(Path(spec.output) / "telemetry.jsonl")
     outcome = run_campaign(spec, progress=lambda report: print(report.describe()))
     print(
         f"{outcome.num_trials} trial(s) across {len(outcome.shards)} shard(s) "
@@ -437,6 +494,10 @@ def _run_campaign(args: argparse.Namespace) -> None:
     if spec.output:
         path = write_outcome(outcome, spec.output)
         print(f"\nresults written to {path}")
+        if obs.metrics_enabled():
+            print(f"metrics snapshot: {path.with_name(path.stem + '_metrics.json')}")
+        if obs.trace_enabled():
+            print(f"span trace: {obs.trace_path()}")
 
 
 def _print_datasets(args: argparse.Namespace) -> int:
@@ -636,6 +697,50 @@ def _print_kernels(args: argparse.Namespace) -> None:
         print(f"  available: no ({kernel.unavailable_reason()})")
 
 
+def _print_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+
+    if args.action == "spans":
+        if not args.trace:
+            raise SystemExit("obs spans: provide a span-trace JSONL file")
+        try:
+            events = obs.load_events(args.trace)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        status = 0
+        if args.validate:
+            errors = obs.validate_events(events)
+            if errors:
+                for error in errors:
+                    print(f"INVALID {args.trace}: {error}")
+                status = 1
+            else:
+                print(f"{args.trace}: {len(events)} event(s), schema valid")
+        if args.tree or not args.validate:
+            print(obs.render_tree(events), end="")
+        return status
+
+    if args.snapshot:
+        try:
+            snapshot = _json.loads(open(args.snapshot).read())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"obs: cannot read snapshot: {exc}") from None
+    else:
+        snapshot = obs.global_registry().snapshot()
+    if args.action == "summary":
+        print(f"telemetry mode: {obs.mode()} (env {obs.MODE_ENV})")
+        print(f"declared metric families: {len(obs.FAMILIES)}")
+        print(obs.render_summary(snapshot), end="")
+        return 0
+    if args.obs_format == "json":
+        print(obs.render_json(snapshot))
+    else:
+        print(obs.render_prometheus(snapshot), end="")
+    return 0
+
+
 def _run_monitor(args: argparse.Namespace) -> None:
     from repro.probability.base import EstimatorConfig
     from repro.probability.windowed import peer_link_members
@@ -730,6 +835,17 @@ def _run_monitor(args: argparse.Namespace) -> None:
     if args.checkpoint:
         path = save_checkpoint(engine, args.checkpoint)
         print(f"engine state checkpointed to {path}")
+    from repro import obs
+
+    if obs.metrics_enabled():
+        snapshot_path = obs.trace_path().with_suffix(".metrics.json")
+        snapshot_path.write_text(
+            obs.render_json(obs.global_registry().snapshot()) + "\n"
+        )
+        print(f"metrics snapshot: {snapshot_path}")
+    if obs.trace_enabled():
+        obs.flush()
+        print(f"span trace: {obs.trace_path()}")
 
 
 def _print_ablation(args: argparse.Namespace) -> None:
@@ -769,6 +885,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_estimators(args)
     elif args.command == "kernels":
         _print_kernels(args)
+    elif args.command == "obs":
+        return _print_obs(args)
     elif args.command == "monitor":
         _run_monitor(args)
     return 0

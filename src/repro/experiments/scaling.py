@@ -24,7 +24,7 @@ from repro.simulation.probing import PathProber
 from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
 from repro.topology.brite import generate_brite_network
 from repro.util.rng import spawn_seeds
-from repro.util.timer import Timer
+from repro.obs.timer import Timer
 
 
 @dataclass

@@ -37,6 +37,27 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.model import kernels
+from repro.obs import counter, histogram, metrics_enabled
+
+# Kernel-dispatch telemetry (REPRO_OBS=metrics|trace). Batch-size buckets
+# are set counts, not seconds: the gather kernel's cost profile is driven
+# by how many path sets one invocation carries.
+_KERNEL_CALLS = counter(
+    "repro_kernel_calls_total",
+    "Frequency-kernel invocations by kernel and operation.",
+    ["kernel", "op"],
+)
+_KERNEL_WORDS = counter(
+    "repro_kernel_words_total",
+    "uint64 words gathered/scanned by the frequency kernels.",
+    ["kernel", "op"],
+)
+_KERNEL_BATCH_SETS = histogram(
+    "repro_kernel_batch_path_sets",
+    "Path sets per batched union-popcount invocation.",
+    ["kernel"],
+    buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536],
+)
 
 #: Intervals per storage word.
 WORD_BITS = 64
@@ -171,7 +192,11 @@ class PackedBackend:
 
     def congestion_counts(self) -> np.ndarray:
         """Per-path congested-interval counts, shape (num_paths,)."""
-        return kernels.active_kernel().congestion_counts(self.words)
+        kernel = kernels.active_kernel()
+        if metrics_enabled():
+            _KERNEL_CALLS.inc(kernel=kernel.name, op="congestion_counts")
+            _KERNEL_WORDS.inc(float(self.words.size), kernel=kernel.name, op="congestion_counts")
+        return kernel.congestion_counts(self.words)
 
     def all_good_counts(self, path_sets: Sequence[Sequence[int]]) -> np.ndarray:
         """Batched Eq. 1 numerator: all-good interval counts per path set.
@@ -203,7 +228,18 @@ class PackedBackend:
         for i, m in enumerate(members):
             indices[i, : len(m)] = m
             lengths[i] = len(m)
-        counts = kernels.active_kernel().union_popcounts(
+        kernel = kernels.active_kernel()
+        if metrics_enabled():
+            _KERNEL_CALLS.inc(kernel=kernel.name, op="union_popcounts")
+            # Words gathered: every member row contributes its word columns
+            # to the union.
+            _KERNEL_WORDS.inc(
+                float(int(lengths.sum()) * self.words.shape[1]),
+                kernel=kernel.name,
+                op="union_popcounts",
+            )
+            _KERNEL_BATCH_SETS.observe(float(num_sets), kernel=kernel.name)
+        counts = kernel.union_popcounts(
             self.words, indices, lengths, self._kernel_scratch
         )
         return total - counts

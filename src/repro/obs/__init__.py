@@ -1,0 +1,123 @@
+"""`repro.obs` — zero-dependency telemetry: metrics, spans, exposition.
+
+The observability layer for the whole package, switched by
+``REPRO_OBS=off|metrics|trace``:
+
+* **Metrics** (:mod:`repro.obs.registry`): process-wide counter /
+  gauge / histogram families with fixed-bucket quantile estimation,
+  exportable as Prometheus text or a JSON snapshot
+  (:mod:`repro.obs.exposition`). Shard workers capture their updates
+  into local registries that merge deterministically into the parent.
+* **Spans** (:mod:`repro.obs.span`): timed scopes emitted as JSONL
+  events with monotonic timestamps, span ids, and parent links that
+  survive thread and process boundaries; rendered as a flame-style
+  tree by :mod:`repro.obs.render` and the ``repro-tomography obs``
+  CLI.
+* **Timer** (:mod:`repro.obs.timer`): the bare wall-clock primitive
+  (formerly ``repro.util.timer``).
+
+This package imports nothing from the rest of ``repro`` — every other
+layer imports it, so it must stand alone.
+"""
+
+from repro.obs.config import (
+    METRICS,
+    MODE_ENV,
+    MODES,
+    OFF,
+    TRACE,
+    TRACE_PATH_ENV,
+    apply_runtime_config,
+    configure,
+    metrics_enabled,
+    mode,
+    reset,
+    runtime_config,
+    set_default_trace_path,
+    trace_enabled,
+    trace_path,
+    use_mode,
+)
+from repro.obs.exposition import render_json, render_prometheus, render_summary
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    FAMILIES,
+    LocalCounters,
+    MetricsRegistry,
+    bump_local,
+    capture_metrics,
+    counter,
+    gauge,
+    global_registry,
+    histogram,
+    local_counters,
+    merge_snapshot,
+    quantile_from_counts,
+    registry,
+)
+from repro.obs.render import (
+    aggregate_spans,
+    build_tree,
+    load_events,
+    render_tree,
+    stage_durations,
+    validate_events,
+)
+from repro.obs.span import (
+    Span,
+    current_span_id,
+    event,
+    flush,
+    parent_scope,
+    span,
+)
+from repro.obs.timer import Timer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "FAMILIES",
+    "LocalCounters",
+    "METRICS",
+    "MODE_ENV",
+    "MODES",
+    "MetricsRegistry",
+    "OFF",
+    "Span",
+    "TRACE",
+    "TRACE_PATH_ENV",
+    "Timer",
+    "aggregate_spans",
+    "apply_runtime_config",
+    "build_tree",
+    "bump_local",
+    "capture_metrics",
+    "configure",
+    "counter",
+    "current_span_id",
+    "event",
+    "flush",
+    "gauge",
+    "global_registry",
+    "histogram",
+    "load_events",
+    "local_counters",
+    "merge_snapshot",
+    "metrics_enabled",
+    "mode",
+    "parent_scope",
+    "quantile_from_counts",
+    "registry",
+    "render_json",
+    "render_prometheus",
+    "render_summary",
+    "render_tree",
+    "reset",
+    "runtime_config",
+    "set_default_trace_path",
+    "span",
+    "stage_durations",
+    "trace_enabled",
+    "trace_path",
+    "use_mode",
+    "validate_events",
+]

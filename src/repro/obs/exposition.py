@@ -1,0 +1,163 @@
+"""Render a metrics snapshot as Prometheus text or a human summary.
+
+Both renderers work from the picklable dict produced by
+``MetricsRegistry.snapshot()`` — they never touch live registries, so
+the same code formats the in-process registry, a shard's shipped
+snapshot, and a ``metrics.json`` file loaded from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.registry import FAMILIES, quantile_from_counts
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _snapshot_families(snapshot: dict) -> Dict[str, dict]:
+    """Family metadata: the snapshot's own, else the live declarations.
+
+    Snapshots written by this code carry their families; for bare dicts
+    (hand-built in tests) fall back to the process declarations.
+    """
+    families = snapshot.get("families")
+    if families:
+        return families
+    return {
+        name: {
+            "kind": spec.kind,
+            "help": spec.help,
+            "labels": list(spec.labels),
+            "buckets": list(spec.buckets) if spec.buckets else None,
+        }
+        for name, spec in sorted(FAMILIES.items())
+    }
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (format version 0.0.4).
+
+    Every declared family appears — with ``# HELP`` / ``# TYPE``
+    headers even at zero samples — so a scrape documents the full
+    metric surface of the loaded code, not just what fired.
+    """
+    families = _snapshot_families(snapshot)
+    by_family: Dict[str, List[Tuple[List[str], object]]] = {name: [] for name in families}
+    for section in ("counters", "gauges"):
+        for name, label_values, value in snapshot.get(section, []):
+            by_family.setdefault(name, []).append((list(label_values), value))
+    for name, label_values, payload in snapshot.get("histograms", []):
+        by_family.setdefault(name, []).append((list(label_values), payload))
+
+    lines: List[str] = []
+    for name in sorted(by_family):
+        spec = families.get(
+            name, {"kind": "untyped", "help": "", "labels": [], "buckets": None}
+        )
+        kind = spec["kind"]
+        help_text = spec.get("help", "")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        label_names = spec.get("labels", [])
+        for label_values, value in by_family[name]:
+            if kind == "histogram":
+                payload = value
+                buckets = spec.get("buckets") or []
+                counts = payload["counts"]
+                cumulative = 0
+                for bound, count in zip(buckets, counts):
+                    cumulative += count
+                    le_labels = _labels_text(
+                        list(label_names) + ["le"],
+                        list(label_values) + [_format_value(float(bound))],
+                    )
+                    lines.append(f"{name}_bucket{le_labels} {cumulative}")
+                cumulative += counts[len(buckets)] if len(counts) > len(buckets) else 0
+                inf_labels = _labels_text(
+                    list(label_names) + ["le"], list(label_values) + ["+Inf"]
+                )
+                lines.append(f"{name}_bucket{inf_labels} {cumulative}")
+                plain = _labels_text(label_names, label_values)
+                lines.append(f"{name}_sum{plain} {_format_value(payload['sum'])}")
+                lines.append(f"{name}_count{plain} {cumulative}")
+            else:
+                labels = _labels_text(label_names, label_values)
+                lines.append(f"{name}{labels} {_format_value(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict, indent: int = 2) -> str:
+    """The snapshot as pretty-printed JSON (machine-consumable twin)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def render_summary(snapshot: dict) -> str:
+    """A terse human summary: non-zero series plus histogram quantiles."""
+    families = _snapshot_families(snapshot)
+    lines: List[str] = []
+    counters = snapshot.get("counters", [])
+    gauges = snapshot.get("gauges", [])
+    hists = snapshot.get("histograms", [])
+    if not (counters or gauges or hists):
+        return "no metrics recorded (is REPRO_OBS set?)\n"
+
+    def label_suffix(name: str, label_values: Sequence[str]) -> str:
+        names = families.get(name, {}).get("labels", [])
+        return _labels_text(names, list(label_values))
+
+    if counters:
+        lines.append("counters:")
+        for name, label_values, value in counters:
+            lines.append(
+                f"  {name}{label_suffix(name, label_values)} = "
+                f"{_format_value(float(value))}"
+            )
+    if gauges:
+        lines.append("gauges:")
+        for name, label_values, value in gauges:
+            lines.append(
+                f"  {name}{label_suffix(name, label_values)} = "
+                f"{_format_value(float(value))}"
+            )
+    if hists:
+        lines.append("histograms:")
+        for name, label_values, payload in hists:
+            buckets = families.get(name, {}).get("buckets") or []
+            counts = payload["counts"]
+            total = sum(counts)
+            mean = payload["sum"] / total if total else math.nan
+            p50 = quantile_from_counts(buckets, counts, 0.50)
+            p99 = quantile_from_counts(buckets, counts, 0.99)
+            lines.append(
+                f"  {name}{label_suffix(name, label_values)}: "
+                f"count={total} mean={mean:.6g} p50={p50:.6g} p99={p99:.6g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["render_json", "render_prometheus", "render_summary"]

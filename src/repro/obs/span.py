@@ -1,0 +1,232 @@
+"""Tracing spans: timed scopes emitted as structured JSONL events.
+
+A span is a timed ``with`` scope::
+
+    with span("pipeline.frequency", estimator=name) as sp:
+        ...
+    report.stage_seconds["frequency"] = sp.elapsed
+
+Spans always measure wall time (two ``perf_counter`` calls — the cost
+the code paid before this layer existed), because callers feed results
+such as ``FitReport.stage_seconds`` from ``sp.elapsed`` regardless of
+telemetry mode. Everything else is gated on ``REPRO_OBS=trace``: span
+ids, parent links, and the JSONL event appended to the trace sink at
+span exit.
+
+Event schema (one JSON object per line)::
+
+    {"type": "span", "name": str, "id": "pid:seq", "parent": str|null,
+     "pid": int, "t_start": float, "t_end": float, "dur": float,
+     "status": "ok"|"error", "attrs": {...}}
+
+Timestamps are ``time.monotonic()`` seconds — comparable within a
+machine boot (Linux's monotonic clock is system-wide), not wall-clock
+dates. Span ids embed the emitting process id, so ids stay unique when
+shard workers fork; parent links are plain id strings, so a child
+process's spans can parent to a span of the coordinating process. The
+parent link normally comes from the context-local span stack; workers
+that start with a fresh context adopt one explicitly via
+:func:`parent_scope`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import IO, Dict, Iterator, Optional, Tuple
+
+from repro.obs import config
+
+_span_seq = itertools.count(1)
+
+#: Context-local stack of open span ids (innermost last).
+_span_stack: ContextVar[Tuple[str, ...]] = ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
+_sink_lock = threading.Lock()
+_sink_file: Optional[IO[str]] = None
+_sink_path: Optional[Path] = None
+
+
+def _next_span_id() -> str:
+    return f"{os.getpid():x}:{next(_span_seq):x}"
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost open span id of this context (None outside spans
+    or when tracing is off)."""
+    stack = _span_stack.get()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def parent_scope(span_id: Optional[str]) -> Iterator[None]:
+    """Adopt ``span_id`` as the parent for spans opened in this scope.
+
+    Shard workers run in fresh contexts (worker threads and spawned
+    processes alike), so the runner passes the coordinator's campaign
+    span id across the executor boundary and re-roots the worker's
+    spans under it with this scope. A ``None`` id is a no-op.
+    """
+    if span_id is None:
+        yield
+        return
+    token = _span_stack.set((span_id,))
+    try:
+        yield
+    finally:
+        _span_stack.reset(token)
+
+
+def _emit(event: dict) -> None:
+    """Append one event line to the trace sink (created on first use)."""
+    global _sink_file, _sink_path
+    line = json.dumps(event, separators=(",", ":"), default=str)
+    path = config.trace_path()
+    with _sink_lock:
+        if _sink_file is None or _sink_path != path or _sink_file.closed:
+            if _sink_file is not None and not _sink_file.closed:
+                _sink_file.close()
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            # O_APPEND + single-write lines keep concurrent writers
+            # (forked shard workers share the sink path) from
+            # interleaving partial records.
+            _sink_file = open(path, "a", encoding="utf-8")
+            _sink_path = path
+        _sink_file.write(line + "\n")
+        _sink_file.flush()
+
+
+def flush() -> None:
+    """Flush and close the trace sink (reopened lazily on next emit)."""
+    global _sink_file
+    with _sink_lock:
+        if _sink_file is not None and not _sink_file.closed:
+            _sink_file.close()
+        _sink_file = None
+
+
+# Forked workers must not share the parent's file object offset cache;
+# drop the handle so the child reopens the sink on first emit.
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=lambda: flush())
+
+
+class Span:
+    """One timed scope; use via the :func:`span` factory."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "elapsed",
+        "_t0",
+        "_start_mono",
+        "_token",
+        "_traced",
+    )
+
+    def __init__(
+        self, name: str, parent_id: Optional[str], attrs: Dict[str, object]
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[str] = None
+        self.parent_id = parent_id
+        self.elapsed = 0.0
+        self._t0 = 0.0
+        self._start_mono = 0.0
+        self._token = None
+        self._traced = False
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        if config.trace_enabled():
+            self._traced = True
+            self.span_id = _next_span_id()
+            if self.parent_id is None:
+                self.parent_id = current_span_id()
+            self._token = _span_stack.set(_span_stack.get() + (self.span_id,))
+            self._start_mono = time.monotonic()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        if self._traced:
+            end_mono = time.monotonic()
+            if self._token is not None:
+                _span_stack.reset(self._token)
+                self._token = None
+            _emit(
+                {
+                    "type": "span",
+                    "name": self.name,
+                    "id": self.span_id,
+                    "parent": self.parent_id,
+                    "pid": os.getpid(),
+                    "t_start": self._start_mono,
+                    "t_end": end_mono,
+                    "dur": end_mono - self._start_mono,
+                    "status": "error" if exc_type is not None else "ok",
+                    "attrs": self.attrs,
+                }
+            )
+        return None
+
+
+def span(name: str, parent_id: Optional[str] = None, **attrs: object) -> Span:
+    """Open a timed scope named ``name`` with free-form attributes.
+
+    ``parent_id`` overrides the context-local parent link (used when a
+    span's logical parent lives in another process or thread).
+    """
+    return Span(name, parent_id, dict(attrs))
+
+
+def event(name: str, **attrs: object) -> None:
+    """Emit a point-in-time event (zero-duration record, trace mode only).
+
+    Used for lifecycle moments that are not scopes: worker start/stop,
+    alert transitions.
+    """
+    if not config.trace_enabled():
+        return
+    now = time.monotonic()
+    _emit(
+        {
+            "type": "event",
+            "name": name,
+            "id": _next_span_id(),
+            "parent": current_span_id(),
+            "pid": os.getpid(),
+            "t_start": now,
+            "t_end": now,
+            "dur": 0.0,
+            "status": "ok",
+            "attrs": attrs,
+        }
+    )
+
+
+__all__ = [
+    "Span",
+    "current_span_id",
+    "event",
+    "flush",
+    "parent_scope",
+    "span",
+]

@@ -319,7 +319,7 @@ class ProbabilityEstimator(ABC):
 
     def pipeline(self) -> EstimationPipeline:
         """This estimator's staged fit path."""
-        return EstimationPipeline(self._stages())
+        return EstimationPipeline(self._stages(), name=self.name)
 
     def stage_names(self) -> List[str]:
         """The estimator's pipeline stages, in execution order."""
@@ -351,10 +351,10 @@ class ProbabilityEstimator(ABC):
 
     def _stage_frequency(self, context: FitContext) -> None:
         """Bind the fit's frequency cache (cold unless a workspace injected
-        a warm one) and start per-fit hit/miss accounting."""
+        a warm one). Per-fit hit/miss accounting needs no snapshot here:
+        the pipeline's context-local counter scope collects it."""
         if context.frequency is None:
             context.frequency = FrequencyCache(context.observations)
-        context.begin_frequency_accounting()
 
     def _stage_solve(self, context: FitContext) -> None:
         """Bounded least squares in log domain (probabilities <= 1)."""

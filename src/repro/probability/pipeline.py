@@ -28,7 +28,6 @@ agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -47,6 +46,14 @@ from repro.exceptions import EstimationError
 from repro.linalg.system import EquationSystem, SystemWorkspace
 from repro.model.kernels import active_kernel
 from repro.model.status import ObservationMatrix
+from repro.obs import (
+    LocalCounters,
+    bump_local,
+    counter,
+    histogram,
+    local_counters,
+    span,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.linalg.system import Solution
@@ -54,6 +61,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.probability.query import CongestionProbabilityModel
     from repro.probability.subsets import SubsetIndex
     from repro.topology.graph import Network
+
+# Telemetry families of the estimation layer (collected under
+# REPRO_OBS=metrics|trace; declarations alone cost nothing).
+_FITS_TOTAL = counter(
+    "repro_pipeline_fits_total",
+    "Completed estimation pipeline fits.",
+    ["estimator"],
+)
+_STAGE_SECONDS = histogram(
+    "repro_pipeline_stage_seconds",
+    "Wall time per executed pipeline stage.",
+    ["stage"],
+)
+_CACHE_HITS = counter(
+    "repro_frequency_cache_hits_total",
+    "FrequencyCache lookups served from the memo.",
+)
+_CACHE_MISSES = counter(
+    "repro_frequency_cache_misses_total",
+    "FrequencyCache lookups computed by the packed kernel.",
+)
+_CACHE_EVICTIONS = counter(
+    "repro_frequency_cache_evictions_total",
+    "FrequencyCache FIFO evictions under the entry bound.",
+)
 
 #: Canonical stage order of every estimator's fit.
 STAGE_ORDER: Tuple[str, ...] = (
@@ -84,9 +116,12 @@ class FitReport:
     frequency_cache_hits, frequency_cache_misses:
         :class:`FrequencyCache` traffic during *this fit* — how often an
         empirical all-good frequency was re-used vs computed by the packed
-        kernel. Counted as deltas from the fit's start, so a fit against a
-        warm :class:`SharedFitWorkspace` cache reports its own traffic,
-        not the workspace's lifetime totals.
+        kernel. Counted by a context-local scope the pipeline opens around
+        the fit (:func:`repro.obs.local_counters`), so a fit against a warm
+        :class:`SharedFitWorkspace` cache reports its own traffic — and two
+        fits sharing one cache concurrently under the thread executor each
+        see only their own, where the old global-snapshot deltas would
+        attribute both fits' traffic to whichever finished last.
     stage_seconds:
         Wall time per executed pipeline stage, keyed by stage name in
         execution order (see :data:`STAGE_ORDER`).
@@ -167,6 +202,8 @@ class FrequencyCache:
             # recency-of-insertion is a good enough proxy for usefulness.
             self._cache.pop(next(iter(self._cache)))
             self.evictions += 1
+            bump_local("frequency_cache.evictions")
+            _CACHE_EVICTIONS.inc()
         self._cache[key] = value
 
     def __call__(self, path_set: Iterable[int]) -> float:
@@ -176,10 +213,14 @@ class FrequencyCache:
         value = self._cache.get(key)
         if value is None:
             self.misses += 1
+            bump_local("frequency_cache.misses")
+            _CACHE_MISSES.inc()
             value = self._observations.all_good_frequency(key)
             self._store(key, value)
         else:
             self.hits += 1
+            bump_local("frequency_cache.hits")
+            _CACHE_HITS.inc()
         return value
 
     def query_many(self, path_sets: Sequence[Iterable[int]]) -> np.ndarray:
@@ -194,6 +235,7 @@ class FrequencyCache:
         if self._touched is not None:
             for key in keys:
                 self._touched[key] = None
+        batch_hits = 0
         for key in keys:
             if key in resolved:
                 continue
@@ -201,10 +243,16 @@ class FrequencyCache:
             if value is None:
                 missing.append(key)
             else:
-                self.hits += 1
+                batch_hits += 1
                 resolved[key] = value
+        if batch_hits:
+            self.hits += batch_hits
+            bump_local("frequency_cache.hits", batch_hits)
+            _CACHE_HITS.inc(batch_hits)
         if missing:
             self.misses += len(missing)
+            bump_local("frequency_cache.misses", len(missing))
+            _CACHE_MISSES.inc(len(missing))
             values = self._observations.all_good_frequencies(missing)
             for key, value in zip(missing, values):
                 resolved[key] = float(value)
@@ -319,24 +367,22 @@ class FitContext:
     # --- bookkeeping ----------------------------------------------------
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     done: bool = False
-    _hits_start: int = 0
-    _misses_start: int = 0
-
-    def begin_frequency_accounting(self) -> None:
-        """Snapshot the cache counters so the report shows per-fit deltas."""
-        assert self.frequency is not None
-        self._hits_start = self.frequency.hits
-        self._misses_start = self.frequency.misses
+    # Per-fit cache-counter scope, opened by EstimationPipeline.run().
+    # Context-local (one per thread of execution), so concurrent fits
+    # sharing a SharedFitWorkspace cache under the thread executor each
+    # account only their own traffic — global-counter snapshots would
+    # fold the other fit's hits into this fit's delta.
+    _local: Optional[LocalCounters] = None
 
     @property
     def frequency_hits(self) -> int:
-        """Cache hits this fit made (delta from the fit's start)."""
-        return (self.frequency.hits - self._hits_start) if self.frequency else 0
+        """Cache hits this fit made (scope-local count)."""
+        return self._local.get("frequency_cache.hits") if self._local else 0
 
     @property
     def frequency_misses(self) -> int:
-        """Cache misses this fit made (delta from the fit's start)."""
-        return (self.frequency.misses - self._misses_start) if self.frequency else 0
+        """Cache misses this fit made (scope-local count)."""
+        return self._local.get("frequency_cache.misses") if self._local else 0
 
     def finish(
         self, model: "CongestionProbabilityModel", report: FitReport
@@ -352,17 +398,22 @@ class EstimationPipeline:
 
     Stages execute in order; a stage may short-circuit the rest by calling
     :meth:`FitContext.finish` (the prune stage does, when nothing is
-    potentially congested). Per-stage wall time lands in the report's
-    ``stage_seconds``, keyed by stage name.
+    potentially congested). Each stage runs inside a telemetry span
+    (``pipeline.<stage>``, under a ``pipeline.fit`` parent) whose elapsed
+    time is *also* the ``stage_seconds`` entry of the report — the trace
+    and the report are the same measurement, not two clocks.
     """
 
-    def __init__(self, stages: Sequence[Tuple[str, StageFn]]) -> None:
+    def __init__(
+        self, stages: Sequence[Tuple[str, StageFn]], name: str = "unknown"
+    ) -> None:
         if not stages:
             raise EstimationError("EstimationPipeline needs at least one stage")
         names = [name for name, _ in stages]
         if len(set(names)) != len(names):
             raise EstimationError(f"duplicate pipeline stage names: {names}")
         self._stages: List[Tuple[str, StageFn]] = list(stages)
+        self._name = name
 
     @property
     def stage_names(self) -> List[str]:
@@ -371,16 +422,22 @@ class EstimationPipeline:
 
     def run(self, context: FitContext) -> "CongestionProbabilityModel":
         """Execute the stages and return the fitted, report-carrying model."""
-        for name, stage in self._stages:
-            begin = perf_counter()
-            stage(context)
-            context.stage_seconds[name] = perf_counter() - begin
-            if context.done:
-                break
+        with local_counters() as local, span(
+            "pipeline.fit", estimator=self._name
+        ):
+            context._local = local
+            for name, stage in self._stages:
+                with span(f"pipeline.{name}", estimator=self._name) as sp:
+                    stage(context)
+                context.stage_seconds[name] = sp.elapsed
+                _STAGE_SECONDS.observe(sp.elapsed, stage=name)
+                if context.done:
+                    break
         if context.model is None or context.report is None:
             raise EstimationError(
                 "estimation pipeline finished without producing a model"
             )
+        _FITS_TOTAL.inc(estimator=self._name)
         context.report.stage_seconds = dict(context.stage_seconds)
         context.report.kernel = active_kernel().name
         context.model.report = context.report  # type: ignore[attr-defined]

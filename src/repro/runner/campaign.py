@@ -28,6 +28,7 @@ from repro.experiments import figure4 as _figure4
 from repro.experiments import realworld as _realworld
 from repro.experiments import scaling as _scaling
 from repro.experiments.config import ExperimentScale, scale_by_name
+from repro.obs import flush, global_registry, metrics_enabled, render_json, span
 from repro.runner.pool import EXECUTORS, ProgressFn, ShardReport, run_trials
 from repro.runner.spec import TrialResult, TrialSpec
 from repro.util.rng import spawn_seeds
@@ -386,6 +387,7 @@ class CampaignOutcome:
                 {
                     "shard": report.shard,
                     "elapsed_s": round(report.elapsed, 4),
+                    "queue_wait_s": round(report.queue_wait, 4),
                     "worker_pid": report.worker_pid,
                     "trials": [
                         {"trial": name, "elapsed_s": round(elapsed, 4)}
@@ -431,13 +433,20 @@ def run_campaign(
             progress(report)
 
     start = perf_counter()
-    results = run_trials(
-        definition.trial_fn,
-        specs,
-        workers=spec.workers,
-        progress=record,
-        executor=spec.executor,
-    )
+    with span(
+        "campaign",
+        campaign=spec.campaign,
+        scale=spec.scale,
+        replicates=spec.replicates,
+        trials=len(specs),
+    ):
+        results = run_trials(
+            definition.trial_fn,
+            specs,
+            workers=spec.workers,
+            progress=record,
+            executor=spec.executor,
+        )
     elapsed = perf_counter() - start
     outcome = CampaignOutcome(
         spec=spec,
@@ -462,7 +471,13 @@ def run_campaign(
 
 
 def write_outcome(outcome: CampaignOutcome, output_dir: Union[str, Path]) -> Path:
-    """Persist a campaign outcome as JSON; returns the written path."""
+    """Persist a campaign outcome as JSON; returns the written path.
+
+    When telemetry is on, a metrics snapshot lands next to the result
+    file (``<result>_metrics.json``) and the span sink is flushed so a
+    ``telemetry.jsonl`` routed into the output directory is complete the
+    moment the results are.
+    """
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
     seed_tag = "-".join(str(seed) for seed in outcome.seeds[:3])
@@ -472,4 +487,10 @@ def write_outcome(outcome: CampaignOutcome, output_dir: Union[str, Path]) -> Pat
         f"{outcome.spec.campaign}_{outcome.spec.scale}_seed{seed_tag}.json"
     )
     path.write_text(json.dumps(outcome.to_json_dict(), indent=2) + "\n")
+    if metrics_enabled():
+        snapshot_path = path.with_name(path.stem + "_metrics.json")
+        snapshot_path.write_text(
+            render_json(global_registry().snapshot()) + "\n"
+        )
+        flush()
     return path

@@ -54,7 +54,47 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import (
+    apply_runtime_config,
+    capture_metrics,
+    counter,
+    current_span_id,
+    event,
+    gauge,
+    histogram,
+    merge_snapshot,
+    metrics_enabled,
+    parent_scope,
+    runtime_config,
+    span,
+)
 from repro.runner.spec import TrialError, TrialResult, TrialSpec
+
+# Runner telemetry (REPRO_OBS=metrics|trace). Shards record into
+# capture-local registries that the parent merges in shard-index order, so
+# the merged totals are identical under the serial, thread, and process
+# executors.
+_TRIALS_TOTAL = counter(
+    "repro_runner_trials_total",
+    "Trials completed by shard workers.",
+)
+_SHARD_SECONDS = histogram(
+    "repro_runner_shard_seconds",
+    "Wall time per completed shard.",
+)
+_QUEUE_WAIT_SECONDS = histogram(
+    "repro_runner_queue_wait_seconds",
+    "Delay between shard submission and a worker picking it up.",
+)
+_MERGE_SECONDS = histogram(
+    "repro_runner_merge_seconds",
+    "Time reassembling shard results into canonical sweep order.",
+)
+_SHARD_UTILIZATION = gauge(
+    "repro_runner_shard_utilization",
+    "Fraction of a shard's wall time spent inside trials.",
+    ["shard"],
+)
 
 #: Signature of a campaign's trial function. ``cache`` is shard-local and
 #: may be used to share intermediates between same-group trials.
@@ -73,6 +113,9 @@ class ShardReport:
     elapsed: float
     worker_pid: int
     trials: List[Tuple[str, float]] = field(default_factory=list)
+    #: Seconds between shard submission and its worker starting (0 on the
+    #: serial path, which never queues).
+    queue_wait: float = 0.0
 
     def describe(self) -> str:
         """One progress line: shard position, size, and wall time."""
@@ -166,27 +209,69 @@ class _ShardOutcome:
     results: List[Tuple[int, Any, float]] = field(default_factory=list)
     failed_index: Optional[int] = None
     failure_traceback: str = ""
+    #: Seconds the shard sat queued before its worker started.
+    queue_wait: float = 0.0
+    #: Shard-local metrics snapshot (None when telemetry is off).
+    metrics: Optional[dict] = None
 
 
-def _run_shard(trial_fn: TrialFn, shard: int, specs: List[TrialSpec]) -> _ShardOutcome:
+def _run_shard(
+    trial_fn: TrialFn,
+    shard: int,
+    specs: List[TrialSpec],
+    submitted_at: Optional[float] = None,
+    parent_span: Optional[str] = None,
+    obs_settings: Optional[dict] = None,
+) -> _ShardOutcome:
     """Run one shard's trials in spec order with a shard-local cache.
 
     Top-level (picklable) so it can be shipped to pool workers; also the
-    exact code path of the serial run.
+    exact code path of the serial run. The last three parameters carry
+    telemetry context across the executor boundary: the submission
+    timestamp (``perf_counter`` is CLOCK_MONOTONIC on Linux, comparable
+    across the fork), the parent span id (worker threads and processes
+    both start with fresh span contexts), and the parent's
+    :func:`repro.obs.runtime_config` (spawned workers re-read their own
+    environment otherwise). Metric updates land in a capture-local
+    registry shipped back on the outcome — never directly in a worker's
+    global registry, which is also what keeps the thread executor from
+    double-counting into the parent's.
     """
-    outcome = _ShardOutcome(shard=shard, worker_pid=os.getpid(), elapsed=0.0)
+    if obs_settings is not None:
+        apply_runtime_config(obs_settings)
+    queue_wait = (
+        max(0.0, perf_counter() - submitted_at) if submitted_at is not None else 0.0
+    )
+    outcome = _ShardOutcome(
+        shard=shard, worker_pid=os.getpid(), elapsed=0.0, queue_wait=queue_wait
+    )
     cache: Dict[Any, Any] = {}
-    shard_start = perf_counter()
-    for spec in specs:
-        start = perf_counter()
-        try:
-            payload = trial_fn(spec, cache)
-        except Exception:
-            outcome.failed_index = spec.index
-            outcome.failure_traceback = traceback.format_exc()
-            break
-        outcome.results.append((spec.index, payload, perf_counter() - start))
-    outcome.elapsed = perf_counter() - shard_start
+    with parent_scope(parent_span), capture_metrics() as captured:
+        event("runner.worker.start", shard=shard, pid=os.getpid())
+        with span("runner.shard", shard=shard, trials=len(specs)) as shard_span:
+            if metrics_enabled():
+                _QUEUE_WAIT_SECONDS.observe(queue_wait)
+            busy = 0.0
+            for spec in specs:
+                try:
+                    with span("runner.trial", index=spec.index) as trial_span:
+                        payload = trial_fn(spec, cache)
+                except Exception:
+                    outcome.failed_index = spec.index
+                    outcome.failure_traceback = traceback.format_exc()
+                    break
+                outcome.results.append((spec.index, payload, trial_span.elapsed))
+                busy += trial_span.elapsed
+                _TRIALS_TOTAL.inc()
+        outcome.elapsed = shard_span.elapsed
+        if metrics_enabled():
+            _SHARD_SECONDS.observe(shard_span.elapsed)
+            _SHARD_UTILIZATION.set(
+                busy / shard_span.elapsed if shard_span.elapsed > 0 else 0.0,
+                shard=str(shard),
+            )
+            outcome.metrics = captured.snapshot()
+        event("runner.worker.stop", shard=shard, pid=os.getpid())
     return outcome
 
 
@@ -283,9 +368,11 @@ def run_trials(
             _check_outcome(outcome, by_index)
             _report(progress, outcome, len(shards), by_index)
             outcomes.append(outcome)
-        return _merge(outcomes, specs, by_index)
+        return _finish(outcomes, specs, by_index)
 
     outcomes = []
+    parent_span = current_span_id()
+    obs_settings = runtime_config()
     if mode == "thread":
         pool = ThreadPoolExecutor(max_workers=len(shards))
     else:
@@ -299,7 +386,15 @@ def run_trials(
     # success path still waits so no worker outlives its sweep.
     try:
         futures = {
-            pool.submit(_run_shard, trial_fn, shard_index, shard): (
+            pool.submit(
+                _run_shard,
+                trial_fn,
+                shard_index,
+                shard,
+                perf_counter(),
+                parent_span,
+                obs_settings,
+            ): (
                 shard_index,
                 shard,
             )
@@ -356,7 +451,28 @@ def run_trials(
         pool.shutdown(wait=False, cancel_futures=True)
         raise
     pool.shutdown(wait=True)
-    return _merge(outcomes, specs, by_index)
+    return _finish(outcomes, specs, by_index)
+
+
+def _finish(
+    outcomes: List[_ShardOutcome],
+    specs: Sequence[TrialSpec],
+    by_index: Dict[int, TrialSpec],
+) -> List[TrialResult]:
+    """Fold shard telemetry into this process's registry, then merge.
+
+    Metrics snapshots merge in shard-index order — not completion order —
+    so the parent registry ends up identical whichever executor ran the
+    shards and however their finishes interleaved.
+    """
+    for outcome in sorted(outcomes, key=lambda o: o.shard):
+        if outcome.metrics is not None:
+            merge_snapshot(outcome.metrics)
+    with span("runner.merge", shards=len(outcomes)) as merge_span:
+        results = _merge(outcomes, specs, by_index)
+    if metrics_enabled():
+        _MERGE_SECONDS.observe(merge_span.elapsed)
+    return results
 
 
 def _check_outcome(outcome: _ShardOutcome, by_index: Dict[int, TrialSpec]) -> None:
@@ -389,6 +505,7 @@ def _report(
                 (by_index[index].describe(), elapsed)
                 for index, _, elapsed in outcome.results
             ],
+            queue_wait=outcome.queue_wait,
         )
     )
 

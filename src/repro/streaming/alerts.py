@@ -26,9 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs import counter, event, metrics_enabled
 from repro.probability.query import CongestionProbabilityModel
 from repro.probability.windowed import WindowEstimate, peer_link_members
 from repro.topology.graph import Network
+
+_ALERTS_TOTAL = counter(
+    "repro_streaming_alerts_total",
+    "Alert transitions raised by streaming detectors.",
+    ["kind", "scope"],
+)
 
 
 def peer_congestion_levels(
@@ -334,4 +341,15 @@ class AlertManager:
                             estimate,
                         )
                     )
+        if alerts and metrics_enabled():
+            for alert in alerts:
+                _ALERTS_TOTAL.inc(kind=alert.kind, scope=alert.scope)
+                event(
+                    "streaming.alert",
+                    kind=alert.kind,
+                    scope=alert.scope,
+                    target=alert.target,
+                    window=alert.window_index,
+                    value=alert.value,
+                )
         return alerts

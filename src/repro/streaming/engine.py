@@ -37,6 +37,7 @@ from repro.exceptions import EstimationError
 from repro.linalg.system import SystemWorkspace
 from repro.model.kernels import get_kernel, use_kernel
 from repro.model.packed import WORD_BITS
+from repro.obs import counter, gauge, histogram, metrics_enabled, span
 from repro.probability.base import ProbabilityEstimator
 from repro.probability.pipeline import SharedFitWorkspace
 from repro.probability.registry import resolve_estimator
@@ -44,6 +45,30 @@ from repro.probability.windowed import CongestionTimeline, WindowEstimate
 from repro.streaming.alerts import Alert, AlertManager
 from repro.streaming.buffer import PackedRingBuffer
 from repro.topology.graph import Network
+
+# Streaming-engine telemetry (REPRO_OBS=metrics|trace). Refit latency is
+# the histogram behind the ROADMAP's p99-refit-latency goal; ingest and
+# occupancy expose the ring's live state.
+_INTERVALS_TOTAL = counter(
+    "repro_streaming_intervals_total",
+    "Probe rounds ingested into streaming rings.",
+)
+_RING_OCCUPANCY = gauge(
+    "repro_streaming_ring_occupancy",
+    "Intervals currently retained in the ring buffer.",
+)
+_REFITS_TOTAL = counter(
+    "repro_streaming_refits_total",
+    "Windows refitted and emitted by streaming engines.",
+)
+_SKIPPED_TOTAL = counter(
+    "repro_streaming_skipped_windows_total",
+    "Windows skipped because their fit raised EstimationError.",
+)
+_REFIT_SECONDS = histogram(
+    "repro_streaming_refit_seconds",
+    "Wall time per streaming window refit (including skipped fits).",
+)
 
 
 class StreamingEstimator:
@@ -198,6 +223,9 @@ class StreamingEstimator:
         for start in range(0, chunk.shape[0], self._max_piece):
             self._ring.append(chunk[start : start + self._max_piece])
             emitted.extend(self._refit_due())
+        if metrics_enabled() and chunk.shape[0]:
+            _INTERVALS_TOTAL.inc(float(chunk.shape[0]))
+            _RING_OCCUPANCY.set(float(self._ring.num_retained))
         return emitted
 
     def run(
@@ -233,8 +261,10 @@ class StreamingEstimator:
             self._next_start += self.stride
             if estimate is None:
                 self.skipped_windows += 1
+                _SKIPPED_TOTAL.inc()
                 continue
             self.refits += 1
+            _REFITS_TOTAL.inc()
             self.timeline.windows.append(estimate)
             emitted.append(estimate)
             window_index = self.windows_emitted
@@ -255,6 +285,16 @@ class StreamingEstimator:
         return emitted
 
     def _fit_window(self, start: int, stop: int) -> Optional[WindowEstimate]:
+        # The refit span (and its latency histogram sample) covers the
+        # whole attempt — prefetch, fit, workload harvest — skipped
+        # windows included: a degenerate window that burns fit time must
+        # show up in the p99.
+        with span("streaming.refit", start=start, stop=stop) as refit_span:
+            estimate = self._fit_window_inner(start, stop)
+        _REFIT_SECONDS.observe(refit_span.elapsed)
+        return estimate
+
+    def _fit_window_inner(self, start: int, stop: int) -> Optional[WindowEstimate]:
         observations = self._ring.window(start, stop)
         workspace = SharedFitWorkspace(
             observations, system=self._system_workspace

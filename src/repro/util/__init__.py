@@ -2,7 +2,7 @@
 
 from repro.util.rng import RandomState, derive_rng, spawn_seeds
 from repro.util.subsets import bounded_subsets, nonempty_subsets, powerset
-from repro.util.timer import Timer
+from repro.obs.timer import Timer
 
 __all__ = [
     "RandomState",

@@ -1,29 +1,5 @@
-"""Minimal wall-clock timer used by the experiment harness and benchmarks."""
+"""Compatibility shim: ``Timer`` now lives in :mod:`repro.obs.timer`."""
 
-from __future__ import annotations
+from repro.obs.timer import Timer
 
-import time
-
-
-class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
-
-    Example
-    -------
-    >>> with Timer() as t:
-    ...     sum(range(1000))
-    500500
-    >>> t.elapsed >= 0.0
-    True
-    """
-
-    def __init__(self) -> None:
-        self.start: float = 0.0
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self.start
+__all__ = ["Timer"]

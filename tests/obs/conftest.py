@@ -1,0 +1,20 @@
+"""Isolation for the obs suite: every test leaves telemetry pristine.
+
+The mode switch, the global registry, and the span sink are process
+state; tests that flip them must not leak into each other (or into the
+rest of the tier-1 suite running in the same worker).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs():
+    yield
+    obs.flush()
+    obs.reset()
+    obs.global_registry().clear()

@@ -1,0 +1,134 @@
+"""CLI wiring tests for ``repro-tomography obs`` and telemetry-aware runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+_CLI_COUNTER = obs.counter("test_cliobs_ticks_total", "CLI test counter.")
+
+
+def _write_trace(tmp_path, events):
+    path = tmp_path / "t.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return path
+
+
+def _span(name, sid, dur, parent=None, t0=0.0):
+    return {
+        "type": "span",
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "pid": 1,
+        "t_start": t0,
+        "t_end": t0 + dur,
+        "dur": dur,
+        "status": "ok",
+        "attrs": {},
+    }
+
+
+def test_obs_summary_reports_mode_and_families(capsys):
+    assert main(["obs", "summary"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry mode:" in out
+    assert "declared metric families:" in out
+
+
+def test_obs_export_prom_covers_instrumented_layers(capsys):
+    assert main(["obs", "export", "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    for family in (
+        "repro_pipeline_fits_total",
+        "repro_kernel_calls_total",
+        "repro_frequency_cache_hits_total",
+        "repro_runner_trials_total",
+        "repro_streaming_refits_total",
+    ):
+        assert f"# TYPE {family}" in out
+
+
+def test_obs_export_json_round_trips_live_registry(capsys):
+    with obs.use_mode("metrics"):
+        _CLI_COUNTER.inc(5)
+        assert main(["obs", "export", "--format", "json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert ["test_cliobs_ticks_total", [], 5] in snapshot["counters"]
+
+
+def test_obs_export_reads_snapshot_file(tmp_path, capsys):
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        _CLI_COUNTER.inc(7)
+    path = tmp_path / "metrics.json"
+    path.write_text(obs.render_json(captured.snapshot()))
+    assert main(["obs", "export", "--snapshot", str(path)]) == 0
+    assert "test_cliobs_ticks_total 7" in capsys.readouterr().out
+
+
+def test_obs_spans_validates_and_renders(tmp_path, capsys):
+    trace = _write_trace(
+        tmp_path,
+        [
+            _span("child", "1:2", 0.4, parent="1:1", t0=0.1),
+            _span("root", "1:1", 1.0),
+        ],
+    )
+    assert main(["obs", "spans", str(trace), "--validate"]) == 0
+    assert "schema valid" in capsys.readouterr().out
+    assert main(["obs", "spans", str(trace), "--tree"]) == 0
+    out = capsys.readouterr().out
+    assert "└─ child" in out
+
+
+def test_obs_spans_flags_invalid_traces(tmp_path, capsys):
+    bad = dict(_span("x", "1:1", 1.0), status="meh")
+    trace = _write_trace(tmp_path, [bad])
+    assert main(["obs", "spans", str(trace), "--validate"]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_obs_spans_requires_a_trace_argument():
+    with pytest.raises(SystemExit, match="provide a span-trace"):
+        main(["obs", "spans"])
+
+
+def test_obs_spans_missing_file_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["obs", "spans", str(tmp_path / "absent.jsonl")])
+
+
+def test_traced_campaign_drops_telemetry_next_to_results(tmp_path, capsys):
+    with obs.use_mode("trace"):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "scaling",
+                    "--scale",
+                    "small",
+                    "--replicates",
+                    "1",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        obs.flush()
+    out = capsys.readouterr().out
+    assert "metrics snapshot:" in out
+    assert "span trace:" in out
+    trace = tmp_path / "telemetry.jsonl"
+    assert trace.exists()
+    events = obs.load_events(trace)
+    assert obs.validate_events(events) == []
+    assert any(e["name"] == "campaign" for e in events)
+    (metrics_path,) = tmp_path.glob("*_metrics.json")
+    snapshot = json.loads(metrics_path.read_text())
+    names = {name for name, _lv, _value in snapshot["counters"]}
+    assert "repro_pipeline_fits_total" in names

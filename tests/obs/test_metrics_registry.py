@@ -1,0 +1,159 @@
+"""Unit tests for the metrics registry, handles, and local counter scopes."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import _declare
+
+_COUNTER = obs.counter("test_obs_requests_total", "Test counter.", ["kind"])
+_GAUGE = obs.gauge("test_obs_depth", "Test gauge.")
+_HIST = obs.histogram("test_obs_latency_seconds", "Test histogram.", buckets=[0.1, 1.0])
+
+
+def _counter_value(snapshot, name, labels=()):
+    for family, lv, value in snapshot["counters"]:
+        if family == name and tuple(lv) == tuple(labels):
+            return value
+    return None
+
+
+def test_updates_are_dropped_when_off():
+    with obs.use_mode("off"), obs.capture_metrics() as captured:
+        _COUNTER.inc(kind="a")
+        _GAUGE.set(3.0)
+        _HIST.observe(0.5)
+    snapshot = captured.snapshot()
+    assert snapshot["counters"] == []
+    assert snapshot["gauges"] == []
+    assert snapshot["histograms"] == []
+
+
+def test_counter_labels_partition_series():
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        _COUNTER.inc(kind="a")
+        _COUNTER.inc(2, kind="b")
+        _COUNTER.inc(kind="a")
+    snapshot = captured.snapshot()
+    assert _counter_value(snapshot, "test_obs_requests_total", ("a",)) == 2
+    assert _counter_value(snapshot, "test_obs_requests_total", ("b",)) == 2
+
+
+def test_histogram_buckets_and_overflow():
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        for value in (0.05, 0.5, 5.0):
+            _HIST.observe(value)
+    ((name, _lv, payload),) = captured.snapshot()["histograms"]
+    assert name == "test_obs_latency_seconds"
+    # One observation per bucket, the 5.0 in the +Inf overflow slot.
+    assert payload["counts"] == [1, 1, 1]
+    assert payload["sum"] == pytest.approx(5.55)
+
+
+def test_capture_is_invisible_to_global_registry():
+    obs.global_registry().clear()
+    with obs.use_mode("metrics"):
+        with obs.capture_metrics():
+            _COUNTER.inc(kind="captured")
+        _COUNTER.inc(kind="global")
+    snapshot = obs.global_registry().snapshot()
+    assert _counter_value(snapshot, "test_obs_requests_total", ("captured",)) is None
+    assert _counter_value(snapshot, "test_obs_requests_total", ("global",)) == 1
+
+
+def test_merge_totals_independent_of_order():
+    with obs.use_mode("metrics"):
+        snapshots = []
+        for rounds in (1, 2, 3):
+            with obs.capture_metrics() as captured:
+                for _ in range(rounds):
+                    _COUNTER.inc(kind="m")
+                    _HIST.observe(0.5)
+            snapshots.append(captured.snapshot())
+    merged = []
+    for ordering in (snapshots, snapshots[::-1]):
+        target = obs.MetricsRegistry()
+        for snapshot in ordering:
+            target.merge(snapshot)
+        merged.append(target.snapshot())
+    assert merged[0] == merged[1]
+    assert _counter_value(merged[0], "test_obs_requests_total", ("m",)) == 6
+
+
+def test_merge_rejects_changed_bucket_layout():
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        _HIST.observe(0.5)
+    snapshot = captured.snapshot()
+    snapshot["histograms"][0][2]["counts"].append(7)
+    target = obs.MetricsRegistry()
+    target.merge(captured.snapshot())
+    with pytest.raises(ValueError, match="bucket layout"):
+        target.merge(snapshot)
+
+
+def test_conflicting_redeclaration_raises():
+    obs.counter("test_obs_requests_total", "Same shape is fine.", ["kind"])
+    with pytest.raises(ValueError, match="already declared"):
+        obs.gauge("test_obs_requests_total", "Different kind.")
+    with pytest.raises(ValueError, match="already declared"):
+        obs.counter("test_obs_requests_total", "Different labels.", ["other"])
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        _declare("9bad", "counter", "x", ())
+    with pytest.raises(ValueError, match="invalid label name"):
+        _declare("test_obs_ok_total", "counter", "x", ("bad-label",))
+    with pytest.raises(ValueError, match="strictly increase"):
+        _declare("test_obs_bad_hist", "histogram", "x", (), buckets=[1.0, 1.0])
+
+
+def test_quantile_interpolation():
+    buckets = (0.1, 1.0)
+    # 10 observations in (0.1, 1.0]: the median interpolates mid-bucket.
+    assert obs.quantile_from_counts(buckets, [0, 10, 0], 0.5) == pytest.approx(0.55)
+    # Overflow observations report the highest finite bound.
+    assert obs.quantile_from_counts(buckets, [0, 0, 4], 0.99) == 1.0
+    assert math.isnan(obs.quantile_from_counts(buckets, [0, 0, 0], 0.5))
+
+
+def test_local_counters_nest_and_isolate():
+    with obs.local_counters() as outer:
+        obs.bump_local("queries", 2)
+        with obs.local_counters() as inner:
+            obs.bump_local("queries")
+        obs.bump_local("misses")
+    assert outer.values == {"queries": 3, "misses": 1}
+    assert inner.values == {"queries": 1}
+
+
+def test_local_counters_are_per_thread():
+    """Two threads share nothing even when bumping the same name."""
+    results = {}
+
+    def work(name, bumps):
+        with obs.local_counters() as scope:
+            for _ in range(bumps):
+                obs.bump_local("queries")
+            results[name] = scope.get("queries")
+
+    threads = [
+        threading.Thread(target=work, args=("a", 3)),
+        threading.Thread(target=work, args=("b", 7)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert results == {"a": 3, "b": 7}
+
+
+def test_bump_local_without_scope_is_a_no_op():
+    obs.bump_local("unobserved")  # must not raise or leak anywhere
+    with obs.local_counters() as scope:
+        pass
+    assert scope.get("unobserved") == 0

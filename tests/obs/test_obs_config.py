@@ -1,0 +1,75 @@
+"""Unit tests for the telemetry mode switch (repro.obs.config)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import config
+
+
+def test_default_mode_is_off(monkeypatch):
+    monkeypatch.delenv(config.MODE_ENV, raising=False)
+    obs.reset()
+    assert obs.mode() == obs.OFF
+    assert not obs.metrics_enabled()
+    assert not obs.trace_enabled()
+
+
+@pytest.mark.parametrize("raw", ["metrics", "METRICS", " trace "])
+def test_env_mode_parsing(monkeypatch, raw):
+    monkeypatch.setenv(config.MODE_ENV, raw)
+    obs.reset()
+    assert obs.mode() == raw.strip().lower()
+    assert obs.metrics_enabled()
+
+
+def test_unknown_env_mode_warns_and_stays_off(monkeypatch):
+    monkeypatch.setenv(config.MODE_ENV, "verbose")
+    with pytest.warns(RuntimeWarning, match="unknown REPRO_OBS"):
+        obs.reset()
+    assert obs.mode() == obs.OFF
+
+
+def test_configure_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown telemetry mode"):
+        obs.configure("loud")
+
+
+def test_use_mode_restores_previous_state(tmp_path):
+    before = obs.mode()
+    with obs.use_mode("trace", tmp_path / "t.jsonl"):
+        assert obs.trace_enabled()
+        assert obs.trace_path() == tmp_path / "t.jsonl"
+    assert obs.mode() == before
+
+
+def test_trace_path_defaults_to_working_directory(monkeypatch):
+    monkeypatch.delenv(config.TRACE_PATH_ENV, raising=False)
+    obs.reset()
+    assert obs.trace_path() == Path(config.DEFAULT_TRACE_FILENAME)
+
+
+def test_set_default_trace_path_yields_to_env_pin(monkeypatch, tmp_path):
+    monkeypatch.setenv(config.TRACE_PATH_ENV, str(tmp_path / "pinned.jsonl"))
+    obs.reset()
+    assert not obs.set_default_trace_path(tmp_path / "campaign" / "t.jsonl")
+    assert obs.trace_path() == tmp_path / "pinned.jsonl"
+
+    monkeypatch.delenv(config.TRACE_PATH_ENV)
+    obs.reset()
+    assert obs.set_default_trace_path(tmp_path / "campaign" / "t.jsonl")
+    assert obs.trace_path() == tmp_path / "campaign" / "t.jsonl"
+
+
+def test_runtime_config_round_trip(tmp_path):
+    with obs.use_mode("trace", tmp_path / "t.jsonl"):
+        shipped = obs.runtime_config()
+    # A worker (fresh interpreter state) adopts the parent's settings.
+    obs.reset()
+    obs.apply_runtime_config(shipped)
+    assert obs.mode() == "trace"
+    assert obs.trace_path() == tmp_path / "t.jsonl"
+    assert config.trace_path_explicit()

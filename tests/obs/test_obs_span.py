@@ -1,0 +1,143 @@
+"""Unit tests for tracing spans and the JSONL trace sink."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+
+
+def _trace(tmp_path, name="t.jsonl"):
+    return tmp_path / name
+
+
+def _run_and_load(tmp_path, body):
+    path = _trace(tmp_path)
+    with obs.use_mode("trace", path):
+        body()
+        obs.flush()
+    return obs.load_events(path)
+
+
+def test_off_mode_emits_nothing_but_still_times(tmp_path):
+    path = _trace(tmp_path)
+    with obs.use_mode("off", path):
+        with obs.span("work") as sp:
+            time.sleep(0.01)
+    assert sp.elapsed >= 0.01
+    assert sp.span_id is None
+    assert not path.exists()
+
+
+def test_trace_mode_emits_valid_nested_spans(tmp_path):
+    def body():
+        with obs.span("outer", layer="test"):
+            with obs.span("inner"):
+                pass
+
+    events = _run_and_load(tmp_path, body)
+    assert obs.validate_events(events) == []
+    by_name = {e["name"]: e for e in events}
+    # Inner exits (and is written) first; its parent is the outer span.
+    assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+    assert by_name["outer"]["parent"] is None
+    assert by_name["outer"]["attrs"] == {"layer": "test"}
+    assert all(e["pid"] == os.getpid() for e in events)
+    assert by_name["outer"]["dur"] >= by_name["inner"]["dur"]
+
+
+def test_exception_marks_span_status_error(tmp_path):
+    def body():
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+
+    (event,) = _run_and_load(tmp_path, body)
+    assert event["status"] == "error"
+
+
+def test_annotate_attaches_late_attributes(tmp_path):
+    def body():
+        with obs.span("work") as sp:
+            sp.annotate(rows=42)
+
+    (event,) = _run_and_load(tmp_path, body)
+    assert event["attrs"] == {"rows": 42}
+
+
+def test_parent_scope_reroots_fresh_contexts(tmp_path):
+    def body():
+        with obs.parent_scope("dead:beef"):
+            with obs.span("worker"):
+                pass
+        with obs.parent_scope(None):  # no-op
+            with obs.span("rootless"):
+                pass
+
+    events = _run_and_load(tmp_path, body)
+    by_name = {e["name"]: e for e in events}
+    assert by_name["worker"]["parent"] == "dead:beef"
+    assert by_name["rootless"]["parent"] is None
+
+
+def test_explicit_parent_overrides_stack(tmp_path):
+    def body():
+        with obs.span("outer"):
+            with obs.span("adopted", parent_id="feed:1"):
+                pass
+
+    events = _run_and_load(tmp_path, body)
+    by_name = {e["name"]: e for e in events}
+    assert by_name["adopted"]["parent"] == "feed:1"
+
+
+def test_point_events_are_zero_duration(tmp_path):
+    def body():
+        with obs.span("outer"):
+            obs.event("lifecycle", detail="started")
+
+    events = _run_and_load(tmp_path, body)
+    by_name = {e["name"]: e for e in events}
+    record = by_name["lifecycle"]
+    assert record["type"] == "event"
+    assert record["dur"] == 0.0
+    assert record["parent"] == by_name["outer"]["id"]
+    assert record["attrs"] == {"detail": "started"}
+    assert obs.validate_events(events) == []
+
+
+def test_span_ids_unique_and_pid_tagged(tmp_path):
+    def body():
+        for _ in range(5):
+            with obs.span("loop"):
+                pass
+
+    events = _run_and_load(tmp_path, body)
+    ids = [e["id"] for e in events]
+    assert len(set(ids)) == 5
+    assert all(sid.split(":")[0] == f"{os.getpid():x}" for sid in ids)
+
+
+def test_current_span_id_tracks_the_stack(tmp_path):
+    with obs.use_mode("trace", _trace(tmp_path)):
+        assert obs.current_span_id() is None
+        with obs.span("outer") as outer:
+            assert obs.current_span_id() == outer.span_id
+        assert obs.current_span_id() is None
+
+
+def test_sink_reopens_after_flush_and_path_change(tmp_path):
+    first, second = _trace(tmp_path, "a.jsonl"), _trace(tmp_path, "b.jsonl")
+    with obs.use_mode("trace", first):
+        with obs.span("one"):
+            pass
+        obs.flush()
+    with obs.use_mode("trace", second):
+        with obs.span("two"):
+            pass
+        obs.flush()
+    assert [e["name"] for e in obs.load_events(first)] == ["one"]
+    assert [e["name"] for e in obs.load_events(second)] == ["two"]

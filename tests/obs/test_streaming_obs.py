@@ -1,0 +1,89 @@
+"""Streaming-engine telemetry: ingest/refit metrics and alert events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.probability.base import EstimatorConfig
+from repro.probability.correlation_complete import CorrelationCompleteEstimator
+from repro.simulation.congestion import CongestionModel, Driver, NonStationaryModel
+from repro.simulation.probing import oracle_path_status
+from repro.streaming import AlertManager, AlertPolicy, StreamingEstimator
+from repro.topology.builders import fig1_topology
+
+
+@pytest.fixture(scope="module")
+def network():
+    return fig1_topology(case=1)
+
+
+@pytest.fixture(scope="module")
+def horizon(network):
+    quiet = CongestionModel(4, [Driver(0.1, frozenset({0}))])
+    busy = CongestionModel(4, [Driver(0.7, frozenset({0}))])
+    truth = NonStationaryModel([(quiet, 100), (busy, 100)])
+    states = truth.sample(200, np.random.default_rng(4))
+    return oracle_path_status(network, states).matrix
+
+
+def _engine(network, **kwargs):
+    return StreamingEstimator(
+        network,
+        CorrelationCompleteEstimator(EstimatorConfig(pruning_tolerance=0.0)),
+        window=50,
+        **kwargs,
+    )
+
+
+def _counters(snapshot):
+    return {(name, tuple(lv)): value for name, lv, value in snapshot["counters"]}
+
+
+def test_engine_metrics_track_ingest_and_refits(network, horizon):
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        engine = _engine(network)
+        for start in range(0, 200, 10):
+            engine.ingest(horizon[start : start + 10])
+    snapshot = captured.snapshot()
+    counters = _counters(snapshot)
+    assert counters[("repro_streaming_intervals_total", ())] == 200
+    assert counters[("repro_streaming_refits_total", ())] == engine.refits
+    assert engine.refits == 4
+    gauges = {(name, tuple(lv)): value for name, lv, value in snapshot["gauges"]}
+    assert gauges[("repro_streaming_ring_occupancy", ())] >= 1
+    refit_hist = [
+        payload
+        for name, _lv, payload in snapshot["histograms"]
+        if name == "repro_streaming_refit_seconds"
+    ]
+    assert sum(refit_hist[0]["counts"]) == engine.refits + engine.skipped_windows
+
+
+def test_alert_transitions_counted_and_traced(network, horizon, tmp_path):
+    path = tmp_path / "t.jsonl"
+    with obs.use_mode("trace", path), obs.capture_metrics() as captured:
+        engine = _engine(
+            network,
+            alert_manager=AlertManager(
+                network, AlertPolicy(peer_high=None, peer_low=None, link_shift=0.25)
+            ),
+        )
+        engine.ingest(horizon)
+        obs.flush()
+    assert engine.alerts, "the quiet->busy shift must raise level_shift alerts"
+    counters = _counters(captured.snapshot())
+    shift_total = sum(
+        value
+        for (name, lv), value in counters.items()
+        if name == "repro_streaming_alerts_total"
+    )
+    assert shift_total == len(engine.alerts)
+    events = obs.load_events(path)
+    assert obs.validate_events(events) == []
+    alert_events = [e for e in events if e["name"] == "streaming.alert"]
+    assert len(alert_events) == len(engine.alerts)
+    assert {e["attrs"]["kind"] for e in alert_events} == {"level_shift"}
+    # Refit spans bracket the alert (alerts fire during a refit's emit).
+    assert any(e["name"] == "streaming.refit" for e in events)

@@ -99,3 +99,103 @@ def test_skipped_rows_render_everywhere():
     markdown = compare_baseline.render_markdown(rows, threshold=1.5)
     assert "skipped: <4 cores" in text
     assert "skipped: <4 cores" in markdown
+
+
+def _span(name, sid, dur, parent=None, t0=0.0):
+    return {
+        "type": "span",
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "pid": 1,
+        "t_start": t0,
+        "t_end": t0 + dur,
+        "dur": dur,
+        "status": "ok",
+        "attrs": {},
+    }
+
+
+def _write_trace(path, events):
+    import json
+
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+def test_aggregate_telemetry_self_time(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    _write_trace(
+        trace,
+        [
+            _span("child", "1:2", 0.3, parent="1:1"),
+            _span("parent", "1:1", 1.0),
+            {"type": "event", "name": "noise", "id": "1:9", "pid": 1},
+        ],
+    )
+    agg = compare_baseline.aggregate_telemetry(trace)
+    assert agg["parent"] == {"count": 1, "total_s": 1.0, "self_s": 0.7}
+    assert agg["child"]["self_s"] == 0.3
+    assert "noise" not in agg  # zero-duration events carry no self-time
+
+
+def test_aggregate_telemetry_clamps_negative_self(tmp_path):
+    # Concurrent children can sum past the parent; self-time stays >= 0.
+    trace = tmp_path / "t.jsonl"
+    _write_trace(
+        trace,
+        [
+            _span("parent", "1:1", 1.0),
+            _span("child", "1:2", 0.8, parent="1:1"),
+            _span("child", "1:3", 0.9, parent="1:1"),
+        ],
+    )
+    agg = compare_baseline.aggregate_telemetry(trace)
+    assert agg["parent"]["self_s"] == 0.0
+
+
+def test_top_regressed_spans_orders_by_delta():
+    baseline = {
+        "a": {"count": 1, "total_s": 1.0, "self_s": 1.0},
+        "b": {"count": 1, "total_s": 1.0, "self_s": 1.0},
+        "c": {"count": 1, "total_s": 1.0, "self_s": 1.0},
+        "d": {"count": 1, "total_s": 1.0, "self_s": 1.0},
+    }
+    current = {
+        "a": {"count": 1, "total_s": 2.0, "self_s": 1.5},
+        "b": {"count": 1, "total_s": 2.0, "self_s": 3.0},
+        "c": {"count": 1, "total_s": 2.0, "self_s": 1.1},
+        "d": {"count": 1, "total_s": 0.5, "self_s": 0.5},  # improved
+        "new": {"count": 1, "total_s": 9.0, "self_s": 9.0},  # no baseline
+    }
+    rows = compare_baseline.top_regressed_spans(baseline, current, limit=3)
+    assert [row[0] for row in rows] == ["b", "a", "c"]
+    assert rows[0][3] == 2.0
+    text = compare_baseline.render_span_regressions(rows)
+    assert "b: 1.000s -> 3.000s (+2.000s)" in text
+
+
+def test_update_baseline_commits_span_aggregate(tmp_path, monkeypatch):
+    import json
+
+    raw = tmp_path / "bench.json"
+    raw.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "fullname": "bench::test_x",
+                        "group": "g",
+                        "stats": {"mean": 1.0, "min": 0.9},
+                    }
+                ]
+            }
+        )
+    )
+    target = tmp_path / "BENCH_baseline.json"
+    monkeypatch.setattr(compare_baseline, "BASELINE_PATH", target)
+    current = compare_baseline.load_current(raw)
+    spans = {"pipeline.fit": {"count": 2, "total_s": 1.23456, "self_s": 0.5}}
+    compare_baseline.update_baseline(current, raw, spans=spans)
+    written = json.loads(target.read_text())
+    assert written["spans"]["pipeline.fit"]["total_s"] == 1.2346
+    assert written["benchmarks"]["bench::test_x"]["mean_s"] == 1.0
