@@ -250,6 +250,59 @@ def compare(baseline: dict, current: dict, threshold: float, cores: int = None) 
     return rows
 
 
+def collect_skips(rows: list, strict_armed: bool = None) -> list:
+    """Everything the regression gate did NOT check, as (subject, reason).
+
+    Covers per-benchmark exclusions (cache hits, core-starved parallel
+    runs, kernel mismatches, one-sided rows) and the opt-in strict gates
+    (speedup / throughput / strict-win assertions inside the benchmarks
+    themselves), which silently downgrade to warnings unless
+    ``REPRO_BENCH_STRICT`` is set. Surfacing these is the difference
+    between "no regressions" and "nothing was gated".
+    """
+    if strict_armed is None:
+        strict_armed = bool(os.environ.get("REPRO_BENCH_STRICT"))
+    skips = []
+    for name, base_s, cur_s, ratio, note in rows:
+        if ratio is None and note != "REGRESSION":
+            skips.append((name, note))
+    if not strict_armed:
+        skips.append(
+            (
+                "strict in-benchmark gates (runner speedup, streaming "
+                "throughput, mitigation strict-win)",
+                "not armed: REPRO_BENCH_STRICT unset",
+            )
+        )
+    return skips
+
+
+def render_skips_text(skips: list) -> str:
+    if not skips:
+        return "all benchmarks gated; no skips"
+    lines = [f"{len(skips)} gate(s) skipped this run:"]
+    for subject, reason in skips:
+        lines.append(f"  {subject}: {reason}")
+    return "\n".join(lines)
+
+
+def render_skips_markdown(skips: list) -> str:
+    """The skip list as a Markdown section for the workflow summary."""
+    lines = ["### Skipped benchmark gates", ""]
+    if not skips:
+        lines.append("All benchmarks were gated; nothing skipped.")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "These were **not** checked against the baseline this run:",
+        "",
+        "| what | why |",
+        "| --- | --- |",
+    ]
+    for subject, reason in skips:
+        lines.append(f"| `{subject}` | {reason} |")
+    return "\n".join(lines) + "\n"
+
+
 def render_text(rows: list) -> str:
     width = max(len(name) for name, *_ in rows)
     lines = [f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  ratio"]
@@ -327,7 +380,10 @@ def main(argv=None) -> int:
     baseline_doc = json.loads(BASELINE_PATH.read_text())
     baseline = baseline_doc["benchmarks"]
     rows = compare(baseline, current, args.threshold)
+    skips = collect_skips(rows)
     print(render_text(rows))
+    print()
+    print(render_skips_text(skips))
 
     summary_path = args.markdown
     if summary_path is None and os.environ.get("GITHUB_STEP_SUMMARY"):
@@ -335,6 +391,8 @@ def main(argv=None) -> int:
     if summary_path is not None:
         with open(summary_path, "a") as handle:
             handle.write(render_markdown(rows, args.threshold))
+            handle.write("\n")
+            handle.write(render_skips_markdown(skips))
 
     regressions = [name for name, *_, note in rows if note == "REGRESSION"]
     if regressions:

@@ -1,0 +1,68 @@
+"""Benchmark for the closed-loop mitigation sweep.
+
+Three scenario families run the full estimate → mitigate → re-simulate →
+re-estimate loop with every registered policy against the Independence
+estimator. Beyond the timing, the run checks the layer's core promises:
+the no-op control arm reproduces the pre state exactly (seed-paired
+re-simulation), and no policy leaves the network worse than doing
+nothing. The stronger claim — some policy strictly beats no-op in every
+family — holds on the committed fixtures but depends on the sampled
+congestion draw, so it only gates when ``REPRO_BENCH_STRICT`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.mitigation import run_mitigation
+
+#: Scenario families the benchmark sweeps (3 of the 4 defaults; the
+#: concentrated family behaves like random at benchmark scale).
+SCENARIOS = ("random", "gravity", "cascade")
+
+
+@pytest.mark.benchmark(group="mitigation")
+def test_mitigation_closed_loop_sweep(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_mitigation(
+            bench_scale,
+            seed=13,
+            scenarios=list(SCENARIOS),
+            estimators=["Independence"],
+            workers=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for scenario in result.scenarios():
+        print(f"brite / {scenario} — residual path-congestion rate")
+        print(result.to_table("brite", scenario))
+        print()
+
+    strict_wins = 0
+    for scenario in result.scenarios():
+        noop = result.rows[("brite", scenario, "noop", "Independence")]
+        assert noop["reduction"] == 0.0
+        assert noop["paths_disturbed"] == 0
+        residuals = {
+            policy: result.residual("brite", scenario, policy, "Independence")
+            for policy in result.policies()
+        }
+        # Acting must never be worse than doing nothing.
+        best = min(v for k, v in residuals.items() if k != "noop")
+        assert best <= residuals["noop"]
+        if best < residuals["noop"]:
+            strict_wins += 1
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert strict_wins == len(result.scenarios()), (
+            f"mitigation beat no-op in only {strict_wins}/"
+            f"{len(result.scenarios())} scenario families"
+        )
+    elif strict_wins < len(result.scenarios()):
+        print(
+            f"WARNING: mitigation strictly beat no-op in {strict_wins}/"
+            f"{len(result.scenarios())} families (non-strict run; not failing)"
+        )

@@ -17,10 +17,16 @@ Usage::
                              [--executor E] [--replicates R]
                              [--output DIR] [--dataset NAMES]
                              [--scenario NAMES] [--estimator NAMES]
+                             [--policy NAMES]
     repro-tomography campaign --list
+    repro-tomography mitigate [--scale SCALE] [--seed N] [--oracle]
+                             [--dataset NAME] [--scenario NAME]
+                             [--estimator NAME] [--policy NAME]
+                             [--output DIR]
     repro-tomography datasets list|info NAME|validate
     repro-tomography scenarios list|info NAME
     repro-tomography estimators list|info NAME
+    repro-tomography policies list|info NAME
     repro-tomography kernels list [--bench] | info NAME
     repro-tomography obs summary [--snapshot FILE]
     repro-tomography obs export [--format prom|json] [--snapshot FILE]
@@ -41,7 +47,11 @@ active frequency kernel is GIL-free). ``campaign`` runs a named sweep
 on disk — the ``realworld`` campaign sweeps every registered dataset,
 scenario, and estimator, restrictable with
 ``--dataset``/``--scenario``/``--estimator`` (comma-separated names from
-``datasets list`` / ``scenarios list`` / ``estimators list``).
+``datasets list`` / ``scenarios list`` / ``estimators list``); the
+``mitigation`` campaign additionally accepts ``--policy`` (names from
+``policies list``). ``mitigate`` runs one closed mitigation loop —
+estimate, act on the fitted model, re-simulate, re-estimate — and can
+persist the plan and scorecard as JSON.
 ``kernels`` inspects the frequency-kernel registry (numpy / optional
 compiled numba) and the active selection (``REPRO_KERNEL``). ``obs``
 inspects the telemetry layer (``REPRO_OBS=off|metrics|trace``): a human
@@ -130,7 +140,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = subparsers.add_parser(
         "campaign",
-        help="run a named sweep (figure3|figure4|scaling|ablation|realworld) "
+        help="run a named sweep "
+        "(figure3|figure4|scaling|ablation|realworld|mitigation) "
         "or a JSON sweep spec, sharded across processes",
     )
     sub.add_argument(
@@ -186,6 +197,64 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated registered estimators (realworld campaign only)",
     )
+    sub.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        help="comma-separated mitigation policies (mitigation campaign only)",
+    )
+    sub = subparsers.add_parser(
+        "mitigate",
+        help="run one closed mitigation loop: estimate, act, re-measure",
+    )
+    sub.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sub.add_argument("--seed", type=int, default=13)
+    sub.add_argument(
+        "--oracle",
+        action="store_true",
+        help="use noise-free path observations",
+    )
+    sub.add_argument(
+        "--dataset",
+        type=str,
+        default=None,
+        help="mitigate on a registered dataset instead of a generated topology",
+    )
+    sub.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="registered scenario generator (default: random)",
+    )
+    sub.add_argument(
+        "--estimator",
+        type=str,
+        default=None,
+        help="registered estimator to fit with (default: Independence)",
+    )
+    sub.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        help="mitigation policy to act with (default: corropt-greedy; "
+        "see 'policies list')",
+    )
+    sub.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="directory for the plan and scorecard JSON",
+    )
+    sub = subparsers.add_parser(
+        "policies",
+        help="inspect the registered mitigation policies",
+    )
+    sub.add_argument(
+        "action",
+        choices=("list", "info"),
+        help="list the registry or describe one policy",
+    )
+    sub.add_argument("name", nargs="?", default=None, help="policy name (info)")
     sub = subparsers.add_parser(
         "datasets",
         help="inspect the registered real-topology datasets",
@@ -417,6 +486,7 @@ def _run_campaign(args: argparse.Namespace) -> None:
         CampaignSpec,
         load_campaign_spec,
         run_campaign,
+        validate_output_dir,
         write_outcome,
     )
 
@@ -462,12 +532,21 @@ def _run_campaign(args: argparse.Namespace) -> None:
         overrides["scenario"] = args.scenario
     if args.estimator is not None:
         overrides["estimator"] = args.estimator
+    if args.policy is not None:
+        overrides["policy"] = args.policy
     if args.executor is not None:
         overrides["executor"] = args.executor
     try:
         spec = replace(spec, **overrides)
     except ValueError as exc:
         raise SystemExit(f"invalid campaign options: {exc}") from None
+    if spec.output:
+        # Fail fast on an unusable --output: minutes of sweep compute
+        # must not end in a write-time traceback.
+        try:
+            validate_output_dir(spec.output)
+        except ValueError as exc:
+            raise SystemExit(f"campaign: {exc}") from None
 
     print(
         f"campaign {spec.campaign} at scale {spec.scale}: "
@@ -848,6 +927,124 @@ def _run_monitor(args: argparse.Namespace) -> None:
         print(f"span trace: {obs.trace_path()}")
 
 
+def _print_policies(args: argparse.Namespace) -> None:
+    from repro.exceptions import MitigationError
+    from repro.mitigation.policies import POLICIES, get_policy, policy_names
+
+    if args.action == "list":
+        rows = []
+        for name in policy_names():
+            policy = POLICIES[name]
+            rows.append(
+                [
+                    name,
+                    ", ".join(sorted(policy.defaults)) or "-",
+                    policy.description,
+                ]
+            )
+        print("Registered mitigation policies")
+        print(format_table(["Policy", "Parameters", "Description"], rows))
+        return
+    if not args.name:
+        raise SystemExit("policies info: provide a policy name")
+    try:
+        policy = get_policy(args.name)
+    except MitigationError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"{policy.name}: {policy.description}")
+    print("  parameters:")
+    if policy.defaults:
+        for key, value in sorted(policy.defaults.items()):
+            print(f"    {key} = {value}")
+    else:
+        print("    (none)")
+
+
+def _run_mitigate(args: argparse.Namespace) -> None:
+    import json as _json
+    from pathlib import Path
+
+    from repro.exceptions import (
+        DatasetError,
+        EstimationError,
+        MitigationError,
+        ScenarioError,
+    )
+    from repro.mitigation import ClosedLoopEvaluator, get_policy
+    from repro.probability.base import EstimatorConfig
+    from repro.probability.registry import make_estimator
+    from repro.runner.campaign import validate_output_dir
+    from repro.simulation.library import get_scenario
+    from repro.simulation.probing import PathProber
+    from repro.topology.brite import generate_brite_network
+    from repro.util.rng import derive_rng
+
+    output = None
+    if args.output:
+        try:
+            output = validate_output_dir(args.output)
+        except ValueError as exc:
+            raise SystemExit(f"mitigate: {exc}") from None
+    scale = scale_by_name(args.scale)
+    if args.dataset is not None:
+        from repro.datasets import load_dataset
+
+        try:
+            network = load_dataset(args.dataset)
+        except DatasetError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        network = generate_brite_network(scale.brite, random_state=args.seed)
+    try:
+        generator = get_scenario(args.scenario or "random")
+        scenario = generator.build(network, random_state=derive_rng(args.seed, 1))
+        estimator = make_estimator(
+            args.estimator or "Independence", EstimatorConfig(seed=args.seed)
+        )
+        policy = get_policy(args.policy or "corropt-greedy")
+    except (ScenarioError, EstimationError, MitigationError) as exc:
+        raise SystemExit(str(exc)) from None
+    evaluator = ClosedLoopEvaluator(
+        estimator=estimator,
+        policy=policy,
+        num_intervals=scale.num_intervals,
+        prober=None if args.oracle else PathProber(num_packets=scale.num_packets),
+        oracle=args.oracle,
+    )
+    # The loop replays the congestion draw on the rewritten topology, so
+    # the experiment seed must be a reusable integer.
+    experiment_seed = int(derive_rng(args.seed, 2).integers(0, 2**31 - 1))
+    report = evaluator.evaluate(scenario, seed=experiment_seed)
+    print(
+        f"closed loop on {network.name} ({network.num_links} links, "
+        f"{network.num_paths} paths), scenario {scenario.name}, "
+        f"estimator {estimator.name}, policy {policy.name}"
+    )
+    print(
+        f"  path congestion: {report.pre_congestion_rate:.4f} -> "
+        f"{report.post_congestion_rate:.4f} "
+        f"(reduction {report.reduction:+.4f})"
+    )
+    print(
+        f"  paths disturbed: {report.paths_disturbed}/{report.num_paths}  "
+        f"target links: {report.num_target_links}  "
+        f"false-mitigation rate: {report.false_mitigation_rate:.2f}"
+    )
+    print(
+        f"  estimator error: {report.pre_fit_error:.4f} pre -> "
+        f"{report.post_fit_error:.4f} post"
+    )
+    if output is not None:
+        plan_path = Path(output) / "plan.json"
+        report_path = Path(output) / "report.json"
+        plan_path.write_text(_json.dumps(dict(report.plan), indent=2) + "\n")
+        report_path.write_text(
+            _json.dumps(report.to_json_dict(), indent=2) + "\n"
+        )
+        print(f"  plan written to {plan_path}")
+        print(f"  scorecard written to {report_path}")
+
+
 def _print_ablation(args: argparse.Namespace) -> None:
     from repro.experiments.ablation import run_ablation
 
@@ -883,6 +1080,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_scenarios(args)
     elif args.command == "estimators":
         _print_estimators(args)
+    elif args.command == "policies":
+        _print_policies(args)
+    elif args.command == "mitigate":
+        _run_mitigate(args)
     elif args.command == "kernels":
         _print_kernels(args)
     elif args.command == "obs":

@@ -52,6 +52,15 @@ class InferenceError(ReproError):
     """
 
 
+class MitigationError(ReproError):
+    """Raised when a mitigation plan is malformed or cannot be applied.
+
+    Examples: a route change whose new route does not connect the old
+    route's endpoints, two route changes targeting one path, or an unknown
+    mitigation policy name.
+    """
+
+
 class IdentifiabilityError(ReproError):
     """Raised when a requested probability is provably unidentifiable.
 

@@ -1,0 +1,58 @@
+"""Closed-loop mitigation: act on fitted estimates, then re-measure.
+
+ROADMAP item 2. The package splits the loop into orthogonal pieces:
+
+- :mod:`repro.mitigation.plan` — typed, JSON-serialisable plans;
+- :mod:`repro.mitigation.policies` — the policy registry (``noop``,
+  ``ecmp-split``, ``corropt-greedy``) producing plans from a fitted
+  :class:`~repro.probability.query.CongestionProbabilityModel`;
+- :mod:`repro.mitigation.apply` — rewrite monitored routes on the
+  simulated topology, plus the deterministic rerouting primitives;
+- :mod:`repro.mitigation.evaluate` — the estimate → mitigate →
+  re-simulate → re-estimate loop and its scorecard.
+
+The corresponding campaign lives in :mod:`repro.experiments.mitigation`.
+"""
+
+from repro.mitigation.apply import (
+    alternate_route,
+    apply_plan,
+    link_adjacency,
+    path_endpoints,
+    reroutable_paths,
+)
+from repro.mitigation.evaluate import (
+    ClosedLoopEvaluator,
+    ClosedLoopReport,
+    path_congestion_rate,
+    run_closed_loop,
+    score_closed_loop,
+)
+from repro.mitigation.plan import MitigationPlan, RouteChange
+from repro.mitigation.policies import (
+    POLICIES,
+    MitigationPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "POLICIES",
+    "ClosedLoopEvaluator",
+    "ClosedLoopReport",
+    "MitigationPlan",
+    "MitigationPolicy",
+    "RouteChange",
+    "alternate_route",
+    "apply_plan",
+    "get_policy",
+    "link_adjacency",
+    "path_congestion_rate",
+    "path_endpoints",
+    "policy_names",
+    "register_policy",
+    "reroutable_paths",
+    "run_closed_loop",
+    "score_closed_loop",
+]

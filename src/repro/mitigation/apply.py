@@ -1,0 +1,226 @@
+"""Apply a mitigation plan: rewrite monitored routes on the topology.
+
+The simulated analogue of pushing new forwarding state: given a
+:class:`~repro.mitigation.plan.MitigationPlan`, build a new
+:class:`~repro.topology.graph.Network` with the same link set but the
+planned routes substituted for the old ones. Ground truth congests
+*links*, so the rewritten network can be re-simulated against the very
+same :class:`~repro.simulation.congestion.GroundTruth` — the closed
+loop's "re-run the scenario" step — and the post-action state re-estimated
+through the ordinary staged pipeline.
+
+Also home to the deterministic rerouting primitive policies share:
+:func:`alternate_route`, a BFS over the logical-link graph that finds the
+shortest route between two vertices avoiding a link set, breaking ties by
+link index so plans are bit-identical across executors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import MitigationError
+from repro.mitigation.plan import MitigationPlan
+from repro.obs import counter, histogram, span
+from repro.obs.timer import Timer
+from repro.topology.graph import Network, Path
+
+#: vertex -> outgoing (link_index, dst_vertex), sorted by link index.
+LinkAdjacency = Dict[int, List[Tuple[int, int]]]
+
+_ROUTES_REWRITTEN = counter(
+    "repro_mitigation_routes_rewritten_total",
+    "Monitored-path routes rewritten by applied mitigation plans.",
+)
+_APPLY_SECONDS = histogram(
+    "repro_mitigation_apply_seconds",
+    "Wall time rebuilding the topology from a mitigation plan.",
+)
+
+
+def link_adjacency(network: Network) -> LinkAdjacency:
+    """Outgoing-link adjacency of the logical-link graph.
+
+    Neighbours are sorted by link index, which — together with FIFO BFS —
+    makes :func:`alternate_route` fully deterministic.
+    """
+    adjacency: LinkAdjacency = {}
+    for link in network.links:
+        adjacency.setdefault(link.src, []).append((link.index, link.dst))
+    for members in adjacency.values():
+        members.sort()
+    return adjacency
+
+
+def alternate_route(
+    network: Network,
+    src: int,
+    dst: int,
+    avoid: Iterable[int],
+    adjacency: Optional[LinkAdjacency] = None,
+) -> Optional[Tuple[int, ...]]:
+    """Shortest route from ``src`` to ``dst`` avoiding ``avoid`` links.
+
+    BFS over vertices of the logical-link graph (unit hop cost), expanding
+    neighbours in link-index order, so among equal-length routes the one
+    using the smallest link indices wins — the same route on every host
+    and executor. Returns the link-index tuple, or ``None`` when every
+    route crosses an avoided link.
+    """
+    if adjacency is None:
+        adjacency = link_adjacency(network)
+    avoided = frozenset(avoid)
+    if src == dst:
+        return None
+    parents: Dict[int, Tuple[int, int]] = {}  # vertex -> (prev vertex, link)
+    seen = {src}
+    queue = deque([src])
+    while queue:
+        vertex = queue.popleft()
+        for link_index, neighbour in adjacency.get(vertex, ()):
+            if link_index in avoided or neighbour in seen:
+                continue
+            seen.add(neighbour)
+            parents[neighbour] = (vertex, link_index)
+            if neighbour == dst:
+                route: List[int] = []
+                cursor = dst
+                while cursor != src:
+                    cursor, used = parents[cursor]
+                    route.append(used)
+                return tuple(reversed(route))
+            queue.append(neighbour)
+    return None
+
+
+def path_endpoints(network: Network, path: Path) -> Tuple[int, int]:
+    """The (source vertex, destination vertex) of a monitored path."""
+    return (
+        network.links[path.links[0]].src,
+        network.links[path.links[-1]].dst,
+    )
+
+
+def _validate_route(
+    network: Network, old: Path, new_links: Tuple[int, ...]
+) -> None:
+    """A rewritten route must be a connected walk over known links that
+    keeps the old route's endpoints — anything else is a malformed plan,
+    not a topology to silently build."""
+    for link_index in new_links:
+        if not 0 <= link_index < network.num_links:
+            raise MitigationError(
+                f"route change for path {old.index} references unknown "
+                f"link {link_index}"
+            )
+    links = [network.links[e] for e in new_links]
+    for previous, current in zip(links, links[1:]):
+        if previous.dst != current.src:
+            raise MitigationError(
+                f"route change for path {old.index} is not connected at "
+                f"link {current.index}"
+            )
+    old_src, old_dst = path_endpoints(network, old)
+    if links[0].src != old_src or links[-1].dst != old_dst:
+        raise MitigationError(
+            f"route change for path {old.index} moves its endpoints "
+            f"({links[0].src}->{links[-1].dst} instead of {old_src}->{old_dst})"
+        )
+
+
+def apply_plan(network: Network, plan: MitigationPlan) -> Network:
+    """Rebuild ``network`` with the plan's route changes applied.
+
+    Links (and hence correlation sets and the ground truth's link space)
+    are untouched; only the monitored paths named by the plan get new
+    routes. A no-op plan returns ``network`` itself, so downstream
+    identity checks (``post is pre``) stay meaningful.
+
+    Raises
+    ------
+    MitigationError
+        When a change references an unknown path, does not match the
+        path's current route, or proposes a disconnected/endpoint-moving
+        route.
+    """
+    if plan.is_noop:
+        return network
+    with span(
+        "mitigation.apply", policy=plan.policy, changes=len(plan.changes)
+    ), Timer() as timer:
+        replacements: Dict[int, Tuple[int, ...]] = {}
+        for change in plan.changes:
+            if not 0 <= change.path < network.num_paths:
+                raise MitigationError(
+                    f"plan references unknown path {change.path}"
+                )
+            current = network.paths[change.path]
+            if tuple(current.links) != change.old_links:
+                raise MitigationError(
+                    f"plan is stale: path {change.path} routes via "
+                    f"{current.links}, not {change.old_links}"
+                )
+            _validate_route(network, current, change.new_links)
+            replacements[change.path] = change.new_links
+        paths = [
+            Path(index=path.index, links=replacements.get(path.index, path.links))
+            for path in network.paths
+        ]
+        rebuilt = Network(
+            links=list(network.links),
+            paths=paths,
+            name=f"{network.name}+{plan.policy}",
+        )
+    _ROUTES_REWRITTEN.inc(len(plan.changes))
+    _APPLY_SECONDS.observe(timer.elapsed)
+    return rebuilt
+
+
+def routing_diversity(network: Network) -> float:
+    """Fraction of monitored paths that can dodge at least one of their
+    own links via an alternate route.
+
+    A mitigation policy can only act where this is non-zero: the AS-level
+    link graph contains exactly the links monitored paths traverse, so an
+    instance without criss-crossing paths leaves every route stuck. Used
+    to pick a substrate with mitigation headroom for bundled campaigns.
+    """
+    adjacency = link_adjacency(network)
+    diverse = 0
+    for path in network.paths:
+        src, dst = path_endpoints(network, path)
+        if any(
+            alternate_route(network, src, dst, (e,), adjacency) is not None
+            for e in path.links
+        ):
+            diverse += 1
+    return diverse / max(1, network.num_paths)
+
+
+def reroutable_paths(
+    network: Network,
+    drained: Iterable[int],
+    adjacency: Optional[LinkAdjacency] = None,
+) -> Tuple[Dict[int, Tuple[int, ...]], List[int]]:
+    """Split the paths crossing ``drained`` into reroutable and stuck.
+
+    Returns ``(reroutes, stuck)``: for every monitored path traversing a
+    drained link, either its alternate route avoiding the whole drained
+    set (``reroutes[path_index]``) or its index in ``stuck`` when no such
+    route exists. The feasibility primitive of the CorrOpt-style search.
+    """
+    if adjacency is None:
+        adjacency = link_adjacency(network)
+    drained_set = frozenset(drained)
+    reroutes: Dict[int, Tuple[int, ...]] = {}
+    stuck: List[int] = []
+    for path_index in sorted(network.paths_covering(drained_set)):
+        path = network.paths[path_index]
+        src, dst = path_endpoints(network, path)
+        route = alternate_route(network, src, dst, drained_set, adjacency)
+        if route is None:
+            stuck.append(path_index)
+        else:
+            reroutes[path_index] = route
+    return reroutes, stuck

@@ -1,0 +1,134 @@
+"""Typed mitigation plans: what a policy decided, ready to apply or persist.
+
+A :class:`MitigationPlan` is the only thing a
+:class:`~repro.mitigation.policies.MitigationPolicy` may return: the links
+it wants traffic steered away from (``target_links``) and the concrete
+per-path route rewrites (``RouteChange``) realising that intent on the
+monitored topology. Plans are pure data — deterministic functions of
+(network, fitted model, parameters) — so they can be compared
+bit-for-bit across executors, serialised to JSON next to campaign
+results, and replayed through :func:`~repro.mitigation.apply.apply_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.exceptions import MitigationError
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """One path's route rewrite, with the model's predicted effect.
+
+    Attributes
+    ----------
+    path:
+        Index of the monitored path being rerouted.
+    old_links, new_links:
+        The route before and after, as link-index tuples.
+    predicted_before, predicted_after:
+        The fitted model's path congestion probability
+        (``1 - P(all links good)``) on the old and new route — the score
+        the policy acted on, recorded so false mitigations can be audited
+        against ground truth later.
+    """
+
+    path: int
+    old_links: Tuple[int, ...]
+    new_links: Tuple[int, ...]
+    predicted_before: float
+    predicted_after: float
+
+    def __post_init__(self) -> None:
+        if self.path < 0:
+            raise MitigationError(f"route change references path {self.path}")
+        if not self.old_links or not self.new_links:
+            raise MitigationError("route change needs non-empty old and new routes")
+        if self.old_links == self.new_links:
+            raise MitigationError(
+                f"route change for path {self.path} does not change the route"
+            )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "old_links": list(self.old_links),
+            "new_links": list(self.new_links),
+            "predicted_before": self.predicted_before,
+            "predicted_after": self.predicted_after,
+        }
+
+
+@dataclass(frozen=True)
+class MitigationPlan:
+    """A policy's decision: links to avoid plus the route rewrites doing so.
+
+    Attributes
+    ----------
+    policy:
+        Name of the policy that produced the plan.
+    target_links:
+        Links the plan routes traffic away from (sorted, unique). May be
+        non-empty with no changes when every affected path was stuck
+        (no alternate route existed).
+    changes:
+        Per-path rewrites, sorted by path index; at most one per path.
+    metadata:
+        Policy-specific diagnostics (scores, rejected candidates, ...).
+        Values must be JSON-serialisable.
+    """
+
+    policy: str
+    target_links: Tuple[int, ...] = ()
+    changes: Tuple[RouteChange, ...] = ()
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ordered_targets = tuple(sorted(set(self.target_links)))
+        object.__setattr__(self, "target_links", ordered_targets)
+        ordered = tuple(sorted(self.changes, key=lambda change: change.path))
+        paths = [change.path for change in ordered]
+        if len(set(paths)) != len(paths):
+            raise MitigationError("plan contains two route changes for one path")
+        object.__setattr__(self, "changes", ordered)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether applying the plan leaves the topology untouched."""
+        return not self.changes
+
+    @property
+    def paths_disturbed(self) -> int:
+        """Number of monitored paths whose route the plan rewrites."""
+        return len(self.changes)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON form, stable across processes (sorted, plain types)."""
+        return {
+            "policy": self.policy,
+            "target_links": list(self.target_links),
+            "paths_disturbed": self.paths_disturbed,
+            "changes": [change.to_json_dict() for change in self.changes],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_json_dict(cls, raw: Mapping[str, Any]) -> "MitigationPlan":
+        """Rebuild a plan persisted by :meth:`to_json_dict`."""
+        return cls(
+            policy=raw["policy"],
+            target_links=tuple(raw.get("target_links", ())),
+            changes=tuple(
+                RouteChange(
+                    path=change["path"],
+                    old_links=tuple(change["old_links"]),
+                    new_links=tuple(change["new_links"]),
+                    predicted_before=change["predicted_before"],
+                    predicted_after=change["predicted_after"],
+                )
+                for change in raw.get("changes", ())
+            ),
+            metadata=dict(raw.get("metadata", {})),
+        )

@@ -1,0 +1,348 @@
+"""Mitigation policies: turn a fitted model into a typed plan.
+
+A policy is a pure decision function ``(network, fitted model, params) ->
+MitigationPlan``. Policies never touch ground truth — they see exactly
+what an operator would: the monitored topology and the congestion
+probabilities the tomography estimators inferred from path observations.
+The registry mirrors the estimator/scenario registries so campaigns and
+the CLI can sweep policies by name.
+
+Three policies ship:
+
+``noop``
+    The control arm: always an empty plan. Closed-loop reports against
+    it isolate how much of the residual-congestion drop came from acting
+    on the estimates rather than from re-simulation noise (none — the
+    loop re-uses the seed — but the control keeps the comparison honest).
+
+``ecmp-split``
+    Threshold activation in the spirit of TEController's
+    ``SCongestionProbability``: any monitored path whose fitted
+    congestion probability crosses ``path_threshold`` is steered onto
+    the best alternate route avoiding its riskiest links, provided the
+    model predicts at least ``min_gain`` improvement.
+
+``corropt-greedy``
+    CorrOpt-style candidate-subset search: greedily drain the most
+    suspect links (fitted marginal above ``marginal_threshold``),
+    accepting a link only while the fraction of monitored paths that
+    still have a working route stays at or above
+    ``min_active_fraction`` — the min-active-paths capacity constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import MitigationError
+from repro.mitigation.apply import (
+    alternate_route,
+    link_adjacency,
+    path_endpoints,
+    reroutable_paths,
+)
+from repro.mitigation.plan import MitigationPlan, RouteChange
+from repro.obs import counter, histogram, span
+from repro.obs.timer import Timer
+from repro.probability.query import CongestionProbabilityModel
+from repro.topology.graph import Network
+
+#: builder signature: (network, model, params) -> (target_links, changes, metadata)
+PolicyBuilder = Callable[
+    [Network, CongestionProbabilityModel, Mapping[str, Any]],
+    Tuple[Tuple[int, ...], Tuple[RouteChange, ...], Dict[str, Any]],
+]
+
+_PLANS_TOTAL = counter(
+    "repro_mitigation_plans_total",
+    "Mitigation plans constructed, by policy.",
+    labels=("policy",),
+)
+_CHANGES_TOTAL = counter(
+    "repro_mitigation_route_changes_total",
+    "Route changes proposed across all constructed plans.",
+)
+_PLAN_SECONDS = histogram(
+    "repro_mitigation_plan_seconds",
+    "Wall time spent constructing mitigation plans.",
+)
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """A named, parameterised mitigation decision procedure.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the ``policy`` recorded on produced plans).
+    description:
+        One-line summary shown by ``repro-tomography policies list``.
+    builder:
+        The decision function; receives the merged parameter mapping.
+    defaults:
+        Tunable parameters and their default values. ``propose`` rejects
+        overrides that are not declared here, so sweeps fail loudly on
+        typos instead of silently running the default.
+    """
+
+    name: str
+    description: str
+    builder: PolicyBuilder
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def propose(
+        self,
+        network: Network,
+        model: CongestionProbabilityModel,
+        **overrides: Any,
+    ) -> MitigationPlan:
+        """Run the policy and return its plan.
+
+        Deterministic: same network, same fitted model, same parameters
+        give a bit-identical plan regardless of host or executor.
+        """
+        unknown = sorted(set(overrides) - set(self.defaults))
+        if unknown:
+            raise MitigationError(
+                f"policy '{self.name}' has no parameter(s) {unknown}; "
+                f"known: {sorted(self.defaults)}"
+            )
+        params = {**self.defaults, **overrides}
+        with span("mitigation.plan", policy=self.name), Timer() as timer:
+            targets, changes, metadata = self.builder(network, model, params)
+            plan = MitigationPlan(
+                policy=self.name,
+                target_links=targets,
+                changes=changes,
+                metadata={"params": dict(params), **metadata},
+            )
+        _PLANS_TOTAL.inc(policy=self.name)
+        if plan.changes:
+            _CHANGES_TOTAL.inc(len(plan.changes))
+        _PLAN_SECONDS.observe(timer.elapsed)
+        return plan
+
+
+POLICIES: Dict[str, MitigationPolicy] = {}
+
+
+def register_policy(policy: MitigationPolicy) -> MitigationPolicy:
+    """Add a policy to the global registry (name must be unused)."""
+    if policy.name in POLICIES:
+        raise MitigationError(f"mitigation policy '{policy.name}' already registered")
+    POLICIES[policy.name] = policy
+    return policy
+
+
+def policy_names() -> List[str]:
+    """Registered policy names in registration order."""
+    return list(POLICIES)
+
+
+def get_policy(name: str) -> MitigationPolicy:
+    """Look up a policy by name, with the known names in the error."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        known = ", ".join(policy_names())
+        raise MitigationError(
+            f"unknown mitigation policy '{name}' (known: {known})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# no-op baseline
+
+
+def _noop_builder(
+    network: Network,
+    model: CongestionProbabilityModel,
+    params: Mapping[str, Any],
+) -> Tuple[Tuple[int, ...], Tuple[RouteChange, ...], Dict[str, Any]]:
+    del network, model, params
+    return (), (), {}
+
+
+# ---------------------------------------------------------------------------
+# threshold ECMP-split activation
+
+
+def _route_risk(
+    model: CongestionProbabilityModel,
+    route: Tuple[int, ...],
+    degrees: np.ndarray,
+    unknown_penalty: float,
+) -> float:
+    """Model-predicted congestion probability of a route, penalised for
+    links the monitoring mesh never observed (degree 0): the model is
+    blind there, so prefer routes it can actually vouch for."""
+    risk = 1.0 - model.prob_all_good(route)
+    unknown = sum(1 for e in route if degrees[e] == 0)
+    return risk + unknown_penalty * unknown
+
+
+def _ecmp_split_builder(
+    network: Network,
+    model: CongestionProbabilityModel,
+    params: Mapping[str, Any],
+) -> Tuple[Tuple[int, ...], Tuple[RouteChange, ...], Dict[str, Any]]:
+    path_threshold = float(params["path_threshold"])
+    link_threshold = float(params["link_threshold"])
+    max_avoid = int(params["max_avoid"])
+    min_gain = float(params["min_gain"])
+    unknown_penalty = float(params["unknown_penalty"])
+
+    adjacency = link_adjacency(network)
+    degrees = network.link_degrees()
+    marginals = model.link_marginals()
+
+    changes: List[RouteChange] = []
+    targets: set = set()
+    activated = 0
+    for path in network.paths:
+        risk = 1.0 - model.prob_all_good(path.links)
+        if risk < path_threshold:
+            continue
+        activated += 1
+        # Suspect links on this path, most probable first; if thresholding
+        # leaves nothing (diffuse blame), still avoid the single worst link.
+        suspects = sorted(
+            (e for e in path.links if marginals[e] >= link_threshold),
+            key=lambda e: (-marginals[e], e),
+        )[:max_avoid]
+        if not suspects:
+            suspects = [max(path.links, key=lambda e: (marginals[e], -e))]
+        src, dst = path_endpoints(network, path)
+        best: Tuple[float, Tuple[int, ...], Tuple[int, ...]] | None = None
+        # Avoid as many suspects as the topology allows: try the full
+        # suspect set first, then shrink from the least-probable end.
+        for count in range(len(suspects), 0, -1):
+            avoid = suspects[:count]
+            route = alternate_route(network, src, dst, avoid, adjacency)
+            if route is None or route == tuple(path.links):
+                continue
+            score = _route_risk(model, route, degrees, unknown_penalty)
+            if best is None or score < best[0]:
+                best = (score, route, tuple(avoid))
+        if best is None:
+            continue
+        score, route, avoided = best
+        if risk - score < min_gain:
+            continue
+        changes.append(
+            RouteChange(
+                path=path.index,
+                old_links=tuple(path.links),
+                new_links=route,
+                predicted_before=risk,
+                predicted_after=1.0 - model.prob_all_good(route),
+            )
+        )
+        targets.update(e for e in avoided if e not in route)
+    metadata = {"paths_over_threshold": activated}
+    return tuple(sorted(targets)), tuple(changes), metadata
+
+
+# ---------------------------------------------------------------------------
+# CorrOpt-style greedy candidate-subset search
+
+
+def _corropt_builder(
+    network: Network,
+    model: CongestionProbabilityModel,
+    params: Mapping[str, Any],
+) -> Tuple[Tuple[int, ...], Tuple[RouteChange, ...], Dict[str, Any]]:
+    marginal_threshold = float(params["marginal_threshold"])
+    max_links = int(params["max_links"])
+    min_active_fraction = float(params["min_active_fraction"])
+
+    adjacency = link_adjacency(network)
+    marginals = model.link_marginals()
+    candidates = sorted(
+        (e for e in range(network.num_links) if marginals[e] >= marginal_threshold),
+        key=lambda e: (-marginals[e], e),
+    )
+
+    drained: List[int] = []
+    rejected: List[int] = []
+    for link in candidates:
+        if len(drained) >= max_links:
+            break
+        trial = drained + [link]
+        _, stuck = reroutable_paths(network, trial, adjacency)
+        active = (network.num_paths - len(stuck)) / network.num_paths
+        if active >= min_active_fraction:
+            drained.append(link)
+        else:
+            rejected.append(link)
+
+    changes: List[RouteChange] = []
+    if drained:
+        reroutes, _ = reroutable_paths(network, drained, adjacency)
+        for path_index, route in sorted(reroutes.items()):
+            old = tuple(network.paths[path_index].links)
+            if route == old:
+                continue
+            changes.append(
+                RouteChange(
+                    path=path_index,
+                    old_links=old,
+                    new_links=route,
+                    predicted_before=1.0 - model.prob_all_good(old),
+                    predicted_after=1.0 - model.prob_all_good(route),
+                )
+            )
+    metadata = {
+        "candidates": [int(e) for e in candidates],
+        "rejected": [int(e) for e in rejected],
+    }
+    return tuple(drained), tuple(changes), metadata
+
+
+register_policy(
+    MitigationPolicy(
+        name="noop",
+        description=(
+            "Do nothing — the control arm every other policy is judged against."
+        ),
+        builder=_noop_builder,
+    )
+)
+
+register_policy(
+    MitigationPolicy(
+        name="ecmp-split",
+        description=(
+            "Steer each path whose fitted congestion probability crosses a "
+            "threshold onto the best alternate route avoiding its riskiest links."
+        ),
+        builder=_ecmp_split_builder,
+        defaults={
+            "path_threshold": 0.3,
+            "link_threshold": 0.2,
+            "max_avoid": 4,
+            "min_gain": 0.05,
+            "unknown_penalty": 0.02,
+        },
+    )
+)
+
+register_policy(
+    MitigationPolicy(
+        name="corropt-greedy",
+        description=(
+            "Greedily drain the most suspect links and reroute around them, "
+            "subject to a min-active-paths constraint."
+        ),
+        builder=_corropt_builder,
+        defaults={
+            "marginal_threshold": 0.3,
+            "max_links": 4,
+            "min_active_fraction": 1.0,
+        },
+    )
+)

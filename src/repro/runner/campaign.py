@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.experiments import ablation as _ablation
 from repro.experiments import figure3 as _figure3
 from repro.experiments import figure4 as _figure4
+from repro.experiments import mitigation as _mitigation
 from repro.experiments import realworld as _realworld
 from repro.experiments import scaling as _scaling
 from repro.experiments.config import ExperimentScale, scale_by_name
@@ -55,6 +56,8 @@ class CampaignDefinition:
     render: Callable[[Any], str]
     summarize: Callable[[Any], Dict[str, Any]]
     accepts_filters: bool = False
+    #: Whether the campaign honours ``--policy`` (mitigation-policy filter).
+    accepts_policies: bool = False
 
 
 def _render_figure3(result: _figure3.Figure3Result) -> str:
@@ -172,6 +175,34 @@ def _split_filter(value: Optional[str]) -> Optional[List[str]]:
     return names or None
 
 
+def _render_mitigation(result: _mitigation.MitigationResult) -> str:
+    lines = []
+    for topology in result.topologies():
+        for scenario in result.scenarios():
+            if not any(
+                key[0] == topology and key[1] == scenario for key in result.rows
+            ):
+                continue
+            lines.append(
+                f"{topology} / {scenario} — residual path-congestion rate "
+                "(reduction vs pre)"
+            )
+            lines.append(result.to_table(topology, scenario))
+            lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _summarize_mitigation(result: _mitigation.MitigationResult) -> Dict[str, Any]:
+    return {
+        "cells": {
+            f"{topology} | {scenario} | {policy} | {estimator}": report
+            for (topology, scenario, policy, estimator), report in sorted(
+                result.rows.items()
+            )
+        }
+    }
+
+
 def _summarize_ablation(result: _ablation.AblationResult) -> Dict[str, Any]:
     return {
         "mean_absolute_error": {
@@ -249,6 +280,29 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         summarize=_summarize_realworld,
         accepts_filters=True,
     ),
+    "mitigation": CampaignDefinition(
+        name="mitigation",
+        description=(
+            "Closed-loop mitigation sweep: estimate, act, re-simulate, "
+            "re-estimate (policy x estimator x scenario)"
+        ),
+        default_seed=13,
+        trial_fn=_mitigation.mitigation_trial,
+        build=lambda spec, scale, seed: _mitigation.mitigation_specs(
+            scale,
+            seed,
+            spec.oracle,
+            datasets=_split_filter(spec.dataset),
+            scenarios=_split_filter(spec.scenario),
+            estimators=_split_filter(spec.estimator),
+            policies=_split_filter(spec.policy),
+        ),
+        merge=_mitigation.merge_mitigation,
+        render=_render_mitigation,
+        summarize=_summarize_mitigation,
+        accepts_filters=True,
+        accepts_policies=True,
+    ),
 }
 
 
@@ -262,9 +316,11 @@ class CampaignSpec:
     (``"auto"`` — the default — threads when the active frequency kernel
     is GIL-free, else processes; or an explicit ``"thread"`` /
     ``"process"``). ``dataset`` / ``scenario`` / ``estimator``
-    restrict a filter-accepting campaign (``realworld``) to
-    comma-separated registered names (estimator aliases are accepted —
-    see :mod:`repro.probability.registry`).
+    restrict a filter-accepting campaign (``realworld``, ``mitigation``)
+    to comma-separated registered names (estimator aliases are accepted —
+    see :mod:`repro.probability.registry`); ``policy`` restricts a
+    policy-accepting campaign (``mitigation``) to registered mitigation
+    policies.
     """
 
     campaign: str
@@ -277,6 +333,7 @@ class CampaignSpec:
     dataset: Optional[str] = None
     scenario: Optional[str] = None
     estimator: Optional[str] = None
+    policy: Optional[str] = None
     executor: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
@@ -302,6 +359,19 @@ class CampaignSpec:
                 f"campaign {self.campaign!r} does not accept "
                 "dataset/scenario/estimator filters"
             )
+        if self.policy and not definition.accepts_policies:
+            raise ValueError(
+                f"campaign {self.campaign!r} does not accept a policy filter"
+            )
+        if self.policy:
+            from repro.exceptions import MitigationError
+            from repro.mitigation.policies import get_policy
+
+            for name in _split_filter(self.policy) or []:
+                try:
+                    get_policy(name)
+                except MitigationError as exc:
+                    raise ValueError(str(exc)) from None
         if self.estimator:
             from repro.exceptions import EstimationError
             from repro.probability.registry import get_estimator
@@ -380,6 +450,7 @@ class CampaignOutcome:
             "dataset": self.spec.dataset,
             "scenario": self.spec.scenario,
             "estimator": self.spec.estimator,
+            "policy": self.spec.policy,
             "seeds": self.seeds,
             "num_trials": self.num_trials,
             "elapsed_s": round(self.elapsed, 4),
@@ -470,6 +541,37 @@ def run_campaign(
     return outcome
 
 
+def validate_output_dir(output_dir: Union[str, Path]) -> Path:
+    """Ensure the output directory exists (creating it) and is writable.
+
+    Called *before* a campaign starts computing, so a bad ``--output``
+    fails in milliseconds with a clear message instead of a traceback
+    after minutes of compute.
+
+    Raises
+    ------
+    ValueError
+        When the path exists but is not a directory, cannot be created,
+        or is not writable.
+    """
+    import os
+
+    directory = Path(output_dir)
+    if directory.exists() and not directory.is_dir():
+        raise ValueError(
+            f"output path {directory} exists and is not a directory"
+        )
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot create output directory {directory}: {exc}"
+        ) from None
+    if not os.access(directory, os.W_OK):
+        raise ValueError(f"output directory {directory} is not writable")
+    return directory
+
+
 def write_outcome(outcome: CampaignOutcome, output_dir: Union[str, Path]) -> Path:
     """Persist a campaign outcome as JSON; returns the written path.
 
@@ -478,8 +580,7 @@ def write_outcome(outcome: CampaignOutcome, output_dir: Union[str, Path]) -> Pat
     ``telemetry.jsonl`` routed into the output directory is complete the
     moment the results are.
     """
-    directory = Path(output_dir)
-    directory.mkdir(parents=True, exist_ok=True)
+    directory = validate_output_dir(output_dir)
     seed_tag = "-".join(str(seed) for seed in outcome.seeds[:3])
     if len(outcome.seeds) > 3:
         seed_tag += f"-and-{len(outcome.seeds) - 3}-more"

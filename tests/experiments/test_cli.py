@@ -132,7 +132,14 @@ def test_campaign_unknown_name():
 def test_campaign_list(capsys):
     assert main(["campaign", "--list"]) == 0
     out = capsys.readouterr().out
-    for name in ("figure3", "figure4", "scaling", "ablation", "realworld"):
+    for name in (
+        "figure3",
+        "figure4",
+        "scaling",
+        "ablation",
+        "realworld",
+        "mitigation",
+    ):
         assert name in out
 
 
@@ -457,6 +464,110 @@ def test_monitor_kernel_flag(capsys):
         == 0
     )
     assert "refits" in capsys.readouterr().out
+
+
+def test_policies_list(capsys):
+    assert main(["policies", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "Registered mitigation policies" in out
+    for name in ("noop", "ecmp-split", "corropt-greedy"):
+        assert name in out
+
+
+def test_policies_info(capsys):
+    assert main(["policies", "info", "corropt-greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "corropt-greedy:" in out
+    assert "min_active_fraction" in out
+
+
+def test_policies_info_unknown_name():
+    with pytest.raises(SystemExit, match="unknown mitigation policy"):
+        main(["policies", "info", "warp-drive"])
+    with pytest.raises(SystemExit, match="provide a policy name"):
+        main(["policies", "info"])
+
+
+def test_mitigate_smoke(capsys, tmp_path):
+    out_dir = tmp_path / "loop"
+    assert (
+        main(
+            [
+                "mitigate",
+                "--scale",
+                "tiny",
+                "--output",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "closed loop on" in out
+    assert "path congestion:" in out
+    assert "paths disturbed:" in out
+    plan = json.loads((out_dir / "plan.json").read_text())
+    report = json.loads((out_dir / "report.json").read_text())
+    assert plan["policy"] == "corropt-greedy"
+    assert report["policy"] == "corropt-greedy"
+    assert report["estimator"] == "Independence"
+    assert report["post_congestion_rate"] <= report["pre_congestion_rate"]
+
+
+def test_mitigate_unknown_names_error():
+    with pytest.raises(SystemExit, match="unknown mitigation policy"):
+        main(["mitigate", "--scale", "tiny", "--policy", "warp-drive"])
+    with pytest.raises(SystemExit, match="unknown estimator"):
+        main(["mitigate", "--scale", "tiny", "--estimator", "bogus"])
+
+
+def test_mitigate_bad_output_fails_fast(tmp_path):
+    clobber = tmp_path / "file.json"
+    clobber.write_text("{}")
+    # Validation runs before any simulation, so this errors immediately.
+    with pytest.raises(SystemExit, match="not a directory"):
+        main(["mitigate", "--scale", "tiny", "--output", str(clobber)])
+
+
+def test_campaign_mitigation_with_policy_filter(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "mitigation",
+                "--scale",
+                "tiny",
+                "--scenario",
+                "random",
+                "--estimator",
+                "Independence",
+                "--policy",
+                "noop,corropt-greedy",
+                "--workers",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "campaign mitigation" in out
+    assert "residual path-congestion rate" in out
+    assert "corropt-greedy" in out
+
+
+def test_campaign_policy_rejected_for_non_mitigation():
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "scaling", "--policy", "noop"])
+    with pytest.raises(SystemExit, match="invalid campaign options"):
+        main(["campaign", "mitigation", "--policy", "warp-drive"])
+
+
+def test_campaign_bad_output_fails_fast(tmp_path):
+    clobber = tmp_path / "occupied"
+    clobber.write_text("not a directory")
+    # The output dir is validated before the sweep starts, not after.
+    with pytest.raises(SystemExit, match="not a directory"):
+        main(["campaign", "scaling", "--output", str(clobber)])
 
 
 def test_monitor_unknown_kernel_errors():

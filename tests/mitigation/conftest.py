@@ -1,0 +1,42 @@
+"""Shared fixtures for the mitigation suite: tiny hand-built topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.graph import Link, Network, Path
+
+
+@pytest.fixture
+def diamond():
+    """Two vertex-disjoint routes 0 -> 3: upper (e0 e1), lower (e2 e3).
+
+    Both monitored paths share endpoints, so either can be rerouted onto
+    the other branch — the smallest topology where mitigation can act.
+    """
+    links = [
+        Link(index=0, src=0, dst=1, asn=0),
+        Link(index=1, src=1, dst=3, asn=0),
+        Link(index=2, src=0, dst=2, asn=1),
+        Link(index=3, src=2, dst=3, asn=1),
+    ]
+    paths = [
+        Path(index=0, links=(0, 1)),
+        Path(index=1, links=(2, 3)),
+    ]
+    return Network(links, paths, name="diamond")
+
+
+@pytest.fixture
+def line():
+    """A single chain 0 -> 1 -> 2 with one monitored path: no alternates.
+
+    Draining any link strands the only path, so the min-active-paths
+    constraint must forbid every candidate here.
+    """
+    links = [
+        Link(index=0, src=0, dst=1, asn=0),
+        Link(index=1, src=1, dst=2, asn=0),
+    ]
+    paths = [Path(index=0, links=(0, 1))]
+    return Network(links, paths, name="line")

@@ -1,0 +1,176 @@
+"""Unit tests for plan application and rerouting (repro.mitigation.apply)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MitigationError
+from repro.mitigation.apply import (
+    alternate_route,
+    apply_plan,
+    link_adjacency,
+    path_endpoints,
+    reroutable_paths,
+    routing_diversity,
+)
+from repro.mitigation.plan import MitigationPlan, RouteChange
+
+
+def test_link_adjacency_sorted_by_link_index(diamond):
+    adjacency = link_adjacency(diamond)
+    assert adjacency[0] == [(0, 1), (2, 2)]
+    assert adjacency[1] == [(1, 3)]
+    assert adjacency[2] == [(3, 3)]
+
+
+def test_path_endpoints(diamond):
+    assert path_endpoints(diamond, diamond.paths[0]) == (0, 3)
+    assert path_endpoints(diamond, diamond.paths[1]) == (0, 3)
+
+
+def test_alternate_route_avoids_links(diamond):
+    assert alternate_route(diamond, 0, 3, {0}) == (2, 3)
+    assert alternate_route(diamond, 0, 3, {2}) == (0, 1)
+    # Without an avoid set the smallest-link-index route wins the tie.
+    assert alternate_route(diamond, 0, 3, ()) == (0, 1)
+
+
+def test_alternate_route_none_when_cut(diamond):
+    assert alternate_route(diamond, 0, 3, {0, 2}) is None
+    assert alternate_route(diamond, 0, 3, {1, 3}) is None
+
+
+def test_alternate_route_degenerate_endpoints(diamond):
+    assert alternate_route(diamond, 0, 0, ()) is None
+
+
+def test_alternate_route_deterministic(diamond):
+    routes = {alternate_route(diamond, 0, 3, {0}) for _ in range(5)}
+    assert routes == {(2, 3)}
+
+
+def test_reroutable_paths_split(diamond, line):
+    reroutes, stuck = reroutable_paths(diamond, {0})
+    assert reroutes == {0: (2, 3)}
+    assert stuck == []
+    reroutes, stuck = reroutable_paths(line, {0})
+    assert reroutes == {}
+    assert stuck == [0]
+
+
+def test_routing_diversity(diamond, line):
+    assert routing_diversity(diamond) == 1.0
+    assert routing_diversity(line) == 0.0
+
+
+def _plan(policy="test", **kwargs):
+    defaults = {
+        "target_links": (0,),
+        "changes": (
+            RouteChange(
+                path=0,
+                old_links=(0, 1),
+                new_links=(2, 3),
+                predicted_before=0.8,
+                predicted_after=0.1,
+            ),
+        ),
+    }
+    defaults.update(kwargs)
+    return MitigationPlan(policy=policy, **defaults)
+
+
+def test_apply_plan_rewrites_routes(diamond):
+    rebuilt = apply_plan(diamond, _plan())
+    assert rebuilt is not diamond
+    assert rebuilt.name == "diamond+test"
+    assert rebuilt.paths[0].links == (2, 3)
+    assert rebuilt.paths[1].links == (2, 3)
+    assert rebuilt.links == diamond.links
+    assert rebuilt.num_paths == diamond.num_paths
+    # The original network is untouched.
+    assert diamond.paths[0].links == (0, 1)
+
+
+def test_apply_noop_returns_same_network(diamond):
+    assert apply_plan(diamond, MitigationPlan(policy="noop")) is diamond
+
+
+def test_apply_rejects_unknown_path(diamond):
+    plan = _plan(
+        changes=(
+            RouteChange(
+                path=7,
+                old_links=(0, 1),
+                new_links=(2, 3),
+                predicted_before=0.5,
+                predicted_after=0.1,
+            ),
+        )
+    )
+    with pytest.raises(MitigationError, match="unknown path 7"):
+        apply_plan(diamond, plan)
+
+
+def test_apply_rejects_stale_old_route(diamond):
+    plan = _plan(
+        changes=(
+            RouteChange(
+                path=0,
+                old_links=(0, 3),
+                new_links=(2, 3),
+                predicted_before=0.5,
+                predicted_after=0.1,
+            ),
+        )
+    )
+    with pytest.raises(MitigationError, match="stale"):
+        apply_plan(diamond, plan)
+
+
+def test_apply_rejects_disconnected_route(diamond):
+    plan = _plan(
+        changes=(
+            RouteChange(
+                path=0,
+                old_links=(0, 1),
+                new_links=(0, 3),  # link 0 ends at vertex 1, link 3 starts at 2
+                predicted_before=0.5,
+                predicted_after=0.1,
+            ),
+        )
+    )
+    with pytest.raises(MitigationError, match="not connected"):
+        apply_plan(diamond, plan)
+
+
+def test_apply_rejects_endpoint_move(diamond):
+    plan = _plan(
+        changes=(
+            RouteChange(
+                path=0,
+                old_links=(0, 1),
+                new_links=(2,),  # 0 -> 2, drops the old destination 3
+                predicted_before=0.5,
+                predicted_after=0.1,
+            ),
+        )
+    )
+    with pytest.raises(MitigationError, match="moves its endpoints"):
+        apply_plan(diamond, plan)
+
+
+def test_apply_rejects_unknown_link(diamond):
+    plan = _plan(
+        changes=(
+            RouteChange(
+                path=0,
+                old_links=(0, 1),
+                new_links=(2, 9),
+                predicted_before=0.5,
+                predicted_after=0.1,
+            ),
+        )
+    )
+    with pytest.raises(MitigationError, match="unknown link 9"):
+        apply_plan(diamond, plan)

@@ -1,0 +1,133 @@
+"""Closed-loop evaluation tests (repro.mitigation.evaluate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mitigation import get_policy, run_closed_loop
+from repro.mitigation.evaluate import path_congestion_rate
+from repro.probability.base import EstimatorConfig
+from repro.probability.registry import make_estimator
+from repro.simulation.congestion import CongestionModel, Driver
+from repro.simulation.scenarios import Scenario
+from tests.mitigation.test_policies import model_for
+
+
+@pytest.fixture
+def diamond_scenario(diamond):
+    """Diamond with only the upper branch's first link congestable."""
+    truth = CongestionModel(
+        diamond.num_links, [Driver(probability=0.5, links=frozenset({0}))]
+    )
+    return Scenario(
+        name="diamond-upper",
+        network=diamond,
+        ground_truth=truth,
+        congestable=frozenset({0}),
+    )
+
+
+def estimator(seed=0):
+    return make_estimator("Independence", EstimatorConfig(seed=seed))
+
+
+def test_path_congestion_rate(diamond):
+    states = np.array(
+        [
+            [True, False, False, False],  # congests path 0 only
+            [False, False, False, False],  # congests nothing
+        ]
+    )
+    assert path_congestion_rate(diamond, states) == pytest.approx(0.25)
+
+
+def test_noop_reproduces_pre_state_exactly(diamond_scenario):
+    report = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("noop"),
+        num_intervals=200,
+        seed=42,
+    )
+    assert report.post_congestion_rate == report.pre_congestion_rate
+    assert report.reduction == 0.0
+    assert report.paths_disturbed == 0
+    assert report.post_fit_error == report.pre_fit_error
+    assert report.false_mitigation_rate == 0.0
+
+
+def test_corropt_clears_congestion_on_diamond(diamond_scenario):
+    report = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("corropt-greedy"),
+        num_intervals=200,
+        seed=42,
+    )
+    # The loop learns link 0 is congested and steers path 0 onto the
+    # clean lower branch: the true residual drops to zero.
+    assert report.pre_congestion_rate > 0.1
+    assert report.post_congestion_rate == 0.0
+    assert report.reduction == report.pre_congestion_rate
+    assert report.paths_disturbed == 1
+    assert report.num_target_links == 1
+    assert report.false_mitigation_rate == 0.0
+    assert report.plan["target_links"] == [0]
+
+
+def test_closed_loop_is_deterministic(diamond_scenario):
+    first = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("corropt-greedy"),
+        num_intervals=200,
+        seed=42,
+    )
+    second = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("corropt-greedy"),
+        num_intervals=200,
+        seed=42,
+    )
+    assert first == second
+
+
+def test_false_mitigation_detected(diamond, diamond_scenario):
+    # Inject a model that blames the (truly never congested) lower
+    # branch: the loop must flag every such target as a false mitigation.
+    wrong = model_for(diamond, {2: 0.9})
+    report = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("corropt-greedy"),
+        num_intervals=200,
+        seed=42,
+        pre_model=wrong,
+    )
+    assert report.num_target_links == 1
+    assert report.plan["target_links"] == [2]
+    assert report.false_mitigation_rate == 1.0
+
+
+def test_report_json_round_trip_shape(diamond_scenario):
+    report = run_closed_loop(
+        diamond_scenario,
+        estimator(),
+        get_policy("ecmp-split"),
+        num_intervals=100,
+        seed=7,
+    )
+    raw = report.to_json_dict()
+    assert raw["scenario"] == "diamond-upper"
+    assert raw["policy"] == "ecmp-split"
+    assert raw["estimator"] == "Independence"
+    assert raw["num_paths"] == 2
+    assert set(raw["plan"]) == {
+        "policy",
+        "target_links",
+        "paths_disturbed",
+        "changes",
+        "metadata",
+    }

@@ -1,0 +1,85 @@
+"""Unit tests for typed mitigation plans (repro.mitigation.plan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MitigationError
+from repro.mitigation.plan import MitigationPlan, RouteChange
+
+
+def change(path=0, old=(0, 1), new=(2, 3), before=0.8, after=0.1):
+    return RouteChange(
+        path=path,
+        old_links=old,
+        new_links=new,
+        predicted_before=before,
+        predicted_after=after,
+    )
+
+
+def test_route_change_rejects_negative_path():
+    with pytest.raises(MitigationError, match="path -1"):
+        change(path=-1)
+
+
+def test_route_change_rejects_empty_routes():
+    with pytest.raises(MitigationError, match="non-empty"):
+        change(old=())
+    with pytest.raises(MitigationError, match="non-empty"):
+        change(new=())
+
+
+def test_route_change_rejects_identical_routes():
+    with pytest.raises(MitigationError, match="does not change"):
+        change(old=(0, 1), new=(0, 1))
+
+
+def test_plan_normalises_targets_and_changes():
+    plan = MitigationPlan(
+        policy="test",
+        target_links=(5, 1, 5, 3),
+        changes=(change(path=4), change(path=2, old=(1, 3), new=(0, 2))),
+    )
+    assert plan.target_links == (1, 3, 5)
+    assert [c.path for c in plan.changes] == [2, 4]
+    assert plan.paths_disturbed == 2
+    assert not plan.is_noop
+
+
+def test_plan_rejects_duplicate_path_changes():
+    with pytest.raises(MitigationError, match="two route changes"):
+        MitigationPlan(
+            policy="test",
+            changes=(change(path=1), change(path=1, old=(1, 3), new=(0, 2))),
+        )
+
+
+def test_empty_plan_is_noop():
+    plan = MitigationPlan(policy="noop")
+    assert plan.is_noop
+    assert plan.paths_disturbed == 0
+    assert plan.target_links == ()
+
+
+def test_plan_json_round_trip():
+    plan = MitigationPlan(
+        policy="corropt-greedy",
+        target_links=(2, 0),
+        changes=(change(path=1),),
+        metadata={"candidates": [0, 2]},
+    )
+    rebuilt = MitigationPlan.from_json_dict(plan.to_json_dict())
+    assert rebuilt == plan
+    assert rebuilt.to_json_dict() == plan.to_json_dict()
+
+
+def test_plan_json_dict_shape():
+    raw = MitigationPlan(policy="noop").to_json_dict()
+    assert raw == {
+        "policy": "noop",
+        "target_links": [],
+        "paths_disturbed": 0,
+        "changes": [],
+        "metadata": {},
+    }

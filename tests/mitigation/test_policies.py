@@ -1,0 +1,175 @@
+"""Unit tests for the mitigation-policy registry and the shipped policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MitigationError
+from repro.mitigation.policies import (
+    POLICIES,
+    MitigationPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+from repro.probability.query import CongestionProbabilityModel
+
+
+def model_for(network, congestion, independent=True, always_good=frozenset()):
+    """Hand-built fitted model: per-link congestion probabilities."""
+    return CongestionProbabilityModel(
+        network,
+        {
+            frozenset({e}): 1.0 - probability
+            for e, probability in congestion.items()
+        },
+        identifiable={frozenset({e}): True for e in congestion},
+        always_good_links=frozenset(always_good),
+        independent=independent,
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+
+
+def test_registry_order_and_lookup():
+    assert policy_names() == ["noop", "ecmp-split", "corropt-greedy"]
+    assert get_policy("ecmp-split").name == "ecmp-split"
+
+
+def test_unknown_policy_lists_known_names():
+    with pytest.raises(MitigationError, match="noop.*ecmp-split.*corropt-greedy"):
+        get_policy("turn-it-off-and-on")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(MitigationError, match="already registered"):
+        register_policy(POLICIES["noop"])
+
+
+def test_unknown_parameter_rejected(diamond):
+    model = model_for(diamond, {0: 0.5})
+    with pytest.raises(MitigationError, match="max_linkz"):
+        get_policy("corropt-greedy").propose(diamond, model, max_linkz=2)
+
+
+def test_propose_records_params_in_metadata(diamond):
+    model = model_for(diamond, {0: 0.5})
+    plan = get_policy("corropt-greedy").propose(diamond, model, max_links=2)
+    assert plan.metadata["params"]["max_links"] == 2
+
+
+# ----------------------------------------------------------------------
+# noop
+
+
+def test_noop_always_empty(diamond):
+    model = model_for(diamond, {0: 0.99, 1: 0.99})
+    plan = get_policy("noop").propose(diamond, model)
+    assert plan.is_noop
+    assert plan.target_links == ()
+
+
+# ----------------------------------------------------------------------
+# ecmp-split
+
+
+def test_ecmp_split_steers_risky_path(diamond):
+    model = model_for(diamond, {0: 0.8})
+    plan = get_policy("ecmp-split").propose(diamond, model)
+    assert [c.path for c in plan.changes] == [0]
+    assert plan.changes[0].new_links == (2, 3)
+    assert plan.target_links == (0,)
+    assert plan.changes[0].predicted_before > plan.changes[0].predicted_after
+
+
+def test_ecmp_split_empty_when_below_threshold(diamond):
+    # No link crosses link_threshold and no path crosses path_threshold.
+    model = model_for(diamond, {0: 0.05, 2: 0.05})
+    plan = get_policy("ecmp-split").propose(diamond, model)
+    assert plan.is_noop
+    assert plan.target_links == ()
+
+
+def test_ecmp_split_requires_min_gain(diamond):
+    # Both branches equally bad: rerouting buys nothing, so no change.
+    model = model_for(diamond, {0: 0.8, 2: 0.8})
+    plan = get_policy("ecmp-split").propose(diamond, model)
+    assert plan.is_noop
+
+
+def test_ecmp_split_no_alternate_no_change(line):
+    model = model_for(line, {0: 0.9})
+    plan = get_policy("ecmp-split").propose(line, model)
+    assert plan.is_noop
+
+
+# ----------------------------------------------------------------------
+# corropt-greedy
+
+
+def test_corropt_drains_and_reroutes(diamond):
+    model = model_for(diamond, {0: 0.7})
+    plan = get_policy("corropt-greedy").propose(diamond, model)
+    assert plan.target_links == (0,)
+    assert [c.path for c in plan.changes] == [0]
+    assert plan.changes[0].new_links == (2, 3)
+    assert plan.metadata["candidates"] == [0]
+    assert plan.metadata["rejected"] == []
+
+
+def test_corropt_empty_when_no_link_above_threshold(diamond):
+    model = model_for(diamond, {0: 0.2, 2: 0.1})
+    plan = get_policy("corropt-greedy").propose(diamond, model)
+    assert plan.is_noop
+    assert plan.target_links == ()
+    assert plan.metadata["candidates"] == []
+
+
+def test_corropt_min_active_paths_forbids_every_candidate(line):
+    # Draining either link of the only path strands it, so the
+    # min-active-paths constraint rejects every candidate.
+    model = model_for(line, {0: 0.9, 1: 0.8})
+    plan = get_policy("corropt-greedy").propose(line, model)
+    assert plan.is_noop
+    assert plan.target_links == ()
+    assert plan.metadata["candidates"] == [0, 1]
+    assert plan.metadata["rejected"] == [0, 1]
+
+
+def test_corropt_relaxed_constraint_allows_draining(line):
+    # With the constraint relaxed the drain goes through even though the
+    # stranded path keeps its old route (no alternate exists).
+    model = model_for(line, {0: 0.9})
+    plan = get_policy("corropt-greedy").propose(
+        line, model, min_active_fraction=0.0
+    )
+    assert plan.target_links == (0,)
+    assert plan.changes == ()
+
+
+def test_corropt_respects_max_links(diamond):
+    model = model_for(diamond, {0: 0.9, 1: 0.8})
+    plan = get_policy("corropt-greedy").propose(diamond, model, max_links=1)
+    assert plan.target_links == (0,)
+
+
+def test_policies_are_deterministic(diamond):
+    model = model_for(diamond, {0: 0.8, 3: 0.4})
+    for name in policy_names():
+        first = get_policy(name).propose(diamond, model)
+        second = get_policy(name).propose(diamond, model)
+        assert first == second
+        assert first.to_json_dict() == second.to_json_dict()
+
+
+def test_policy_dataclass_rejects_unknown_override():
+    policy = MitigationPolicy(
+        name="tmp",
+        description="",
+        builder=lambda network, model, params: ((), (), {}),
+        defaults={"alpha": 1.0},
+    )
+    with pytest.raises(MitigationError, match="beta"):
+        policy.propose(None, None, beta=2.0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.runner.campaign import (
     CampaignSpec,
     load_campaign_spec,
     run_campaign,
+    validate_output_dir,
     write_outcome,
 )
 
@@ -22,6 +24,7 @@ def test_registry_contents():
         "scaling",
         "ablation",
         "realworld",
+        "mitigation",
     }
     for definition in CAMPAIGNS.values():
         assert definition.description
@@ -159,3 +162,33 @@ def test_outcome_json_records_executor(scaling_outcome, tmp_path):
         write_outcome(scaling_outcome, tmp_path / "results").read_text()
     )
     assert payload["executor"] == scaling_outcome.spec.executor
+
+
+def test_validate_output_dir_creates_nested_path(tmp_path):
+    target = tmp_path / "a" / "b" / "results"
+    assert validate_output_dir(target) == target
+    assert target.is_dir()
+    # Idempotent on an existing directory.
+    assert validate_output_dir(target) == target
+
+
+def test_validate_output_dir_rejects_file(tmp_path):
+    clobber = tmp_path / "occupied"
+    clobber.write_text("{}")
+    with pytest.raises(ValueError, match="not a directory"):
+        validate_output_dir(clobber)
+    # A parent that is a file blocks creation, too.
+    with pytest.raises(ValueError, match="cannot create"):
+        validate_output_dir(clobber / "nested")
+
+
+def test_validate_output_dir_rejects_unwritable(tmp_path):
+    if os.geteuid() == 0:
+        pytest.skip("root bypasses permission bits")
+    locked = tmp_path / "locked"
+    locked.mkdir(mode=0o500)
+    try:
+        with pytest.raises(ValueError, match="not writable"):
+            validate_output_dir(locked)
+    finally:
+        locked.chmod(0o700)

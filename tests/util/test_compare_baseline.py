@@ -101,6 +101,77 @@ def test_skipped_rows_render_everywhere():
     assert "skipped: <4 cores" in markdown
 
 
+def test_collect_skips_gathers_ungated_rows():
+    baseline = {
+        "bench::test_sweep_workers4": {"mean_s": 1.0},
+        "bench::test_cached": {"mean_s": 0.01},
+        "bench::test_gone": {"mean_s": 1.0},
+        "bench::test_gated": {"mean_s": 1.0},
+    }
+    current = {
+        "bench::test_sweep_workers4": {"mean_s": 2.0},
+        "bench::test_cached": {"mean_s": 0.01},
+        "bench::test_gated": {"mean_s": 1.1},
+    }
+    rows = compare_baseline.compare(baseline, current, threshold=1.5, cores=1)
+    skips = compare_baseline.collect_skips(rows, strict_armed=True)
+    reasons = dict(skips)
+    assert reasons["bench::test_sweep_workers4"] == "skipped: <4 cores"
+    assert reasons["bench::test_cached"] == "cached"
+    assert reasons["bench::test_gone"] == "baseline-only"
+    # Gated rows (empty note) never appear in the skip list.
+    assert "bench::test_gated" not in reasons
+
+
+def test_collect_skips_reports_unarmed_strict_gates():
+    skips = compare_baseline.collect_skips([], strict_armed=False)
+    assert len(skips) == 1
+    assert "REPRO_BENCH_STRICT" in skips[0][1]
+    assert compare_baseline.collect_skips([], strict_armed=True) == []
+
+
+def test_skip_sections_render():
+    skips = [("bench::test_x", "cached")]
+    text = compare_baseline.render_skips_text(skips)
+    assert "1 gate(s) skipped" in text and "cached" in text
+    markdown = compare_baseline.render_skips_markdown(skips)
+    assert "Skipped benchmark gates" in markdown
+    assert "`bench::test_x` | cached" in markdown
+    empty = compare_baseline.render_skips_markdown([])
+    assert "nothing skipped" in empty
+
+
+def test_main_appends_skips_to_summary(tmp_path, monkeypatch):
+    import json
+
+    raw = tmp_path / "bench.json"
+    raw.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "fullname": "bench::test_x",
+                        "group": "g",
+                        "stats": {"mean": 1.0, "min": 0.9},
+                    }
+                ]
+            }
+        )
+    )
+    summary = tmp_path / "summary.md"
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    assert (
+        compare_baseline.main(
+            [str(raw), "--markdown", str(summary), "--threshold", "1000"]
+        )
+        == 0
+    )
+    written = summary.read_text()
+    assert "Benchmark timings vs committed baseline" in written
+    assert "Skipped benchmark gates" in written
+    assert "REPRO_BENCH_STRICT" in written
+
+
 def _span(name, sid, dur, parent=None, t0=0.0):
     return {
         "type": "span",
