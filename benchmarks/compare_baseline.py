@@ -37,6 +37,16 @@ import os
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.analyze import (  # noqa: E402
+    diff_aggregates,
+    load_trace,
+    render_regressions,
+    top_regressions,
+)
+from repro.obs.render import aggregate_spans  # noqa: E402
+
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
 
 #: Timings under this many seconds are cache hits of a shared result (see
@@ -101,61 +111,17 @@ def aggregate_telemetry(path: Path) -> dict:
 
     Returns ``{name: {"count", "total_s", "self_s"}}`` where ``self_s``
     is wall time minus the time spent in child spans (clamped at zero —
-    concurrent children can sum past their parent). Standalone
-    reimplementation of :func:`repro.obs.aggregate_spans` so this script
-    keeps working without the package on ``sys.path``.
+    concurrent children can sum past their parent). Thin wrapper over
+    the :mod:`repro.obs` attribution code — the same functions back
+    ``repro-tomography obs diff``, so the benchmark gate and the CLI
+    agree on what "self time" means. Point events carry no duration and
+    are dropped; a truncated trailing record (killed worker) is skipped
+    with a warning on stderr instead of failing the gate.
     """
-    spans = []
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            event = json.loads(line)
-            if event.get("type") == "span":
-                spans.append(event)
-    child_time: dict = {}
-    for event in spans:
-        parent = event.get("parent")
-        if parent is not None:
-            child_time[parent] = child_time.get(parent, 0.0) + event["dur"]
-    aggregate: dict = {}
-    for event in spans:
-        entry = aggregate.setdefault(
-            event["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0}
-        )
-        entry["count"] += 1
-        entry["total_s"] += event["dur"]
-        entry["self_s"] += max(event["dur"] - child_time.get(event["id"], 0.0), 0.0)
-    return aggregate
-
-
-def top_regressed_spans(baseline_spans: dict, current_spans: dict, limit: int = 3):
-    """Spans whose self-time grew, largest absolute growth first.
-
-    Rows are ``(name, base_self_s, cur_self_s, delta_s)``; spans absent
-    from the baseline aggregate are skipped (there is nothing to
-    regress against).
-    """
-    rows = []
-    for name, current in current_spans.items():
-        base = baseline_spans.get(name)
-        if base is None:
-            continue
-        delta = current["self_s"] - base["self_s"]
-        if delta > 0:
-            rows.append((name, base["self_s"], current["self_s"], delta))
-    rows.sort(key=lambda row: row[3], reverse=True)
-    return rows[:limit]
-
-
-def render_span_regressions(rows: list) -> str:
-    lines = ["top regressed spans (self-time vs committed aggregate):"]
-    for name, base_s, cur_s, delta in rows:
-        lines.append(
-            f"  {name}: {base_s:.3f}s -> {cur_s:.3f}s (+{delta:.3f}s)"
-        )
-    return "\n".join(lines)
+    events, warnings = load_trace(path)
+    for warning in warnings:
+        print(f"WARNING {warning}", file=sys.stderr)
+    return aggregate_spans([e for e in events if e.get("type") == "span"])
 
 
 def update_baseline(current: dict, raw_path: Path, spans: dict = None) -> None:
@@ -398,10 +364,11 @@ def main(argv=None) -> int:
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond {args.threshold}x")
         if telemetry is not None and baseline_doc.get("spans"):
-            regressed = top_regressed_spans(baseline_doc["spans"], telemetry)
+            deltas = diff_aggregates(baseline_doc["spans"], telemetry)
+            regressed = top_regressions(deltas)
             if regressed:
                 print()
-                print(render_span_regressions(regressed))
+                print(render_regressions(regressed))
         return 1
     print("\nno regressions beyond threshold")
     return 0

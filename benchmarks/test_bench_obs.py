@@ -29,8 +29,10 @@ fraction is printed as a warning.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from time import perf_counter
+from urllib.request import urlopen
 
 import numpy as np
 import pytest
@@ -50,6 +52,17 @@ from repro.obs import (
 #: Ceiling on the projected off-mode overhead fraction of the figure4a
 #: sweep (the ISSUE's "<2% vs no-import baseline" acceptance gate).
 MAX_OFF_OVERHEAD = 0.02
+
+#: Ceiling on the serving overhead: figure4a under a live TelemetryServer
+#: (HTTP scraper polling /metrics) plus the resource sampler, vs the
+#: plain metrics-mode run it snapshots.
+MAX_SERVE_OVERHEAD = 0.02
+
+#: Aggressive cadences for the serve benchmark — far hotter than any
+#: real deployment (Prometheus default scrape is 15s, sampler 5s), so
+#: the gate bounds a pessimistic serving load.
+SERVE_SAMPLE_INTERVAL = 0.05
+SERVE_SCRAPE_INTERVAL = 0.1
 
 #: Tight-loop iterations for the dispatch-cost microbenchmarks.
 DISPATCH_LOOPS = 200_000
@@ -92,6 +105,55 @@ def _mode_run(mode_name, scale):
             extra = None
         _MODE_RUNS[mode_name] = (result, elapsed, extra)
     return _MODE_RUNS[mode_name]
+
+
+def _serve_run(scale):
+    """Figure4 under metrics mode with live serving: (result, s, stats).
+
+    A TelemetryServer snapshots the run's registry while a background
+    scraper polls ``/metrics`` every ``SERVE_SCRAPE_INTERVAL`` seconds
+    and the resource sampler ticks every ``SERVE_SAMPLE_INTERVAL`` —
+    both far hotter than production cadences. ``stats`` reports the
+    scrape count and the last Prometheus payload.
+    """
+    if "serve" not in _MODE_RUNS:
+        from repro.obs.serve import TelemetryServer
+
+        stop = threading.Event()
+        stats = {"scrapes": 0, "last_payload": ""}
+
+        def _scrape_loop(url):
+            while not stop.wait(SERVE_SCRAPE_INTERVAL):
+                try:
+                    with urlopen(f"{url}/metrics", timeout=1.0) as response:
+                        stats["last_payload"] = response.read().decode("utf-8")
+                    stats["scrapes"] += 1
+                except OSError:
+                    pass
+
+        with use_mode("metrics"):
+            with capture_metrics() as captured:
+                server = TelemetryServer(
+                    registry_fn=lambda: captured,
+                    sample_interval=SERVE_SAMPLE_INTERVAL,
+                ).start()
+                scraper = threading.Thread(
+                    target=_scrape_loop, args=(server.url,), daemon=True
+                )
+                scraper.start()
+                try:
+                    start = perf_counter()
+                    result = run_figure4(scale, seed=2, workers=1)
+                    elapsed = perf_counter() - start
+                finally:
+                    stop.set()
+                    scraper.join(timeout=2.0)
+                    stats["samples"] = (
+                        server.sampler.samples if server.sampler else 0
+                    )
+                    server.stop()
+        _MODE_RUNS["serve"] = (result, elapsed, stats)
+    return _MODE_RUNS["serve"]
 
 
 def _assert_bit_identical(reference, other):
@@ -169,6 +231,36 @@ def test_obs_trace_figure4a(benchmark, bench_scale):
         f"figure4a sweep, REPRO_OBS=trace: off {off_s:.2f}s, "
         f"trace {trace_s:.2f}s ({ratio:.3f}x), "
         f"{len(events)} events -> {TELEMETRY_PATH}"
+    )
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_serve_figure4a(benchmark, bench_scale):
+    """Live /metrics serving + resource sampler: same bits, <2% overhead.
+
+    Compared against the plain metrics-mode run — serving implies
+    metrics collection, so the delta isolates exactly what the HTTP
+    exporter and the sampler add on top.
+    """
+    result, serve_s, stats = benchmark.pedantic(
+        lambda: _serve_run(bench_scale), rounds=1, iterations=1
+    )
+    reference, metrics_s, _ = _mode_run("metrics", bench_scale)
+    _assert_bit_identical(reference, result)
+    assert stats["scrapes"] > 0, "scraper never reached /metrics"
+    assert stats["samples"] > 0, "resource sampler never ticked"
+    assert "repro_process_resident_memory_bytes" in stats["last_payload"]
+    fraction = max(0.0, serve_s / metrics_s - 1.0) if metrics_s > 0 else 0.0
+    print()
+    print(
+        f"figure4a sweep, serving: metrics {metrics_s:.2f}s, "
+        f"serving {serve_s:.2f}s (+{fraction:.2%}), "
+        f"{stats['scrapes']} scrapes, {stats['samples']} resource samples"
+    )
+    _overhead_gate(
+        fraction,
+        MAX_SERVE_OVERHEAD,
+        "serving+sampler overhead on the figure4a sweep",
     )
 
 

@@ -17,7 +17,13 @@ The tour:
    latency quantiles (p50/p99), alert transitions, frequency-cache and
    kernel traffic — then export the same data as Prometheus text;
 4. render the span trace as a flame-style tree and reconcile it with
-   the per-stage timings the fit reports carry.
+   the per-stage timings the fit reports carry;
+5. analyze the trace (``repro.obs.analyze``): critical-path
+   decomposition of the heaviest refit, then a cross-run diff against
+   a second, shorter monitoring run — the ``obs critical-path`` /
+   ``obs diff`` machinery used programmatically;
+6. serve the live registry over HTTP (``repro.obs.serve``) and scrape
+   ``/metrics`` and ``/healthz`` exactly as Prometheus would.
 
 Run:  python examples/telemetry_tour.py
 """
@@ -154,6 +160,61 @@ def main() -> None:
             f"  {name}: {entry['self_s']:.3f}s self over "
             f"{int(entry['count'])} span(s)"
         )
+
+    # 5. Trace analytics: where did the time go, and what changed?
+    print("\n=== critical path of the heaviest refit ===")
+    reports = obs.critical_paths(events, top=4)
+    heaviest_refit = next(
+        (r for r in reports if r.root == "streaming.refit"), reports[0]
+    )
+    print(obs.render_critical_paths([heaviest_refit]), end="")
+
+    # A second, shorter run to diff against — same workload, fewer
+    # rounds, so every streaming span's self-time shrinks.
+    short_path = Path(tempfile.gettempdir()) / "telemetry_tour_short.jsonl"
+    short_path.unlink(missing_ok=True)
+    with obs.use_mode("trace", short_path):
+        short_engine = StreamingEstimator(
+            network,
+            CorrelationCompleteEstimator(EstimatorConfig(seed=44)),
+            window=80,
+        )
+        for chunk in StreamingProber(
+            network, truth, prober=PathProber(num_packets=1500),
+            chunk_intervals=16,
+        ).rounds(160, random_state=43):
+            short_engine.ingest(chunk)
+        obs.flush()
+
+    print("=== cross-run diff (short run -> full run) ===")
+    deltas, _warnings = obs.diff_traces(short_path, trace_path)
+    print(obs.render_diff(deltas, limit=6), end="")
+    print(
+        f"\n(same CLI: repro-tomography obs diff {short_path} {trace_path})"
+    )
+
+    # 6. Live export: serve the registry over HTTP and scrape it. The
+    #    tracing scope above has exited, so re-enable metrics for the
+    #    serving window — the CLI's --serve-port does the same promotion.
+    from urllib.request import urlopen
+
+    from repro.obs.serve import TelemetryServer
+
+    with obs.use_mode("metrics"), TelemetryServer(
+        status_fn=engine.telemetry_status, sample_interval=1.0
+    ) as server:
+        print(f"\n=== live scrape of {server.url}/metrics ===")
+        with urlopen(f"{server.url}/metrics", timeout=5.0) as response:
+            page = response.read().decode("utf-8")
+        for line in page.splitlines():
+            if "repro_process_" in line and not line.startswith("#"):
+                print(line)
+        with urlopen(f"{server.url}/healthz", timeout=5.0) as response:
+            print(f"\n/healthz -> {response.read().decode('utf-8')}")
+    print(
+        "(long-running equivalents: repro-tomography obs serve --port 9109, "
+        "or --serve-port on monitor/campaign)"
+    )
 
 
 if __name__ == "__main__":

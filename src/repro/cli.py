@@ -31,6 +31,10 @@ Usage::
     repro-tomography obs summary [--snapshot FILE]
     repro-tomography obs export [--format prom|json] [--snapshot FILE]
     repro-tomography obs spans TRACE.jsonl [--tree] [--validate]
+    repro-tomography obs critical-path TRACE.jsonl [--top K]
+    repro-tomography obs diff BASE.jsonl CURRENT.jsonl [--limit N]
+    repro-tomography obs serve [--port P] [--host H]
+                             [--sample-interval S]
     repro-tomography monitor [--scale SCALE] [--seed N] [--oracle]
                              [--dataset NAME] [--scenario NAME]
                              [--estimator NAME] [--kernel K]
@@ -55,10 +59,18 @@ persist the plan and scorecard as JSON.
 ``kernels`` inspects the frequency-kernel registry (numpy / optional
 compiled numba) and the active selection (``REPRO_KERNEL``). ``obs``
 inspects the telemetry layer (``REPRO_OBS=off|metrics|trace``): a human
-metrics summary, Prometheus/JSON export, and span-trace rendering or
-validation; campaign runs under ``REPRO_OBS=trace`` drop a
-``telemetry.jsonl`` (and a metrics snapshot) next to their ``--output``
-results.
+metrics summary, Prometheus/JSON export, span-trace rendering or
+validation, trace analytics (``critical-path`` decomposes each root
+span and reports shard utilization; ``diff`` aligns two traces by span
+name and names the top self-time regressions), and a live HTTP
+exporter (``serve``: ``/metrics`` Prometheus text, ``/metrics.json``,
+``/healthz``, ``/spans/recent``, with a background RSS/CPU/GC resource
+sampler). ``campaign``/``monitor``/``mitigate`` accept ``--obs MODE``
+to set the telemetry mode per run (overriding ``REPRO_OBS``), and
+``campaign``/``monitor`` accept ``--serve-port`` to expose the same
+endpoints for the duration of the run; campaign runs under
+``REPRO_OBS=trace`` drop a ``telemetry.jsonl`` (and a metrics
+snapshot) next to their ``--output`` results.
 """
 
 from __future__ import annotations
@@ -105,6 +117,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "shard executor: process pool, zero-copy threads, or auto "
         "(thread when the active kernel is GIL-free)"
     )
+    obs_help = (
+        "telemetry mode for this run (overrides the REPRO_OBS env var)"
+    )
+    serve_port_help = (
+        "expose live telemetry over HTTP on this port for the run "
+        "(/metrics, /metrics.json, /healthz, /spans/recent); promotes "
+        "telemetry to metrics mode when it is off"
+    )
+    from repro.obs import MODES as OBS_MODES
     from repro.runner.pool import EXECUTORS
 
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -203,6 +224,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated mitigation policies (mitigation campaign only)",
     )
+    sub.add_argument(
+        "--obs", choices=OBS_MODES, default=None, dest="obs_mode", help=obs_help
+    )
+    sub.add_argument(
+        "--serve-port", type=int, default=None, help=serve_port_help
+    )
     sub = subparsers.add_parser(
         "mitigate",
         help="run one closed mitigation loop: estimate, act, re-measure",
@@ -244,6 +271,9 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="directory for the plan and scorecard JSON",
+    )
+    sub.add_argument(
+        "--obs", choices=OBS_MODES, default=None, dest="obs_mode", help=obs_help
     )
     sub = subparsers.add_parser(
         "policies",
@@ -310,19 +340,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = subparsers.add_parser(
         "obs",
-        help="inspect telemetry: metrics summary/export and span traces",
+        help="inspect telemetry: metrics summary/export, span traces, "
+        "trace analytics, and live HTTP serving",
     )
     sub.add_argument(
         "action",
-        choices=("summary", "export", "spans"),
-        help="summarise the metrics registry, export it, or read a span "
-        "trace",
+        choices=("summary", "export", "spans", "critical-path", "diff", "serve"),
+        help="summarise the metrics registry, export it, read a span "
+        "trace, decompose a trace's critical paths, diff two traces by "
+        "per-span self time, or serve live telemetry over HTTP",
     )
     sub.add_argument(
         "trace",
-        nargs="?",
-        default=None,
-        help="span-event JSONL file (spans action)",
+        nargs="*",
+        default=[],
+        help="span-event JSONL file(s): one for spans/critical-path, "
+        "two (base, current) for diff",
     )
     sub.add_argument(
         "--format",
@@ -348,6 +381,38 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="schema-check the trace and exit non-zero on errors "
         "(spans action)",
+    )
+    sub.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="chain depth and contributors shown (critical-path action)",
+    )
+    sub.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="span rows shown in the diff table (diff action)",
+    )
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=9109,
+        help="HTTP port to bind (serve action)",
+    )
+    sub.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="address to bind (serve action)",
+    )
+    sub.add_argument(
+        "--sample-interval",
+        type=float,
+        default=5.0,
+        dest="sample_interval",
+        help="resource-sampler cadence in seconds; 0 disables sampling "
+        "(serve action)",
     )
     sub = subparsers.add_parser(
         "monitor",
@@ -411,7 +476,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5,
         help="peers shown per refit line",
     )
+    sub.add_argument(
+        "--obs", choices=OBS_MODES, default=None, dest="obs_mode", help=obs_help
+    )
+    sub.add_argument(
+        "--serve-port", type=int, default=None, help=serve_port_help
+    )
     return parser
+
+
+def _apply_obs_mode(args: argparse.Namespace) -> None:
+    """Honour ``--obs MODE`` (mirrors/overrides the ``REPRO_OBS`` env var)."""
+    mode = getattr(args, "obs_mode", None)
+    if mode is not None:
+        from repro import obs
+
+        obs.configure(mode=mode)
 
 
 def _workers(args: argparse.Namespace):
@@ -481,6 +561,7 @@ def _print_scaling(args: argparse.Namespace) -> None:
 def _run_campaign(args: argparse.Namespace) -> None:
     import os
 
+    _apply_obs_mode(args)
     from repro.runner.campaign import (
         CAMPAIGNS,
         CampaignSpec,
@@ -536,6 +617,8 @@ def _run_campaign(args: argparse.Namespace) -> None:
         overrides["policy"] = args.policy
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.serve_port is not None:
+        overrides["serve_port"] = args.serve_port
     try:
         spec = replace(spec, **overrides)
     except ValueError as exc:
@@ -553,6 +636,11 @@ def _run_campaign(args: argparse.Namespace) -> None:
         f"{spec.replicates} replicate(s), "
         f"workers={'auto' if spec.workers is None else spec.workers}"
     )
+    if spec.serve_port is not None:
+        print(
+            f"serving telemetry at http://127.0.0.1:{spec.serve_port}/metrics "
+            "for the duration of the run"
+        )
     # Route span events next to the campaign's results (REPRO_OBS_TRACE
     # still wins); write_outcome drops the metrics snapshot there too.
     from repro import obs
@@ -776,6 +864,20 @@ def _print_kernels(args: argparse.Namespace) -> None:
         print(f"  available: no ({kernel.unavailable_reason()})")
 
 
+def _load_trace_or_exit(trace: str):
+    """Tolerantly load a trace, printing truncation warnings; exits on
+    a missing file or interior corruption."""
+    from repro import obs
+
+    try:
+        events, warnings = obs.read_events(trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    for warning in warnings:
+        print(f"WARNING {warning}")
+    return events
+
+
 def _print_obs(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -784,22 +886,79 @@ def _print_obs(args: argparse.Namespace) -> int:
     if args.action == "spans":
         if not args.trace:
             raise SystemExit("obs spans: provide a span-trace JSONL file")
-        try:
-            events = obs.load_events(args.trace)
-        except (OSError, ValueError) as exc:
-            raise SystemExit(str(exc)) from None
+        trace = args.trace[0]
+        events = _load_trace_or_exit(trace)
         status = 0
         if args.validate:
             errors = obs.validate_events(events)
             if errors:
                 for error in errors:
-                    print(f"INVALID {args.trace}: {error}")
+                    print(f"INVALID {trace}: {error}")
                 status = 1
             else:
-                print(f"{args.trace}: {len(events)} event(s), schema valid")
+                print(f"{trace}: {len(events)} event(s), schema valid")
         if args.tree or not args.validate:
             print(obs.render_tree(events), end="")
         return status
+
+    if args.action == "critical-path":
+        if not args.trace:
+            raise SystemExit(
+                "obs critical-path: provide a span-trace JSONL file"
+            )
+        events = _load_trace_or_exit(args.trace[0])
+        reports = obs.critical_paths(events, top=args.top)
+        print(obs.render_critical_paths(reports), end="")
+        shard_report = obs.shard_report(events)
+        if shard_report.shards:
+            print()
+            print("runner shard utilization:")
+            print(obs.render_shard_report(shard_report), end="")
+        return 0
+
+    if args.action == "diff":
+        if len(args.trace) != 2:
+            raise SystemExit(
+                "obs diff: provide two span-trace JSONL files (base, current)"
+            )
+        base, current = args.trace
+        try:
+            deltas, warnings = obs.diff_traces(base, current)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        for warning in warnings:
+            print(f"WARNING {warning}")
+        print(f"span self-time diff: {base} -> {current}")
+        print(obs.render_diff(deltas, limit=args.limit), end="")
+        return 0
+
+    if args.action == "serve":
+        import time as _time
+
+        from repro.obs.serve import TelemetryServer, ensure_metrics_mode
+
+        if ensure_metrics_mode():
+            print("telemetry was off; promoted to metrics mode for serving")
+        interval = args.sample_interval if args.sample_interval > 0 else None
+        server = TelemetryServer(
+            host=args.host, port=args.port, sample_interval=interval
+        )
+        try:
+            server.start()
+        except OSError as exc:
+            raise SystemExit(f"obs serve: cannot bind {args.host}:{args.port}: {exc}") from None
+        print(
+            f"serving telemetry at {server.url} "
+            "(/metrics /metrics.json /healthz /spans/recent); Ctrl-C to stop"
+        )
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
 
     if args.snapshot:
         try:
@@ -821,6 +980,7 @@ def _print_obs(args: argparse.Namespace) -> int:
 
 
 def _run_monitor(args: argparse.Namespace) -> None:
+    _apply_obs_mode(args)
     from repro.probability.base import EstimatorConfig
     from repro.probability.windowed import peer_link_members
     from repro.simulation.probing import PathProber, StreamingProber
@@ -887,25 +1047,50 @@ def _run_monitor(args: argparse.Namespace) -> None:
         f"estimator {engine.estimator.name}); "
         f"window={engine.window} stride={engine.stride}"
     )
+    server = None
+    if args.serve_port is not None:
+        from repro.obs.serve import TelemetryServer, ensure_metrics_mode
+
+        if ensure_metrics_mode():
+            print("telemetry was off; promoted to metrics mode for serving")
+        server = TelemetryServer(
+            port=args.serve_port, status_fn=engine.telemetry_status
+        )
+        try:
+            server.start()
+        except OSError as exc:
+            raise SystemExit(
+                f"monitor: cannot bind telemetry port {args.serve_port}: {exc}"
+            ) from None
+        print(
+            f"serving telemetry at {server.url} "
+            "(/metrics /metrics.json /healthz /spans/recent)"
+        )
     reported = 0
-    for chunk in source.rounds(intervals, random_state=derive_rng(args.seed, 2)):
-        for estimate in engine.ingest(chunk):
-            levels = sorted(
-                (
-                    (level, asn)
-                    for asn, level in peer_congestion_levels(
-                        estimate.model, members
-                    ).items()
-                ),
-                reverse=True,
-            )
-            series = "  ".join(
-                f"AS{asn}:{level:.2f}" for level, asn in levels[: args.top]
-            )
-            print(f"[{estimate.start:5d},{estimate.stop:5d})  {series}")
-        for alert in engine.alerts[reported:]:
-            print(f"  ALERT {alert.message}")
-        reported = len(engine.alerts)
+    try:
+        for chunk in source.rounds(
+            intervals, random_state=derive_rng(args.seed, 2)
+        ):
+            for estimate in engine.ingest(chunk):
+                levels = sorted(
+                    (
+                        (level, asn)
+                        for asn, level in peer_congestion_levels(
+                            estimate.model, members
+                        ).items()
+                    ),
+                    reverse=True,
+                )
+                series = "  ".join(
+                    f"AS{asn}:{level:.2f}" for level, asn in levels[: args.top]
+                )
+                print(f"[{estimate.start:5d},{estimate.stop:5d})  {series}")
+            for alert in engine.alerts[reported:]:
+                print(f"  ALERT {alert.message}")
+            reported = len(engine.alerts)
+    finally:
+        if server is not None:
+            server.stop()
     print(
         f"\n{engine.refits} refits over {engine.intervals_ingested} rounds; "
         f"frequency cache {engine.cache_hits} hits / "
@@ -963,6 +1148,8 @@ def _print_policies(args: argparse.Namespace) -> None:
 def _run_mitigate(args: argparse.Namespace) -> None:
     import json as _json
     from pathlib import Path
+
+    _apply_obs_mode(args)
 
     from repro.exceptions import (
         DatasetError,

@@ -15,6 +15,15 @@ The observability layer for the whole package, switched by
   CLI.
 * **Timer** (:mod:`repro.obs.timer`): the bare wall-clock primitive
   (formerly ``repro.util.timer``).
+* **Analysis** (:mod:`repro.obs.analyze`): post-hoc trace analytics —
+  critical-path decomposition per root span, runner shard
+  utilization/straggler reports, and cross-run diffing of per-span
+  self times (``repro-tomography obs critical-path`` / ``obs diff``).
+* **Serving** (:mod:`repro.obs.serve`): a stdlib HTTP exporter
+  (``/metrics`` Prometheus text, ``/metrics.json``, ``/healthz``,
+  ``/spans/recent``) on a daemon thread, plus a background resource
+  sampler (RSS, CPU time, GC counts) — ``obs serve`` or
+  ``--serve-port`` on ``monitor`` / ``campaign``.
 
 This package imports nothing from the rest of ``repro`` — every other
 layer imports it, so it must stand alone.
@@ -38,6 +47,21 @@ from repro.obs.config import (
     trace_path,
     use_mode,
 )
+from repro.obs.analyze import (
+    CriticalPath,
+    ShardUtilizationReport,
+    SpanDelta,
+    critical_paths,
+    diff_aggregates,
+    diff_traces,
+    load_trace,
+    render_critical_paths,
+    render_diff,
+    render_regressions,
+    render_shard_report,
+    shard_report,
+    top_regressions,
+)
 from repro.obs.exposition import render_json, render_prometheus, render_summary
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -59,9 +83,16 @@ from repro.obs.render import (
     aggregate_spans,
     build_tree,
     load_events,
+    read_events,
     render_tree,
     stage_durations,
     validate_events,
+)
+from repro.obs.serve import (
+    ResourceSampler,
+    TelemetryServer,
+    ensure_metrics_mode,
+    recent_spans,
 )
 from repro.obs.span import (
     Span,
@@ -74,6 +105,7 @@ from repro.obs.span import (
 from repro.obs.timer import Timer
 
 __all__ = [
+    "CriticalPath",
     "DEFAULT_BUCKETS",
     "FAMILIES",
     "LocalCounters",
@@ -82,9 +114,13 @@ __all__ = [
     "MODES",
     "MetricsRegistry",
     "OFF",
+    "ResourceSampler",
+    "ShardUtilizationReport",
     "Span",
+    "SpanDelta",
     "TRACE",
     "TRACE_PATH_ENV",
+    "TelemetryServer",
     "Timer",
     "aggregate_spans",
     "apply_runtime_config",
@@ -93,29 +129,42 @@ __all__ = [
     "capture_metrics",
     "configure",
     "counter",
+    "critical_paths",
     "current_span_id",
+    "diff_aggregates",
+    "diff_traces",
+    "ensure_metrics_mode",
     "event",
     "flush",
     "gauge",
     "global_registry",
     "histogram",
     "load_events",
+    "load_trace",
     "local_counters",
     "merge_snapshot",
     "metrics_enabled",
     "mode",
     "parent_scope",
     "quantile_from_counts",
+    "read_events",
+    "recent_spans",
     "registry",
+    "render_critical_paths",
+    "render_diff",
     "render_json",
     "render_prometheus",
+    "render_regressions",
+    "render_shard_report",
     "render_summary",
     "render_tree",
     "reset",
     "runtime_config",
     "set_default_trace_path",
+    "shard_report",
     "span",
     "stage_durations",
+    "top_regressions",
     "trace_enabled",
     "trace_path",
     "use_mode",

@@ -17,24 +17,50 @@ _TYPES = ("span", "event")
 _STATUSES = ("ok", "error")
 
 
+def read_events(path: Union[str, Path]) -> Tuple[List[dict], List[str]]:
+    """Parse a JSONL trace file; returns ``(events, warnings)``.
+
+    Blank lines are skipped. A malformed *final* line is tolerated — a
+    worker killed mid-``O_APPEND`` write leaves exactly one truncated
+    trailing record, which is reported (a warning string naming the
+    line) and skipped rather than failing the whole trace. Malformed
+    JSON anywhere *else* still raises ``ValueError`` naming the line:
+    traces are machine-written, so an interior parse failure means real
+    corruption the caller should know about.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        raw_lines = handle.readlines()
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(raw_lines, start=1)
+        if line.strip()
+    ]
+    events: List[dict] = []
+    warnings: List[str] = []
+    last_index = len(numbered) - 1
+    for position, (lineno, line) in enumerate(numbered):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == last_index:
+                warnings.append(
+                    f"{path}:{lineno}: skipped truncated trailing record "
+                    f"({exc})"
+                )
+                continue
+            raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from None
+        events.append(event)
+    return events, warnings
+
+
 def load_events(path: Union[str, Path]) -> List[dict]:
     """Parse a JSONL trace file, skipping blank lines.
 
-    Malformed JSON raises ``ValueError`` naming the line — traces are
-    machine-written, so a parse failure means a truncated or corrupted
-    file the caller should know about.
+    Thin wrapper over :func:`read_events` that discards the truncation
+    warnings — callers that should surface them (the ``obs`` CLI, the
+    analyzer) use :func:`read_events` directly.
     """
-    events: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from None
-            events.append(event)
+    events, _warnings = read_events(path)
     return events
 
 
@@ -218,6 +244,7 @@ __all__ = [
     "aggregate_spans",
     "build_tree",
     "load_events",
+    "read_events",
     "render_tree",
     "stage_durations",
     "validate_events",

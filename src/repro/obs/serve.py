@@ -1,0 +1,387 @@
+"""Live telemetry export: a stdlib HTTP ``/metrics`` endpoint + sampler.
+
+Zero-dependency counterpart to a Prometheus client library. One
+:class:`TelemetryServer` runs an :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves point-in-time *snapshots* of the process's
+telemetry — the hot paths are never touched; every request calls
+``registry.snapshot()`` exactly like the on-disk exports do:
+
+* ``/metrics`` — Prometheus text exposition (format 0.0.4) of the live
+  registry, scrapeable by any Prometheus/VictoriaMetrics/Grafana agent.
+* ``/metrics.json`` — the same snapshot as JSON.
+* ``/healthz`` — liveness JSON: telemetry mode, uptime, sample count,
+  plus whatever the embedding run reports through ``status_fn`` (the
+  ``monitor`` CLI wires the streaming engine's counters in here).
+* ``/spans/recent`` — the tail of the active trace file as JSON
+  (``?limit=N``, default 50), tolerant of a truncated trailing record.
+
+:class:`ResourceSampler` rides along (on by default when serving): a
+daemon thread sampling RSS, cumulative CPU time, and GC collection
+counts into gauges, with per-tick cost recorded in a histogram, at a
+configurable interval. Sampling goes through the ordinary guarded
+handles, so it is inert when ``REPRO_OBS=off`` — the serve CLI glue
+promotes the mode to ``metrics`` when serving is requested with
+telemetry off, precisely so a scrape is never empty by accident.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import config
+from repro.obs.exposition import render_json, render_prometheus
+from repro.obs.registry import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    global_registry,
+    histogram,
+)
+from repro.obs.render import read_events
+
+#: Default resource-sampler cadence in seconds.
+DEFAULT_SAMPLE_INTERVAL = 5.0
+
+#: Default number of events ``/spans/recent`` returns.
+DEFAULT_RECENT_SPANS = 50
+
+_CONTENT_TYPE_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+# Process resource telemetry, fed by the sampler (REPRO_OBS=metrics|trace).
+_RSS_BYTES = gauge(
+    "repro_process_resident_memory_bytes",
+    "Resident set size sampled by the resource sampler.",
+)
+_CPU_SECONDS = gauge(
+    "repro_process_cpu_seconds_total",
+    "Cumulative process CPU seconds (user + system).",
+)
+_GC_COLLECTIONS = gauge(
+    "repro_process_gc_collections_total",
+    "Cumulative garbage collections per generation.",
+    ["generation"],
+)
+_GC_PENDING = gauge(
+    "repro_process_gc_tracked_pending",
+    "Objects counted by gc.get_count per generation (pending threshold).",
+    ["generation"],
+)
+_SAMPLE_SECONDS = histogram(
+    "repro_obs_resource_sample_seconds",
+    "Cost of one resource-sampler tick.",
+)
+_SCRAPES_TOTAL = counter(
+    "repro_obs_scrapes_total",
+    "HTTP requests served by the telemetry server.",
+    ["endpoint"],
+)
+
+
+def read_rss_bytes() -> float:
+    """Resident set size in bytes, without psutil.
+
+    Reads ``/proc/self/status`` (Linux); falls back to the peak RSS from
+    ``resource.getrusage`` (reported in KiB on Linux) elsewhere.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+    except (ImportError, ValueError):
+        return 0.0
+
+
+def cpu_seconds() -> float:
+    """Cumulative user + system CPU seconds of this process."""
+    times = os.times()
+    return float(times.user + times.system)
+
+
+class ResourceSampler:
+    """Background thread sampling process resources into the registry.
+
+    ``sample()`` is also callable directly (tests, one-shot probes).
+    Every update goes through guarded metric handles, so the sampler is
+    a no-op branch per family under ``REPRO_OBS=off``.
+    """
+
+    def __init__(self, interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample(self) -> None:
+        """Take one sample of RSS, CPU time, and GC counts."""
+        start = time.perf_counter()
+        _RSS_BYTES.set(read_rss_bytes())
+        _CPU_SECONDS.set(cpu_seconds())
+        stats = gc.get_stats()
+        for generation, entry in enumerate(stats):
+            _GC_COLLECTIONS.set(
+                float(entry.get("collections", 0)), generation=str(generation)
+            )
+        for generation, pending in enumerate(gc.get_count()):
+            _GC_PENDING.set(float(pending), generation=str(generation))
+        self.samples += 1
+        _SAMPLE_SECONDS.observe(time.perf_counter() - start)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    def start(self) -> "ResourceSampler":
+        """Take an immediate first sample, then sample on a daemon thread."""
+        if self._thread is not None:
+            return self
+        self.sample()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+            self._thread = None
+
+
+def recent_spans(limit: int = DEFAULT_RECENT_SPANS) -> Dict[str, object]:
+    """The tail of the active trace file as a JSON-able payload.
+
+    Reads the configured trace sink tolerantly (a truncated trailing
+    record is reported in ``warnings``, not fatal) and returns the last
+    ``limit`` events. An absent file — tracing off, or nothing emitted
+    yet — yields an empty event list, not an error: a scraper polling a
+    warming-up service should see ``200``, not ``500``.
+    """
+    path = config.trace_path()
+    payload: Dict[str, object] = {
+        "path": str(path),
+        "tracing": config.trace_enabled(),
+        "events": [],
+        "warnings": [],
+    }
+    try:
+        events, warnings = read_events(path)
+    except FileNotFoundError:
+        return payload  # tracing off or nothing emitted yet: empty, not 500
+    except (OSError, ValueError) as exc:
+        payload["warnings"] = [str(exc)]
+        return payload
+    payload["events"] = events[-limit:] if limit > 0 else []
+    payload["warnings"] = warnings
+    return payload
+
+
+class TelemetryServer:
+    """Serve live telemetry snapshots over HTTP from a daemon thread.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    registry_fn:
+        Returns the registry to snapshot per request; defaults to the
+        process-wide registry (capture contexts are shard-local and
+        never the right thing to scrape).
+    status_fn:
+        Optional callable returning extra ``/healthz`` fields — the
+        monitor CLI reports the streaming engine's live counters here.
+    sample_interval:
+        Resource-sampler cadence in seconds; ``None`` disables the
+        sampler (it is on by default, per the serving contract).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry_fn: Optional[Callable[[], MetricsRegistry]] = None,
+        status_fn: Optional[Callable[[], Dict[str, object]]] = None,
+        sample_interval: Optional[float] = DEFAULT_SAMPLE_INTERVAL,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.registry_fn = registry_fn or global_registry
+        self.status_fn = status_fn
+        self.sampler = (
+            ResourceSampler(sample_interval)
+            if sample_interval is not None
+            else None
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (0 until started)."""
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.sampler is not None:
+            self.sampler.start()
+        return self
+
+    def stop(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- responses -------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "status": "ok",
+            "mode": config.mode(),
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "samples": self.sampler.samples if self.sampler else 0,
+        }
+        if self.status_fn is not None:
+            try:
+                payload.update(self.status_fn())
+            except Exception as exc:  # a sick status hook must not 500 /healthz
+                payload["status_error"] = str(exc)
+        return payload
+
+
+def _build_handler(server: "TelemetryServer"):
+    class _Handler(BaseHTTPRequestHandler):
+        # Scrapes are periodic; default stderr access logging would spam
+        # the monitored run's console.
+        def log_message(self, format: str, *args: object) -> None:
+            pass
+
+        def _respond(self, body: str, content_type: str, code: int = 200) -> None:
+            data = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urlparse(self.path)
+            route = parsed.path.rstrip("/") or "/"
+            try:
+                if route == "/metrics":
+                    _SCRAPES_TOTAL.inc(endpoint="metrics")
+                    snapshot = server.registry_fn().snapshot()
+                    self._respond(render_prometheus(snapshot), _CONTENT_TYPE_PROM)
+                elif route == "/metrics.json":
+                    _SCRAPES_TOTAL.inc(endpoint="metrics.json")
+                    snapshot = server.registry_fn().snapshot()
+                    self._respond(render_json(snapshot), _CONTENT_TYPE_JSON)
+                elif route == "/healthz":
+                    _SCRAPES_TOTAL.inc(endpoint="healthz")
+                    self._respond(
+                        json.dumps(server.health(), sort_keys=True),
+                        _CONTENT_TYPE_JSON,
+                    )
+                elif route == "/spans/recent":
+                    _SCRAPES_TOTAL.inc(endpoint="spans.recent")
+                    query = parse_qs(parsed.query)
+                    try:
+                        limit = int(query.get("limit", [DEFAULT_RECENT_SPANS])[0])
+                    except ValueError:
+                        limit = DEFAULT_RECENT_SPANS
+                    self._respond(
+                        json.dumps(recent_spans(limit)), _CONTENT_TYPE_JSON
+                    )
+                else:
+                    self._respond(
+                        json.dumps(
+                            {
+                                "error": "not found",
+                                "routes": [
+                                    "/metrics",
+                                    "/metrics.json",
+                                    "/healthz",
+                                    "/spans/recent",
+                                ],
+                            }
+                        ),
+                        _CONTENT_TYPE_JSON,
+                        code=404,
+                    )
+            except BrokenPipeError:
+                pass  # scraper hung up mid-response
+
+    return _Handler
+
+
+def ensure_metrics_mode() -> bool:
+    """Promote ``REPRO_OBS=off`` to ``metrics`` for a serving run.
+
+    Serving an empty registry would make every scrape silently useless;
+    returns True when the mode was promoted so the CLI can say so.
+    """
+    if not config.metrics_enabled():
+        config.configure(mode=config.METRICS)
+        return True
+    return False
+
+
+__all__ = [
+    "DEFAULT_RECENT_SPANS",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "ResourceSampler",
+    "TelemetryServer",
+    "cpu_seconds",
+    "ensure_metrics_mode",
+    "read_rss_bytes",
+    "recent_spans",
+]

@@ -320,7 +320,10 @@ class CampaignSpec:
     to comma-separated registered names (estimator aliases are accepted —
     see :mod:`repro.probability.registry`); ``policy`` restricts a
     policy-accepting campaign (``mitigation``) to registered mitigation
-    policies.
+    policies. ``serve_port`` exposes live telemetry over HTTP for the
+    duration of the run (``/metrics`` and friends — see
+    :mod:`repro.obs.serve`), promoting ``REPRO_OBS=off`` to ``metrics``
+    so the scrape is never empty.
     """
 
     campaign: str
@@ -335,6 +338,7 @@ class CampaignSpec:
     estimator: Optional[str] = None
     policy: Optional[str] = None
     executor: Optional[str] = "auto"
+    serve_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.campaign not in CAMPAIGNS:
@@ -344,6 +348,10 @@ class CampaignSpec:
             )
         if self.replicates < 1:
             raise ValueError("replicates must be >= 1")
+        if self.serve_port is not None and not 0 < self.serve_port < 65536:
+            raise ValueError(
+                f"serve_port must be in [1, 65535], got {self.serve_port}"
+            )
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = all local CPUs) or null")
         if self.executor is not None and self.executor not in EXECUTORS:
@@ -503,22 +511,32 @@ def run_campaign(
         if progress is not None:
             progress(report)
 
-    start = perf_counter()
-    with span(
-        "campaign",
-        campaign=spec.campaign,
-        scale=spec.scale,
-        replicates=spec.replicates,
-        trials=len(specs),
-    ):
-        results = run_trials(
-            definition.trial_fn,
-            specs,
-            workers=spec.workers,
-            progress=record,
-            executor=spec.executor,
-        )
-    elapsed = perf_counter() - start
+    server = None
+    if spec.serve_port is not None:
+        from repro.obs.serve import TelemetryServer, ensure_metrics_mode
+
+        ensure_metrics_mode()
+        server = TelemetryServer(port=spec.serve_port).start()
+    try:
+        start = perf_counter()
+        with span(
+            "campaign",
+            campaign=spec.campaign,
+            scale=spec.scale,
+            replicates=spec.replicates,
+            trials=len(specs),
+        ):
+            results = run_trials(
+                definition.trial_fn,
+                specs,
+                workers=spec.workers,
+                progress=record,
+                executor=spec.executor,
+            )
+        elapsed = perf_counter() - start
+    finally:
+        if server is not None:
+            server.stop()
     outcome = CampaignOutcome(
         spec=spec,
         seeds=seeds,

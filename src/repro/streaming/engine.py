@@ -203,6 +203,27 @@ class StreamingEstimator:
         """The underlying packed ring (read access for checkpointing)."""
         return self._ring
 
+    def telemetry_status(self) -> dict:
+        """Live engine counters as a JSON-able dict.
+
+        The ``/healthz`` payload of a served monitor run
+        (``repro-tomography monitor --serve-port``) — a scraper's
+        one-request answer to "is the engine making progress".
+        """
+        return {
+            "estimator": self.estimator.name,
+            "window": self.window,
+            "stride": self.stride,
+            "intervals_ingested": int(self.intervals_ingested),
+            "ring_occupancy": int(self._ring.num_retained),
+            "refits": self.refits,
+            "skipped_windows": self.skipped_windows,
+            "windows_emitted": self.windows_emitted,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "alerts": len(self.alerts),
+        }
+
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------

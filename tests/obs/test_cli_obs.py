@@ -132,3 +132,142 @@ def test_traced_campaign_drops_telemetry_next_to_results(tmp_path, capsys):
     snapshot = json.loads(metrics_path.read_text())
     names = {name for name, _lv, _value in snapshot["counters"]}
     assert "repro_pipeline_fits_total" in names
+
+
+def _shard(sid, shard, dur, t0, parent="1:1"):
+    event = _span("runner.shard", sid, dur, parent=parent, t0=t0)
+    event["attrs"] = {"shard": shard, "trials": 1}
+    return event
+
+
+def _runner_trace(tmp_path):
+    trial = _span("runner.trial", "1:4", 1.8, parent="1:3", t0=0.6)
+    trial["attrs"] = {"index": 0}
+    return _write_trace(
+        tmp_path,
+        [
+            _span("campaign", "1:1", 3.0),
+            _shard("1:2", 0, 1.0, 0.5),
+            _shard("1:3", 1, 2.0, 0.6),
+            trial,
+        ],
+    )
+
+
+def test_obs_critical_path_renders_chain_and_shard_report(tmp_path, capsys):
+    trace = _runner_trace(tmp_path)
+    assert main(["obs", "critical-path", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "campaign:" in out
+    assert "top self-time contributors:" in out
+    assert "runner shard utilization:" in out
+    assert "<-- straggler" in out
+
+
+def test_obs_critical_path_requires_a_trace():
+    with pytest.raises(SystemExit, match="critical-path: provide"):
+        main(["obs", "critical-path"])
+
+
+def test_obs_diff_names_per_span_deltas(tmp_path, capsys):
+    base = _write_trace(tmp_path, [_span("fit", "1:1", 1.0)])
+    current = tmp_path / "current.jsonl"
+    current.write_text(json.dumps(_span("fit", "2:1", 2.5)) + "\n")
+    assert main(["obs", "diff", str(base), str(current)]) == 0
+    out = capsys.readouterr().out
+    assert f"span self-time diff: {base} -> {current}" in out
+    assert "top regressions (self-time growth):" in out
+    assert "fit: 1.000s -> 2.500s (+1.500s)" in out
+
+
+def test_obs_diff_requires_exactly_two_traces(tmp_path):
+    trace = _write_trace(tmp_path, [_span("fit", "1:1", 1.0)])
+    with pytest.raises(SystemExit, match="diff: provide two"):
+        main(["obs", "diff", str(trace)])
+
+
+def test_obs_spans_tolerates_truncated_tail(tmp_path, capsys):
+    trace = _write_trace(tmp_path, [_span("kept", "1:1", 1.0)])
+    with open(trace, "a") as handle:
+        handle.write('{"type": "span", "name": "cut')
+    assert main(["obs", "spans", str(trace), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" in out and "truncated trailing record" in out
+    assert "1 event(s), schema valid" in out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["campaign", "scaling", "--scale", "small", "--obs", "metrics"],
+        ["mitigate", "--scale", "tiny", "--obs", "metrics"],
+        [
+            "monitor",
+            "--scale",
+            "small",
+            "--intervals",
+            "32",
+            "--window",
+            "32",
+            "--obs",
+            "metrics",
+        ],
+    ],
+)
+def test_obs_flag_overrides_env_mode(argv, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # metrics snapshots land in cwd
+    assert obs.mode() == "off"
+    assert main(argv) == 0
+    assert obs.mode() == "metrics"  # conftest resets after the test
+
+
+def _free_port():
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_monitor_serve_port_serves_for_the_run(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # serving promotes metrics; snapshot in cwd
+    port = _free_port()
+    assert (
+        main(
+            [
+                "monitor",
+                "--scale",
+                "small",
+                "--intervals",
+                "32",
+                "--window",
+                "32",
+                "--serve-port",
+                str(port),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "promoted to metrics mode for serving" in out
+    assert f"serving telemetry at http://127.0.0.1:{port}" in out
+
+
+def test_campaign_serve_port_announces_endpoint(capsys):
+    port = _free_port()
+    assert (
+        main(
+            [
+                "campaign",
+                "scaling",
+                "--scale",
+                "small",
+                "--serve-port",
+                str(port),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"http://127.0.0.1:{port}/metrics" in out

@@ -121,6 +121,21 @@ def test_quantile_interpolation():
     assert math.isnan(obs.quantile_from_counts(buckets, [0, 0, 0], 0.5))
 
 
+def test_quantile_empty_and_single_bucket_edge_cases():
+    # No observations at all: NaN, never a crash or a fake zero.
+    assert math.isnan(obs.quantile_from_counts((), [], 0.5))
+    assert math.isnan(obs.quantile_from_counts((1.0,), [0, 0], 0.9))
+    # No finite buckets declared: nothing to interpolate against.
+    assert math.isnan(obs.quantile_from_counts((), [5], 0.5))
+    # Single finite bucket: the median interpolates inside (0, bound].
+    assert obs.quantile_from_counts((1.0,), [4, 0], 0.5) == pytest.approx(0.5)
+    # Single bucket, everything in overflow: the finite bound is the cap.
+    assert obs.quantile_from_counts((1.0,), [0, 3], 0.5) == 1.0
+    # Quantiles outside [0, 1] are caller bugs, not data.
+    with pytest.raises(ValueError, match="quantile"):
+        obs.quantile_from_counts((1.0,), [1, 0], 1.5)
+
+
 def test_local_counters_nest_and_isolate():
     with obs.local_counters() as outer:
         obs.bump_local("queries", 2)

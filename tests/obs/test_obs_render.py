@@ -31,7 +31,14 @@ def test_load_events_skips_blanks_and_names_bad_lines(tmp_path):
     path = tmp_path / "t.jsonl"
     path.write_text(json.dumps(_span("a", "1:1", 0.5)) + "\n\n")
     assert len(obs.load_events(path)) == 1
-    path.write_text('{"type": "span"\n')
+    # The final record is where a killed worker truncates mid-append:
+    # report-and-skip instead of failing the whole load.
+    path.write_text(json.dumps(_span("a", "1:1", 0.5)) + "\n" + '{"type": "span"\n')
+    events, warnings = obs.read_events(path)
+    assert len(events) == 1
+    assert ":2: skipped truncated trailing record" in warnings[0]
+    # Corruption anywhere before the tail still names the line and raises.
+    path.write_text('{"bad\n' + json.dumps(_span("a", "1:1", 0.5)) + "\n")
     with pytest.raises(ValueError, match=r":1: invalid JSON"):
         obs.load_events(path)
 
@@ -146,6 +153,35 @@ def test_prometheus_exposition_format():
     assert 'test_expo_latency_seconds_bucket{le="+Inf"} 4' in text
     assert "test_expo_latency_seconds_count 4" in text
     assert "test_expo_latency_seconds_sum 6.05" in text
+
+
+def test_prometheus_escapes_hostile_label_values():
+    # Quotes, backslashes, and newlines must all be escaped per the text
+    # exposition format — an unescaped newline splits the sample line and
+    # breaks any scraper parsing the page.
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        _EXPO_COUNTER.inc(route='multi\nline "quoted" back\\slash')
+    text = obs.render_prometheus(captured.snapshot())
+    assert (
+        'route="multi\\nline \\"quoted\\" back\\\\slash"' in text
+    )
+    sample_lines = [
+        line for line in text.splitlines() if "test_expo_requests_total{" in line
+    ]
+    assert len(sample_lines) == 1  # the newline never split the sample
+
+
+def test_prometheus_single_bucket_histogram_renders_cumulative():
+    hist = obs.histogram(
+        "test_expo_single_bucket_seconds", "One bucket.", buckets=[1.0]
+    )
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        hist.observe(0.5)
+        hist.observe(2.0)  # overflow
+    text = obs.render_prometheus(captured.snapshot())
+    assert 'test_expo_single_bucket_seconds_bucket{le="1"} 1' in text
+    assert 'test_expo_single_bucket_seconds_bucket{le="+Inf"} 2' in text
+    assert "test_expo_single_bucket_seconds_count 2" in text
 
 
 def test_prometheus_lists_every_declared_family_even_at_zero():

@@ -1,0 +1,189 @@
+"""Unit tests for the live telemetry exporter (:mod:`repro.obs.serve`)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.serve import (
+    ResourceSampler,
+    TelemetryServer,
+    cpu_seconds,
+    ensure_metrics_mode,
+    read_rss_bytes,
+    recent_spans,
+)
+
+_SERVE_COUNTER = obs.counter(
+    "test_serve_ticks_total", "Serve test counter.", ["kind"]
+)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+def test_metrics_endpoint_serves_prometheus_text():
+    with obs.use_mode("metrics"):
+        _SERVE_COUNTER.inc(3, kind="scrapeme")
+        with TelemetryServer(sample_interval=None) as server:
+            status, headers, body = _get(f"{server.url}/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    assert "# TYPE test_serve_ticks_total counter" in body
+    assert 'test_serve_ticks_total{kind="scrapeme"} 3' in body
+
+
+def test_metrics_json_and_healthz_round_trip():
+    with obs.use_mode("metrics"):
+        _SERVE_COUNTER.inc(kind="json")
+        with TelemetryServer(sample_interval=None) as server:
+            _, _, metrics = _get(f"{server.url}/metrics.json")
+            _, _, health = _get(f"{server.url}/healthz")
+    snapshot = json.loads(metrics)
+    assert ["test_serve_ticks_total", ["json"], 1] in snapshot["counters"]
+    payload = json.loads(health)
+    assert payload["status"] == "ok"
+    assert payload["mode"] == "metrics"
+    assert payload["uptime_s"] >= 0
+
+
+def test_healthz_merges_status_fn_and_survives_failures():
+    calls = {"n": 0}
+
+    def status_fn():
+        calls["n"] += 1
+        if calls["n"] > 1:
+            raise RuntimeError("engine went away")
+        return {"refits": 7}
+
+    with obs.use_mode("metrics"):
+        with TelemetryServer(
+            sample_interval=None, status_fn=status_fn
+        ) as server:
+            _, _, first = _get(f"{server.url}/healthz")
+            second_status, _, second = _get(f"{server.url}/healthz")
+    assert json.loads(first)["refits"] == 7
+    assert second_status == 200  # sick hook must not 500 the probe
+    assert "engine went away" in json.loads(second)["status_error"]
+
+
+def test_unknown_route_404_lists_routes():
+    with obs.use_mode("metrics"):
+        with TelemetryServer(sample_interval=None) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+    assert excinfo.value.code == 404
+    assert "/metrics" in body["routes"]
+
+
+def test_spans_recent_serves_trace_tail(tmp_path):
+    trace = tmp_path / "telemetry.jsonl"
+    with obs.use_mode("trace", trace):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.flush()
+        with TelemetryServer(sample_interval=None) as server:
+            _, _, body = _get(f"{server.url}/spans/recent?limit=1")
+    payload = json.loads(body)
+    assert payload["tracing"] is True
+    assert len(payload["events"]) == 1
+    assert payload["warnings"] == []
+
+
+def test_recent_spans_absent_file_is_not_an_error(tmp_path):
+    with obs.use_mode("trace", tmp_path / "never_written.jsonl"):
+        payload = recent_spans()
+    assert payload["events"] == []
+    assert payload["warnings"] == []
+
+
+def test_recent_spans_reports_truncated_tail(tmp_path):
+    trace = tmp_path / "telemetry.jsonl"
+    with obs.use_mode("trace", trace):
+        with obs.span("kept"):
+            pass
+        obs.flush()
+        with open(trace, "a") as handle:
+            handle.write('{"type": "span", "name": "cut')
+        payload = recent_spans()
+    assert [e["name"] for e in payload["events"]] == ["kept"]
+    assert any("truncated" in w for w in payload["warnings"])
+
+
+def test_resource_sampler_populates_gauges():
+    with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+        sampler = ResourceSampler(interval=60.0)
+        sampler.sample()
+    names = {name for name, _lv, _v in captured.snapshot()["gauges"]}
+    assert "repro_process_resident_memory_bytes" in names
+    assert "repro_process_cpu_seconds_total" in names
+    assert "repro_process_gc_collections_total" in names
+    assert sampler.samples == 1
+
+
+def test_resource_sampler_thread_lifecycle():
+    with obs.use_mode("metrics"):
+        sampler = ResourceSampler(interval=0.01).start()
+        assert sampler.samples >= 1  # immediate first sample
+        sampler.stop()
+        assert sampler._thread is None
+    with pytest.raises(ValueError, match="interval"):
+        ResourceSampler(interval=0.0)
+
+
+def test_resource_probes_return_positive_numbers():
+    assert read_rss_bytes() > 0
+    assert cpu_seconds() > 0
+
+
+def test_sampler_rides_along_with_server():
+    with obs.use_mode("metrics"):
+        with TelemetryServer(sample_interval=30.0) as server:
+            _, _, body = _get(f"{server.url}/metrics")
+            _, _, health = _get(f"{server.url}/healthz")
+    assert "repro_process_resident_memory_bytes" in body
+    assert json.loads(health)["samples"] >= 1
+
+
+def test_scrape_counter_tracks_endpoints():
+    with obs.use_mode("metrics"):
+        with TelemetryServer(sample_interval=None) as server:
+            _get(f"{server.url}/metrics")
+            _get(f"{server.url}/metrics")
+            _, _, body = _get(f"{server.url}/metrics.json")
+    snapshot = json.loads(body)
+    scrapes = {
+        tuple(labels): value
+        for name, labels, value in snapshot["counters"]
+        if name == "repro_obs_scrapes_total"
+    }
+    assert scrapes[("metrics",)] == 2
+
+
+def test_port_zero_picks_a_free_port_and_stop_is_idempotent():
+    server = TelemetryServer()
+    assert server.port == 0
+    server.start()
+    try:
+        assert 0 < server.port < 65536
+        assert server.start() is server  # second start is a no-op
+    finally:
+        server.stop()
+        server.stop()
+
+
+def test_ensure_metrics_mode_promotes_off_only():
+    with obs.use_mode("off"):
+        assert ensure_metrics_mode() is True
+        assert obs.metrics_enabled()
+        assert ensure_metrics_mode() is False
+    with obs.use_mode("trace"):
+        assert ensure_metrics_mode() is False  # trace already collects

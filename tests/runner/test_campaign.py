@@ -35,6 +35,11 @@ def test_spec_validation():
         CampaignSpec(campaign="figure9")
     with pytest.raises(ValueError, match="replicates"):
         CampaignSpec(campaign="scaling", replicates=0)
+    with pytest.raises(ValueError, match="serve_port"):
+        CampaignSpec(campaign="scaling", serve_port=99999)
+    with pytest.raises(ValueError, match="serve_port"):
+        CampaignSpec(campaign="scaling", serve_port=0)
+    assert CampaignSpec(campaign="scaling", serve_port=9109).serve_port == 9109
 
 
 def test_load_spec(tmp_path):

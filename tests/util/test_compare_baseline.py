@@ -224,7 +224,9 @@ def test_aggregate_telemetry_clamps_negative_self(tmp_path):
     assert agg["parent"]["self_s"] == 0.0
 
 
-def test_top_regressed_spans_orders_by_delta():
+def test_top_regressions_orders_by_delta():
+    # The gate imports its attribution code from repro.obs.analyze, so
+    # `obs diff` and the benchmark failure message agree on the ranking.
     baseline = {
         "a": {"count": 1, "total_s": 1.0, "self_s": 1.0},
         "b": {"count": 1, "total_s": 1.0, "self_s": 1.0},
@@ -238,10 +240,11 @@ def test_top_regressed_spans_orders_by_delta():
         "d": {"count": 1, "total_s": 0.5, "self_s": 0.5},  # improved
         "new": {"count": 1, "total_s": 9.0, "self_s": 9.0},  # no baseline
     }
-    rows = compare_baseline.top_regressed_spans(baseline, current, limit=3)
-    assert [row[0] for row in rows] == ["b", "a", "c"]
-    assert rows[0][3] == 2.0
-    text = compare_baseline.render_span_regressions(rows)
+    deltas = compare_baseline.diff_aggregates(baseline, current)
+    rows = compare_baseline.top_regressions(deltas, limit=3)
+    assert [row.name for row in rows] == ["b", "a", "c"]
+    assert rows[0].delta_self_s == 2.0
+    text = compare_baseline.render_regressions(rows)
     assert "b: 1.000s -> 3.000s (+2.000s)" in text
 
 
