@@ -95,15 +95,19 @@ def load_current(path: Path) -> dict:
     """
     raw = json.loads(path.read_text())
     kernel = active_kernel_name()
-    return {
-        bench["fullname"]: {
+    current = {}
+    for bench in raw["benchmarks"]:
+        entry = {
             "mean_s": bench["stats"]["mean"],
             "min_s": bench["stats"]["min"],
             "group": bench.get("group"),
             "kernel": kernel,
         }
-        for bench in raw["benchmarks"]
-    }
+        peak_rss_mb = bench.get("extra_info", {}).get("peak_rss_mb")
+        if peak_rss_mb is not None:
+            entry["peak_rss_mb"] = peak_rss_mb
+        current[bench["fullname"]] = entry
+    return current
 
 
 def aggregate_telemetry(path: Path) -> dict:
@@ -137,10 +141,15 @@ def update_baseline(current: dict, raw_path: Path, spans: dict = None) -> None:
         "datetime": raw.get("datetime"),
         "benchmarks": {
             name: {
-                "mean_s": round(stats["mean_s"], 4),
-                "min_s": round(stats["min_s"], 4),
-                "group": stats["group"],
-                "kernel": stats.get("kernel", "numpy"),
+                key: value
+                for key, value in (
+                    ("mean_s", round(stats["mean_s"], 4)),
+                    ("min_s", round(stats["min_s"], 4)),
+                    ("group", stats["group"]),
+                    ("kernel", stats.get("kernel", "numpy")),
+                    ("peak_rss_mb", stats.get("peak_rss_mb")),
+                )
+                if value is not None
             }
             for name, stats in current.items()
         },
@@ -214,6 +223,48 @@ def compare(baseline: dict, current: dict, threshold: float, cores: int = None) 
             note = "REGRESSION" if ratio > threshold else ""
             rows.append((name, base_mean, cur_mean, ratio, note))
     return rows
+
+
+def collect_rss(baseline: dict, current: dict) -> list:
+    """Peak-RSS rows (name, base_mb, cur_mb) — report-only, never gated.
+
+    Memory high-water marks from benchmarks that record
+    ``extra_info["peak_rss_mb"]`` (currently the scaling-topology study).
+    RSS depends on allocator behaviour and everything the process touched
+    before the benchmark, so the trajectory is surfaced PR over PR but a
+    delta is never a failure.
+    """
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        base_mb = baseline.get(name, {}).get("peak_rss_mb")
+        cur_mb = current.get(name, {}).get("peak_rss_mb")
+        if base_mb is None and cur_mb is None:
+            continue
+        rows.append((name, base_mb, cur_mb))
+    return rows
+
+
+def render_rss_text(rss_rows: list) -> str:
+    lines = ["peak RSS (report-only, never gated):"]
+    for name, base_mb, cur_mb in rss_rows:
+        base = "-" if base_mb is None else f"{base_mb:.1f}MB"
+        cur = "-" if cur_mb is None else f"{cur_mb:.1f}MB"
+        lines.append(f"  {name}: baseline {base}, current {cur}")
+    return "\n".join(lines)
+
+
+def render_rss_markdown(rss_rows: list) -> str:
+    lines = [
+        "### Peak RSS (report-only)",
+        "",
+        "| benchmark | baseline | current |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, base_mb, cur_mb in rss_rows:
+        base = "-" if base_mb is None else f"{base_mb:.1f} MB"
+        cur = "-" if cur_mb is None else f"{cur_mb:.1f} MB"
+        lines.append(f"| `{name}` | {base} | {cur} |")
+    return "\n".join(lines) + "\n"
 
 
 def collect_skips(rows: list, strict_armed: bool = None) -> list:
@@ -347,9 +398,13 @@ def main(argv=None) -> int:
     baseline = baseline_doc["benchmarks"]
     rows = compare(baseline, current, args.threshold)
     skips = collect_skips(rows)
+    rss_rows = collect_rss(baseline, current)
     print(render_text(rows))
     print()
     print(render_skips_text(skips))
+    if rss_rows:
+        print()
+        print(render_rss_text(rss_rows))
 
     summary_path = args.markdown
     if summary_path is None and os.environ.get("GITHUB_STEP_SUMMARY"):
@@ -359,6 +414,9 @@ def main(argv=None) -> int:
             handle.write(render_markdown(rows, args.threshold))
             handle.write("\n")
             handle.write(render_skips_markdown(skips))
+            if rss_rows:
+                handle.write("\n")
+                handle.write(render_rss_markdown(rss_rows))
 
     regressions = [name for name, *_, note in rows if note == "REGRESSION"]
     if regressions:

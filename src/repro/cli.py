@@ -162,8 +162,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "campaign",
         help="run a named sweep "
-        "(figure3|figure4|scaling|ablation|realworld|mitigation) "
-        "or a JSON sweep spec, sharded across processes",
+        "(figure3|figure4|scaling|scaling-topology|ablation|realworld|"
+        "mitigation) or a JSON sweep spec, sharded across processes",
     )
     sub.add_argument(
         "target",
@@ -300,6 +300,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk parse cache",
+    )
+    sub.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="validate only: fail fast (before parsing) when a dataset "
+        "file declares more than this many nodes",
     )
     sub = subparsers.add_parser(
         "scenarios",
@@ -704,10 +711,22 @@ def _print_datasets(args: argparse.Namespace) -> int:
             print(f"{key:<{width}}  {value}")
         return 0
     # validate: every registered dataset must load through its loader.
+    # Each row carries its wall time (--no-cache makes this a parse
+    # benchmark); --max-nodes runs the streaming node census first, so an
+    # oversized file fails fast instead of after a long parse.
+    from repro.datasets import resolve_dataset_path, scan_nodes
+    from repro.obs.timer import Timer
+
     failures = 0
     for name in dataset_names():
+        entry = DATASETS[name]
         try:
-            network = load_dataset(name, use_cache=use_cache)
+            with Timer() as timer:
+                if args.max_nodes is not None:
+                    path = resolve_dataset_path(entry)
+                    if path is not None:
+                        scan_nodes(path, entry.format_name, max_nodes=args.max_nodes)
+                network = load_dataset(name, use_cache=use_cache)
         except DatasetError as exc:
             print(f"FAIL {name}: {exc}")
             failures += 1
@@ -715,7 +734,8 @@ def _print_datasets(args: argparse.Namespace) -> int:
             print(
                 f"ok   {name}: {network.num_links} links, "
                 f"{network.num_paths} paths, "
-                f"{len(network.correlation_sets)} correlation sets"
+                f"{len(network.correlation_sets)} correlation sets "
+                f"({timer.elapsed:.3f}s)"
             )
     if failures:
         print(f"{failures} dataset(s) failed to load")

@@ -26,9 +26,16 @@ from repro.datasets.base import (
     DatasetSpec,
     ParsedTopology,
     derive_network,
+    derive_network_compact,
     partition_into_ases,
+    scan_nodes,
 )
-from repro.datasets.caida import CaidaLoader, parse_caida
+from repro.datasets.caida import (
+    CaidaLoader,
+    iter_caida_edges,
+    load_caida_edge_arrays,
+    parse_caida,
+)
 from repro.datasets.cache import default_cache_dir, load_with_cache
 from repro.datasets.gml import GmlLoader, parse_gml
 from repro.datasets.registry import (
@@ -46,7 +53,9 @@ from repro.datasets.rocketfuel import RocketfuelLoader, parse_rocketfuel
 from repro.datasets.synthetic import (
     BriteLoader,
     JsonNetworkLoader,
+    PowerLawAsLoader,
     TracerouteLoader,
+    generate_powerlaw_edges,
 )
 
 __all__ = [
@@ -54,16 +63,22 @@ __all__ = [
     "DatasetSpec",
     "ParsedTopology",
     "derive_network",
+    "derive_network_compact",
     "partition_into_ases",
+    "scan_nodes",
     "GmlLoader",
     "parse_gml",
     "RocketfuelLoader",
     "parse_rocketfuel",
     "CaidaLoader",
     "parse_caida",
+    "iter_caida_edges",
+    "load_caida_edge_arrays",
     "BriteLoader",
     "TracerouteLoader",
     "JsonNetworkLoader",
+    "PowerLawAsLoader",
+    "generate_powerlaw_edges",
     "default_cache_dir",
     "load_with_cache",
     "DATASETS",

@@ -21,6 +21,8 @@ correlation sets (one set per POP-sized region).
 
 from __future__ import annotations
 
+import re
+import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Protocol, Union, runtime_checkable
@@ -29,10 +31,17 @@ import networkx as nx
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.topology.aslevel import AsLevelBuilder
+from repro.topology.aslevel import AsLevelBuilder, IdentityAsnMap
 from repro.topology.brite import _dedupe_paths
 from repro.topology.graph import Network
-from repro.topology.routing import RouteOracle, select_endpoint_pairs
+from repro.topology.routing import (
+    CompactGraph,
+    RouteOracle,
+    bfs_parents_graph,
+    route_from_parents,
+    select_endpoint_pairs,
+    select_endpoint_pairs_lazy,
+)
 
 #: Anything acceptable as a dataset file location.
 PathLike = Union[str, Path]
@@ -188,6 +197,119 @@ def derive_network(parsed: ParsedTopology, spec: DatasetSpec, name: str) -> Netw
     return _dedupe_paths(network, name)
 
 
+def derive_network_compact(
+    num_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    spec: DatasetSpec,
+    name: str,
+    sparse: bool = True,
+    stats: Optional[Dict[str, int]] = None,
+) -> Network:
+    """Derive a monitored network from an edge-array graph, at scale.
+
+    The internet-scale twin of :func:`derive_network` for graphs given as
+    flat endpoint arrays on dense node ids ``0..num_nodes-1`` (streamed
+    CAIDA snapshots, the synthetic power-law generator). Differences from
+    the eager path, by design:
+
+    * endpoint pairs come from
+      :func:`~repro.topology.routing.select_endpoint_pairs_lazy`, which
+      never materialises the O(V x D) pair product;
+    * one deterministic BFS parent tree per distinct vantage serves all of
+      its destinations (instead of one ``nx.shortest_path`` per pair);
+    * with ``sparse=True`` the graph is a CSR
+      :class:`~repro.topology.routing.CompactGraph`, the router->AS map is
+      the O(1) :class:`~repro.topology.aslevel.IdentityAsnMap`, and routes
+      accumulate in a :class:`~repro.topology.routing.SparseRouteTable`.
+
+    Both modes run the *same* BFS (FIFO frontier, ascending neighbours)
+    over the same seed-deterministic endpoint draw, so the derived
+    :class:`Network` is bit-identical across ``sparse`` settings — only
+    peak memory differs.
+
+    When ``stats`` is given (a dict) and :mod:`tracemalloc` is tracing,
+    ``stats["construction_bytes"]`` records the bytes *retained* by the
+    graph, router->AS map, and accumulated route storage at the moment
+    route derivation finishes — the structures the sparse mode replaces —
+    measured as a traced-allocation delta across this call.
+    """
+    spec.validate()
+    trace_start = (
+        tracemalloc.get_traced_memory()[0]
+        if stats is not None and tracemalloc.is_tracing()
+        else None
+    )
+    if num_nodes < 2:
+        raise DatasetError(f"dataset {name!r}: need at least two nodes")
+    rng = np.random.default_rng(spec.seed)
+    num_vantage = min(spec.num_vantage_points, max(1, num_nodes // 2))
+    vantage = np.sort(rng.choice(num_nodes, size=num_vantage, replace=False))
+    others = np.setdiff1d(np.arange(num_nodes), vantage, assume_unique=True)
+    num_destinations = min(spec.num_destinations, others.shape[0])
+    destinations = np.sort(
+        rng.choice(others, size=num_destinations, replace=False)
+    )
+    available = num_vantage * num_destinations
+    requested = min(spec.num_paths, available)
+    pairs = select_endpoint_pairs_lazy(
+        [int(node) for node in vantage],
+        [int(node) for node in destinations],
+        requested,
+        rng,
+    )
+    destinations_of: Dict[int, list] = {}
+    for source, destination in pairs:
+        destinations_of.setdefault(source, []).append(destination)
+
+    if sparse:
+        graph: Union[CompactGraph, nx.Graph] = CompactGraph.from_edges(
+            num_nodes, src, dst
+        )
+        builder = AsLevelBuilder(
+            IdentityAsnMap(num_nodes),
+            include_source_as=True,
+            sparse_paths=True,
+            copy_mapping=False,
+        )
+    else:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        graph.add_edges_from(
+            (int(a), int(b)) for a, b in zip(src, dst) if int(a) != int(b)
+        )
+        builder = AsLevelBuilder(
+            {node: node for node in range(num_nodes)}, include_source_as=True
+        )
+    # Deterministic route order shared by both modes: sources ascending,
+    # then destinations ascending within each source's parent tree.
+    for source in sorted(destinations_of):
+        parents = (
+            graph.bfs_parents(source)
+            if isinstance(graph, CompactGraph)
+            else bfs_parents_graph(graph, source)
+        )
+        for destination in sorted(destinations_of[source]):
+            route = route_from_parents(parents, source, destination)
+            if route is not None:
+                builder.add_route(route)
+        del parents
+    if trace_start is not None and stats is not None:
+        # Graph + AS map + route storage are all still live here, while the
+        # (mode-shared) Network has not been materialised yet: the delta is
+        # exactly the construction structures the sparse mode shrinks.
+        stats["construction_bytes"] = max(
+            0, tracemalloc.get_traced_memory()[0] - trace_start
+        )
+    if builder.num_routes == 0:
+        raise DatasetError(
+            f"dataset {name!r}: no usable routes between the selected "
+            "endpoints (is the graph connected?)"
+        )
+    network = builder.build(name=name)
+    return _dedupe_paths(network, name)
+
+
 def read_dataset_text(path: Optional[PathLike], format_name: str) -> str:
     """Read a dataset file, with a uniform error for missing files."""
     if path is None:
@@ -204,3 +326,56 @@ def read_dataset_text(path: Optional[PathLike], format_name: str) -> str:
 def dataset_stem(path: PathLike) -> str:
     """Filename without directories or extension: the default network name."""
     return Path(path).stem
+
+
+#: GML node-block openers, for the streaming census in :func:`scan_nodes`.
+_GML_NODE_BLOCK = re.compile(r"\bnode\s*\[")
+
+
+def scan_nodes(
+    path: PathLike,
+    format_name: str,
+    max_nodes: Optional[int] = None,
+) -> Optional[int]:
+    """Streaming node census of a dataset file, with a fail-fast bound.
+
+    Reads the file line by line — never building a graph — and counts the
+    nodes it declares: distinct AS numbers for ``caida``, ``node [``
+    blocks for ``gml``. If ``max_nodes`` is given, raises
+    :class:`DatasetError` the moment the count exceeds it, so validating
+    an unexpectedly internet-sized snapshot aborts in O(bound) memory
+    instead of parsing (and OOMing on) the whole file. Returns ``None``
+    for formats without a file-backed node census (synthetic generators,
+    saved JSON networks).
+    """
+    if format_name not in ("caida", "gml"):
+        return None
+    from repro.datasets.caida import iter_caida_edges
+
+    file_path = Path(path)
+    try:
+        with file_path.open() as handle:
+            if format_name == "caida":
+                seen = set()
+                for a, b, _ in iter_caida_edges(handle):
+                    seen.add(a)
+                    seen.add(b)
+                    if max_nodes is not None and len(seen) > max_nodes:
+                        raise DatasetError(
+                            f"dataset {file_path.name}: more than "
+                            f"{max_nodes} nodes (max-nodes guard)"
+                        )
+                return len(seen)
+            count = 0
+            for line in handle:
+                count += len(_GML_NODE_BLOCK.findall(line))
+                if max_nodes is not None and count > max_nodes:
+                    raise DatasetError(
+                        f"dataset {file_path.name}: more than "
+                        f"{max_nodes} nodes (max-nodes guard)"
+                    )
+            return count
+    except OSError as exc:
+        raise DatasetError(
+            f"cannot read {format_name} dataset {file_path}: {exc}"
+        ) from exc

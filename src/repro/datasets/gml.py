@@ -24,7 +24,7 @@ attribute, when present, wins).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import networkx as nx
 
@@ -47,20 +47,46 @@ _TOKEN = re.compile(r'"([^"]*)"|(\[)|(\])|([^\s\[\]]+)')
 GmlValue = Union[str, int, float, List[Tuple[str, "GmlValue"]]]
 
 
-def _tokenize(text: str) -> List[Union[str, Tuple[str]]]:
-    """Split GML text into tokens; quoted strings keep a 1-tuple marker."""
-    tokens: List[Union[str, Tuple[str]]] = []
+def _iter_tokens(text: str) -> Iterator[Union[str, Tuple[str]]]:
+    """Stream GML tokens; quoted strings keep a 1-tuple marker.
+
+    A generator instead of a materialised list: large Topology Zoo (or
+    future internet-scale) files tokenize to several objects per byte, so
+    the parser pulls tokens one at a time and only block *structure* is
+    ever resident.
+    """
     for match in _TOKEN.finditer(text):
         quoted, open_bracket, close_bracket, word = match.groups()
         if quoted is not None:
-            tokens.append((quoted,))  # marked so "0" stays a string
+            yield (quoted,)  # marked so "0" stays a string
         elif open_bracket:
-            tokens.append("[")
+            yield "["
         elif close_bracket:
-            tokens.append("]")
+            yield "]"
         elif word is not None and not word.startswith("#"):
-            tokens.append(word)
-    return tokens
+            yield word
+
+
+def _tokenize(text: str) -> List[Union[str, Tuple[str]]]:
+    """Split GML text into tokens (materialised; kept for diagnostics)."""
+    return list(_iter_tokens(text))
+
+
+class _TokenStream:
+    """Pull-based cursor over a token iterator with a running position."""
+
+    __slots__ = ("_tokens", "position")
+
+    def __init__(self, tokens: Iterator[Union[str, Tuple[str]]]) -> None:
+        self._tokens = tokens
+        self.position = 0
+
+    def next(self) -> Optional[Union[str, Tuple[str]]]:
+        """The next token, or ``None`` at end of input."""
+        token = next(self._tokens, None)
+        if token is not None:
+            self.position += 1
+        return token
 
 
 def _coerce(word: str) -> Union[str, int, float]:
@@ -75,34 +101,32 @@ def _coerce(word: str) -> Union[str, int, float]:
         return word
 
 
-def _parse_block(
-    tokens: List[Union[str, Tuple[str]]], position: int
-) -> Tuple[List[Tuple[str, GmlValue]], int]:
-    """Parse ``key value`` pairs until the matching ``]`` (or the end)."""
+def _parse_block(stream: _TokenStream) -> List[Tuple[str, GmlValue]]:
+    """Parse ``key value`` pairs until the matching ``]`` (or the end).
+
+    Pull-based: tokens are consumed off ``stream`` one at a time, so the
+    whole token list is never resident — only the entries of the blocks
+    currently open on the recursion stack.
+    """
     entries: List[Tuple[str, GmlValue]] = []
-    while position < len(tokens):
-        token = tokens[position]
-        if token == "]":
-            return entries, position + 1
+    while True:
+        token = stream.next()
+        if token is None or token == "]":
+            return entries
         if token == "[" or isinstance(token, tuple):
-            raise DatasetError(f"malformed GML: expected a key at token {position}")
+            raise DatasetError(
+                f"malformed GML: expected a key at token {stream.position - 1}"
+            )
         key = token
-        position += 1
-        if position >= len(tokens):
+        value_token = stream.next()
+        if value_token is None or value_token == "]":
             raise DatasetError(f"malformed GML: key {key!r} has no value")
-        value_token = tokens[position]
         if value_token == "[":
-            nested, position = _parse_block(tokens, position + 1)
-            entries.append((key, nested))
+            entries.append((key, _parse_block(stream)))
         elif isinstance(value_token, tuple):
             entries.append((key, value_token[0]))
-            position += 1
-        elif value_token == "]":
-            raise DatasetError(f"malformed GML: key {key!r} has no value")
         else:
             entries.append((key, _coerce(value_token)))
-            position += 1
-    return entries, position
 
 
 def _block_get(block: List[Tuple[str, GmlValue]], key: str) -> Optional[GmlValue]:
@@ -121,7 +145,7 @@ def parse_gml(text: str, group_size: int = 4) -> ParsedTopology:
         When no ``graph`` block, no nodes, or no edges are present, or a
         node/edge block is missing its id/endpoints.
     """
-    entries, _ = _parse_block(_tokenize(text), 0)
+    entries = _parse_block(_TokenStream(_iter_tokens(text)))
     graph_block = _block_get(entries, "graph")
     if not isinstance(graph_block, list):
         raise DatasetError("GML file has no 'graph' block")

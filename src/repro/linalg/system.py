@@ -59,36 +59,54 @@ class SystemWorkspace:
     Only one system may grow in the workspace at a time: beginning a new
     system recycles the arena, invalidating the previous system's matrix
     views. Sweep trials fit sequentially, so this is the natural lifetime.
+
+    The arena has two storage modes, chosen per :meth:`begin`: *dense*
+    (the historical row matrix) and *sparse* (each row as a run of
+    ``(column, value)`` entries in flat capacity-doubling arrays, plus a
+    per-row entry count). The scalar arenas — rhs, weights, prior flags —
+    are shared between modes.
     """
 
     #: Initial row capacity of a fresh arena.
     INITIAL_CAPACITY = 256
+    #: Initial flat (column, value) entry capacity of the sparse arena.
+    INITIAL_ENTRIES = 1024
 
     def __init__(self) -> None:
         self._rows: Optional[np.ndarray] = None
         self._rhs: Optional[np.ndarray] = None
         self._weights: Optional[np.ndarray] = None
         self._prior: Optional[np.ndarray] = None
+        # Sparse-mode arenas: per-row entry counts plus flat entry arrays.
+        self._row_lengths: Optional[np.ndarray] = None
+        self._flat_columns: Optional[np.ndarray] = None
+        self._flat_values: Optional[np.ndarray] = None
+        self._entry_count = 0
+        self._sparse = False
         self._width = -1
         self._count = 0
         # Bumped on every begin(); systems remember the generation they
         # were issued so a stale system can never read a recycled arena.
         self._generation = 0
 
-    def begin(self, num_unknowns: int) -> int:
+    def begin(self, num_unknowns: int, sparse: bool = False) -> int:
         """Recycle the arena for a new system; returns its generation."""
-        if self._rows is None or self._width != num_unknowns:
-            capacity = (
-                self._rows.shape[0]
-                if self._rows is not None
-                else self.INITIAL_CAPACITY
-            )
-            self._rows = np.empty((capacity, num_unknowns))
-            self._rhs = np.empty(capacity)
-            self._weights = np.empty(capacity)
-            self._prior = np.empty(capacity, dtype=bool)
-            self._width = num_unknowns
+        if self._rhs is None:
+            self._rhs = np.empty(self.INITIAL_CAPACITY)
+            self._weights = np.empty(self.INITIAL_CAPACITY)
+            self._prior = np.empty(self.INITIAL_CAPACITY, dtype=bool)
+        self._sparse = sparse
+        if sparse:
+            if self._row_lengths is None:
+                self._row_lengths = np.empty(self._rhs.shape[0], dtype=np.int64)
+            if self._flat_columns is None:
+                self._flat_columns = np.empty(self.INITIAL_ENTRIES, dtype=np.int64)
+                self._flat_values = np.empty(self.INITIAL_ENTRIES)
+        elif self._rows is None or self._width != num_unknowns:
+            self._rows = np.empty((self._rhs.shape[0], num_unknowns))
+        self._width = num_unknowns
         self._count = 0
+        self._entry_count = 0
         self._generation += 1
         return self._generation
 
@@ -98,15 +116,27 @@ class SystemWorkspace:
         return self._generation
 
     def _ensure(self, needed: int) -> None:
-        capacity = self._rows.shape[0]
-        if needed <= capacity:
-            return
-        capacity = max(needed, 2 * capacity)
-        for name in ("_rows", "_rhs", "_weights", "_prior"):
+        """Grow the per-row arenas of the current mode to ``needed`` rows."""
+        names = ["_rhs", "_weights", "_prior"]
+        names.append("_row_lengths" if self._sparse else "_rows")
+        for name in names:
             old = getattr(self, name)
+            if needed <= old.shape[0]:
+                continue
+            capacity = max(needed, 2 * old.shape[0])
             shape = (capacity, self._width) if old.ndim == 2 else (capacity,)
             grown = np.empty(shape, dtype=old.dtype)
             grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
+
+    def _ensure_entries(self, needed: int) -> None:
+        """Grow the flat sparse-entry arenas to ``needed`` entries."""
+        for name in ("_flat_columns", "_flat_values"):
+            old = getattr(self, name)
+            if needed <= old.shape[0]:
+                continue
+            grown = np.empty(max(needed, 2 * old.shape[0]), dtype=old.dtype)
+            grown[: self._entry_count] = old[: self._entry_count]
             setattr(self, name, grown)
 
     def append(
@@ -116,7 +146,7 @@ class SystemWorkspace:
         weights: np.ndarray,
         prior: bool,
     ) -> None:
-        """Copy one validated equation block into the arena."""
+        """Copy one validated dense equation block into the arena."""
         count = rows.shape[0]
         self._ensure(self._count + count)
         stop = self._count + count
@@ -125,6 +155,30 @@ class SystemWorkspace:
         self._weights[self._count : stop] = weights
         self._prior[self._count : stop] = prior
         self._count = stop
+
+    def append_sparse(
+        self,
+        columns: np.ndarray,
+        values: np.ndarray,
+        row_lengths: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray,
+        prior: bool,
+    ) -> None:
+        """Copy one validated sparse equation block into the arena."""
+        count = row_lengths.shape[0]
+        self._ensure(self._count + count)
+        self._ensure_entries(self._entry_count + columns.shape[0])
+        stop = self._count + count
+        self._row_lengths[self._count : stop] = row_lengths
+        self._rhs[self._count : stop] = rhs
+        self._weights[self._count : stop] = weights
+        self._prior[self._count : stop] = prior
+        entry_stop = self._entry_count + columns.shape[0]
+        self._flat_columns[self._entry_count : entry_stop] = columns
+        self._flat_values[self._entry_count : entry_stop] = values
+        self._count = stop
+        self._entry_count = entry_stop
 
     @property
     def num_equations(self) -> int:
@@ -146,6 +200,14 @@ class SystemWorkspace:
     def prior_view(self) -> np.ndarray:
         """The live system's prior-row mask (a view into the arena)."""
         return self._prior[: self._count]
+
+    def sparse_views(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The live sparse system's ``(columns, values, row_lengths)``."""
+        return (
+            self._flat_columns[: self._entry_count],
+            self._flat_values[: self._entry_count],
+            self._row_lengths[: self._count],
+        )
 
 
 @dataclass
@@ -189,20 +251,35 @@ class EquationSystem:
     :class:`SystemWorkspace`, blocks land in the workspace's reusable
     arena instead (one live system per workspace at a time — beginning a
     newer system there invalidates this one's matrix views).
+
+    With ``sparse=True`` rows are stored as ``(column, value)`` entry runs
+    (:meth:`add_sparse_batch`) instead of width-``num_unknowns`` vectors:
+    the storage cost is the number of nonzeros, not rows x unknowns. The
+    solve deduplicates on the sparse keys, densifies *only* the unique
+    rows, and then runs the identical QR/NNLS path — solutions are
+    bit-identical to the dense storage mode for the same equations.
     """
 
     def __init__(
-        self, num_unknowns: int, workspace: Optional[SystemWorkspace] = None
+        self,
+        num_unknowns: int,
+        workspace: Optional[SystemWorkspace] = None,
+        sparse: bool = False,
     ) -> None:
         if num_unknowns < 0:
             raise EstimationError("num_unknowns must be non-negative")
         self.num_unknowns = num_unknowns
+        self.sparse = sparse
         self._workspace = workspace
-        self._generation = workspace.begin(num_unknowns) if workspace else 0
+        self._generation = workspace.begin(num_unknowns, sparse) if workspace else 0
         self._blocks: List[np.ndarray] = []
         self._rhs_blocks: List[np.ndarray] = []
         self._weight_blocks: List[np.ndarray] = []
         self._prior_blocks: List[np.ndarray] = []
+        # Sparse-mode blocks (workspace-less systems only).
+        self._column_blocks: List[np.ndarray] = []
+        self._value_blocks: List[np.ndarray] = []
+        self._length_blocks: List[np.ndarray] = []
         self._num_equations = 0
 
     def __len__(self) -> int:
@@ -265,6 +342,21 @@ class EquationSystem:
                 raise EstimationError("rows and weights lengths differ")
         if np.any(weights <= 0.0):
             raise EstimationError("equation weight must be positive")
+        if self.sparse:
+            # Dense rows entering a sparse system (e.g. the prior rows the
+            # estimators build positionally) are converted to entry runs;
+            # np.nonzero walks row-major, so columns come out ascending
+            # per row — already canonical for duplicate grouping.
+            row_ids, columns = np.nonzero(rows)
+            self._append_sparse(
+                columns.astype(np.int64),
+                rows[row_ids, columns],
+                np.bincount(row_ids, minlength=rows.shape[0]).astype(np.int64),
+                rhs,
+                weights,
+                prior,
+            )
+            return
         if self._workspace is not None:
             self._arena().append(rows, rhs, weights, bool(prior))
         else:
@@ -273,6 +365,109 @@ class EquationSystem:
             self._weight_blocks.append(weights)
             self._prior_blocks.append(np.full(rows.shape[0], bool(prior)))
         self._num_equations += rows.shape[0]
+
+    def add_sparse_batch(
+        self,
+        columns: np.ndarray,
+        row_lengths: np.ndarray,
+        rhs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+        prior: bool = False,
+    ) -> None:
+        """Append a block of sparse equations in one call.
+
+        Parameters
+        ----------
+        columns:
+            Flat array concatenating each row's unknown indices. Indices
+            must be distinct within a row (any order; rows are
+            canonicalised to ascending column order internally so that
+            duplicate detection matches the dense storage mode exactly).
+        row_lengths:
+            Entries per row, shape (k,); ``sum(row_lengths) == len(columns)``.
+        rhs:
+            Right-hand sides, shape (k,).
+        weights:
+            Per-equation precisions, shape (k,); defaults to 1.
+        values:
+            Per-entry coefficients aligned with ``columns``; defaults to 1
+            (the 0/1 Eq. 1 rows).
+        prior:
+            Marks the whole block as regulariser rows (see :meth:`add`).
+        """
+        if not self.sparse:
+            raise EstimationError("add_sparse_batch requires a sparse system")
+        columns = np.asarray(columns, dtype=np.int64).reshape(-1)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64).reshape(-1)
+        rhs = np.asarray(rhs, dtype=float).reshape(-1)
+        if row_lengths.shape[0] != rhs.shape[0]:
+            raise EstimationError("row_lengths and rhs lengths differ")
+        if int(row_lengths.sum()) != columns.shape[0]:
+            raise EstimationError("row_lengths do not sum to len(columns)")
+        if row_lengths.shape[0] == 0:
+            return
+        if columns.size and (
+            columns.min() < 0 or columns.max() >= self.num_unknowns
+        ):
+            raise EstimationError("sparse column index out of range")
+        if values is None:
+            values = np.ones(columns.shape[0])
+        else:
+            values = np.asarray(values, dtype=float).reshape(-1)
+            if values.shape[0] != columns.shape[0]:
+                raise EstimationError("columns and values lengths differ")
+        if weights is None:
+            weights = np.ones(row_lengths.shape[0])
+        else:
+            weights = np.asarray(weights, dtype=float).reshape(-1)
+            if weights.shape[0] != row_lengths.shape[0]:
+                raise EstimationError("rows and weights lengths differ")
+        if np.any(weights <= 0.0):
+            raise EstimationError("equation weight must be positive")
+        if columns.size:
+            # Canonical ascending-column order per row: makes the sparse
+            # duplicate keys agree with dense byte-level row equality.
+            row_ids = np.repeat(np.arange(row_lengths.shape[0]), row_lengths)
+            order = np.lexsort((columns, row_ids))
+            columns = columns[order]
+            values = values[order]
+        self._append_sparse(columns, values, row_lengths, rhs, weights, prior)
+
+    def _append_sparse(
+        self,
+        columns: np.ndarray,
+        values: np.ndarray,
+        row_lengths: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray,
+        prior: bool,
+    ) -> None:
+        if self._workspace is not None:
+            self._arena().append_sparse(
+                columns, values, row_lengths, rhs, weights, bool(prior)
+            )
+        else:
+            self._column_blocks.append(columns)
+            self._value_blocks.append(values)
+            self._length_blocks.append(row_lengths)
+            self._rhs_blocks.append(rhs)
+            self._weight_blocks.append(weights)
+            self._prior_blocks.append(np.full(row_lengths.shape[0], bool(prior)))
+        self._num_equations += row_lengths.shape[0]
+
+    def _sparse_data(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The sparse system's ``(columns, values, row_lengths)`` arrays."""
+        if self._workspace is not None:
+            return self._arena().sparse_views()
+        if not self._length_blocks:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, np.zeros(0), empty
+        return (
+            np.concatenate(self._column_blocks),
+            np.concatenate(self._value_blocks),
+            np.concatenate(self._length_blocks),
+        )
 
     def _arena(self) -> SystemWorkspace:
         """The backing workspace, after checking this system still owns it."""
@@ -285,12 +480,44 @@ class EquationSystem:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The system matrix A, shape (num_equations, num_unknowns)."""
+        """The system matrix A, shape (num_equations, num_unknowns).
+
+        In sparse storage mode this *materialises* the full dense matrix
+        (diagnostics/tests only — the solve never does this).
+        """
+        if self.sparse:
+            columns, values, row_lengths = self._sparse_data()
+            matrix = np.zeros((row_lengths.shape[0], self.num_unknowns))
+            if columns.size:
+                row_ids = np.repeat(np.arange(row_lengths.shape[0]), row_lengths)
+                matrix[row_ids, columns] = values
+            return matrix
         if self._workspace is not None:
             return self._arena().matrix_view()
         if not self._blocks:
             return np.zeros((0, self.num_unknowns))
         return np.concatenate(self._blocks, axis=0)
+
+    @property
+    def storage_nbytes(self) -> int:
+        """Logical bytes of the stored equations (matrix + rhs/weights/prior).
+
+        Dense storage pays ``num_equations x num_unknowns`` float64 cells
+        regardless of sparsity; sparse storage pays one ``(column, value)``
+        pair per nonzero plus a per-row length. Solve-time transients are
+        deliberately excluded: the solver densifies *unique* rows in both
+        modes, so transient peaks are shared while storage is where the
+        sparse path wins — the ``scaling-topology`` study gates on this.
+        """
+        per_row = self._num_equations * (8 + 8 + 1)  # rhs, weight, prior
+        if self.sparse:
+            if self._workspace is not None:
+                columns, _, _ = self._arena().sparse_views()
+                entries = int(columns.shape[0])
+            else:
+                entries = sum(int(b.shape[0]) for b in self._column_blocks)
+            return entries * (8 + 8) + self._num_equations * 8 + per_row
+        return self._num_equations * self.num_unknowns * 8 + per_row
 
     @property
     def rhs(self) -> np.ndarray:
@@ -373,6 +600,8 @@ class EquationSystem:
             )
         if self._num_equations == 0:
             raise EstimationError("cannot solve an empty equation system")
+        if self.sparse:
+            return self._solve_sparse(tol, upper_bound)
         matrix = self.matrix
         rhs = self.rhs
         weights = self.weights
@@ -443,6 +672,95 @@ class EquationSystem:
             if len(data_rhs)
             else 0.0
         )
+        return Solution(
+            values=values,
+            identifiable=identifiable,
+            rank=rank,
+            residual=residual,
+        )
+
+    def _solve_sparse(
+        self, tol: float, upper_bound: Optional[float]
+    ) -> Solution:
+        """The sparse-storage solve: dedup on entry runs, densify uniques.
+
+        Mirrors the dense :meth:`solve` step for step — same duplicate
+        grouping (canonical entry runs make the sparse keys agree with
+        dense byte equality), same grouped-precision merge, same QR/NNLS
+        and identifiability factorizations on the same float inputs — so
+        solutions are bit-identical while only the *unique* rows ever
+        densify to ``num_unknowns`` width.
+        """
+        columns, entry_values, row_lengths = self._sparse_data()
+        rhs = self.rhs
+        weights = self.weights
+        num_rows = row_lengths.shape[0]
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(row_lengths, out=indptr[1:])
+        groups: dict = {}
+        first_of_group_list: List[int] = []
+        inverse = np.empty(num_rows, dtype=np.intp)
+        for i in range(num_rows):
+            start, stop = indptr[i], indptr[i + 1]
+            key = (
+                columns[start:stop].tobytes(),
+                entry_values[start:stop].tobytes(),
+            )
+            group = groups.get(key)
+            if group is None:
+                group = len(groups)
+                groups[key] = group
+                first_of_group_list.append(i)
+            inverse[i] = group
+        first_of_group = np.asarray(first_of_group_list, dtype=np.intp)
+        num_groups = first_of_group.shape[0]
+        unique_rows = np.zeros((num_groups, self.num_unknowns))
+        for group, i in enumerate(first_of_group):
+            start, stop = indptr[i], indptr[i + 1]
+            unique_rows[group, columns[start:stop]] = entry_values[start:stop]
+        if num_groups < num_rows:
+            precision = weights * weights
+            group_precision = np.bincount(inverse, weights=precision)
+            group_rhs = (
+                np.bincount(inverse, weights=precision * rhs) / group_precision
+            )
+            group_weight = np.sqrt(group_precision)
+            weighted_matrix = unique_rows * group_weight[:, None]
+            weighted_rhs = group_rhs * group_weight
+        else:
+            weighted_matrix = unique_rows * weights[:, None]
+            weighted_rhs = rhs * weights
+        q_factor, r_factor = np.linalg.qr(weighted_matrix)
+        compressed_rhs = q_factor.T @ weighted_rhs
+        if upper_bound is None:
+            values, _, _, _ = np.linalg.lstsq(r_factor, compressed_rhs, rcond=None)
+        else:
+            values = self._solve_bounded(r_factor, compressed_rhs, upper_bound)
+        data_mask = ~self.prior_mask
+        data_rhs = rhs[data_mask]
+        if data_rhs.shape[0] == 0:
+            raise EstimationError("cannot solve a system with only prior equations")
+        data_groups = np.unique(inverse[data_mask])
+        data_unique = unique_rows[data_groups]
+        data_triangle = np.linalg.qr(data_unique, mode="r")
+        _, singular_values, vt = np.linalg.svd(data_triangle, full_matrices=True)
+        if singular_values.size and singular_values.max() > 0:
+            cutoff = tol * max(data_unique.shape) * singular_values.max()
+            rank = int((singular_values > cutoff).sum())
+        else:
+            rank = 0
+        basis = vt[rank:].T
+        if basis.shape[1] == 0:
+            identifiable = np.ones(self.num_unknowns, dtype=bool)
+        else:
+            identifiable = np.abs(basis).max(axis=1) <= 1e-7
+        # One matvec over the unique data rows; every duplicate row's
+        # fitted value equals its representative's (identical row bytes),
+        # so scattering through the group ids reproduces the dense
+        # per-row residual exactly.
+        fitted_unique = data_unique @ values
+        fitted = fitted_unique[np.searchsorted(data_groups, inverse[data_mask])]
+        residual = float(np.sqrt(np.mean((fitted - data_rhs) ** 2)))
         return Solution(
             values=values,
             identifiable=identifiable,

@@ -106,6 +106,29 @@ def read_rss_bytes() -> float:
         return 0.0
 
 
+def read_peak_rss_bytes() -> float:
+    """High-water-mark RSS in bytes (``VmHWM``), without psutil.
+
+    The process-lifetime peak, not the current value: campaign outcomes
+    record it so a sweep's memory footprint survives into the result JSON
+    even when no sampler thread was running. Falls back to
+    ``resource.getrusage`` peak (KiB on Linux) when ``/proc`` is absent.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+    except (ImportError, ValueError):
+        return 0.0
+
+
 def cpu_seconds() -> float:
     """Cumulative user + system CPU seconds of this process."""
     times = os.times()
@@ -125,13 +148,19 @@ class ResourceSampler:
             raise ValueError(f"sample interval must be > 0, got {interval}")
         self.interval = float(interval)
         self.samples = 0
+        #: Highest RSS seen by any sample (bytes); campaign outcomes
+        #: report it so long sweeps record their memory high-water mark.
+        self.peak_rss_bytes = 0.0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
     def sample(self) -> None:
         """Take one sample of RSS, CPU time, and GC counts."""
         start = time.perf_counter()
-        _RSS_BYTES.set(read_rss_bytes())
+        rss = read_rss_bytes()
+        if rss > self.peak_rss_bytes:
+            self.peak_rss_bytes = rss
+        _RSS_BYTES.set(rss)
         _CPU_SECONDS.set(cpu_seconds())
         stats = gc.get_stats()
         for generation, entry in enumerate(stats):
@@ -382,6 +411,7 @@ __all__ = [
     "TelemetryServer",
     "cpu_seconds",
     "ensure_metrics_mode",
+    "read_peak_rss_bytes",
     "read_rss_bytes",
     "recent_spans",
 ]

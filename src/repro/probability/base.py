@@ -94,6 +94,15 @@ class EstimatorConfig:
         accordingly. The Correlation-heuristic baseline deliberately ignores
         this (its unweighted redundant pool is the noise source the paper
         describes).
+    sparse:
+        Assemble and solve the equation system in sparse-row storage
+        (column-index + value runs instead of dense ``num_unknowns``-wide
+        rows). Purely a storage/solve-mechanics switch: admitted unknowns,
+        equations, and solutions are bit-identical to the dense path —
+        combine with ``requested_subset_size=1`` (lazily-discovered
+        unknowns, see
+        :meth:`~repro.probability.subsets.SubsetIndex.build_observed`)
+        for the full internet-scale configuration.
     seed:
         Randomness for sampled candidate pools and tie-breaking.
     """
@@ -108,6 +117,7 @@ class EstimatorConfig:
     pruning_tolerance: float = 0.02
     prior_weight: float = 1.0
     prior_mode: str = "independence"
+    sparse: bool = False
     seed: Optional[int] = 7
 
     def validate(self) -> None:

@@ -122,6 +122,12 @@ class FitReport:
         fits sharing one cache concurrently under the thread executor each
         see only their own, where the old global-snapshot deltas would
         attribute both fits' traffic to whichever finished last.
+    equation_storage_bytes:
+        Logical bytes of the assembled equation system's storage
+        (:attr:`repro.linalg.system.EquationSystem.storage_nbytes`) —
+        dense rows pay ``equations x unknowns`` cells, sparse rows pay
+        per-nonzero entries. The scaling study reads this to compare the
+        two storage modes without solve-transient noise.
     stage_seconds:
         Wall time per executed pipeline stage, keyed by stage name in
         execution order (see :data:`STAGE_ORDER`).
@@ -139,6 +145,7 @@ class FitReport:
     path_sets: List[FrozenSet[int]] = field(default_factory=list)
     frequency_cache_hits: int = 0
     frequency_cache_misses: int = 0
+    equation_storage_bytes: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     kernel: str = ""
 

@@ -193,6 +193,33 @@ class SubsetIndex:
                 admit(part)
         return cls(network, active_links, list(admitted))
 
+    @classmethod
+    def build_observed(
+        cls,
+        network: Network,
+        active_links: FrozenSet[int],
+        candidate_path_sets: Iterable[FrozenSet[int]],
+        hard_subset_cap: int = 6,
+    ) -> "SubsetIndex":
+        """Lazily-discovered unknowns: admit only what the data demands.
+
+        The internet-scale admission policy: no up-front enumeration of
+        multi-link subsets per correlation set — beyond the singletons
+        (always unknowns), a joint subset enters the index only when it
+        actually occurs as ``Links(P) intersect C`` for an observed
+        candidate path set. Equivalent to
+        ``build(requested_subset_size=1, ...)``, so the index size is
+        output-sensitive in the observed outcome patterns instead of
+        combinatorial in the correlation-set sizes.
+        """
+        return cls.build(
+            network,
+            active_links,
+            candidate_path_sets,
+            requested_subset_size=1,
+            hard_subset_cap=hard_subset_cap,
+        )
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -267,15 +294,18 @@ class SubsetIndex:
         row[positions] = 1.0
         return row
 
-    def rows_matrix(
+    def decompose_batch(
         self, path_sets: Sequence[Iterable[int]]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """``Matrix(P^, E^)`` for the *usable* path sets of a batch.
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse ``Matrix(P^, E^)``: unknown positions per usable path set.
 
-        Returns ``(matrix, usable)`` where ``usable`` is a boolean mask of
-        length ``len(path_sets)`` and ``matrix`` has one row per usable path
-        set, in batch order. Unusable rows (touching subsets outside the
-        index, or touching no unknown at all) are dropped from the matrix.
+        Returns ``(flat_positions, row_lengths, usable)``:
+        ``flat_positions`` concatenates each usable path set's unknown
+        positions (in decomposition order), ``row_lengths`` holds the
+        per-row counts, and ``usable`` is the same mask
+        :meth:`rows_matrix` reports. This is the discover/assemble
+        primitive of the sparse estimation mode — rows never densify to
+        ``len(self)`` width here.
         """
         usable = np.zeros(len(path_sets), dtype=bool)
         flat_positions: List[int] = []
@@ -287,9 +317,26 @@ class SubsetIndex:
             usable[i] = True
             flat_positions.extend(positions)
             row_lengths.append(len(positions))
-        matrix = np.zeros((len(row_lengths), len(self.subsets)))
-        if row_lengths:
-            row_ids = np.repeat(np.arange(len(row_lengths)), row_lengths)
+        return (
+            np.asarray(flat_positions, dtype=np.int64),
+            np.asarray(row_lengths, dtype=np.int64),
+            usable,
+        )
+
+    def rows_matrix(
+        self, path_sets: Sequence[Iterable[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``Matrix(P^, E^)`` for the *usable* path sets of a batch.
+
+        Returns ``(matrix, usable)`` where ``usable`` is a boolean mask of
+        length ``len(path_sets)`` and ``matrix`` has one row per usable path
+        set, in batch order. Unusable rows (touching subsets outside the
+        index, or touching no unknown at all) are dropped from the matrix.
+        """
+        flat_positions, row_lengths, usable = self.decompose_batch(path_sets)
+        matrix = np.zeros((row_lengths.size, len(self.subsets)))
+        if row_lengths.size:
+            row_ids = np.repeat(np.arange(row_lengths.size), row_lengths)
             matrix[row_ids, flat_positions] = 1.0
         return matrix, usable
 

@@ -28,6 +28,7 @@ from repro.experiments import figure4 as _figure4
 from repro.experiments import mitigation as _mitigation
 from repro.experiments import realworld as _realworld
 from repro.experiments import scaling as _scaling
+from repro.experiments import scaling_topology as _scaling_topology
 from repro.experiments.config import ExperimentScale, scale_by_name
 from repro.obs import flush, global_registry, metrics_enabled, render_json, span
 from repro.runner.pool import EXECUTORS, ProgressFn, ShardReport, run_trials
@@ -130,6 +131,53 @@ def _summarize_scaling(result: _scaling.ScalingResult) -> Dict[str, Any]:
             for row in result.rows
         ],
         "num_paths": result.num_paths,
+    }
+
+
+def _render_scaling_topology(
+    result: _scaling_topology.ScalingTopologyResult,
+) -> str:
+    ratios = ", ".join(
+        f"{size}: {ratio:.1f}x"
+        for size, ratio in sorted(result.memory_ratios().items())
+    )
+    return (
+        "Sparse vs dense internet-scale estimation path\n"
+        + result.to_table()
+        + f"\n\nbit-identical across modes: {result.bit_identical()}"
+        + (f"\ndense/sparse structure-memory ratio: {ratios}" if ratios else "")
+    )
+
+
+def _summarize_scaling_topology(
+    result: _scaling_topology.ScalingTopologyResult,
+) -> Dict[str, Any]:
+    return {
+        "rows": [
+            {
+                "num_nodes": row.num_nodes,
+                "mode": row.mode,
+                "num_links": row.num_links,
+                "num_paths": row.num_paths,
+                "num_unknowns": row.num_unknowns,
+                "num_equations": row.num_equations,
+                "build_seconds": row.build_seconds,
+                "fit_seconds": row.fit_seconds,
+                "construction_bytes": row.construction_bytes,
+                "equation_storage_bytes": row.equation_storage_bytes,
+                "structure_bytes": row.structure_bytes,
+                "peak_traced_bytes": row.peak_traced_bytes,
+                "rss_bytes": row.rss_bytes,
+                "route_digest": row.route_digest,
+                "estimate_digest": row.estimate_digest,
+            }
+            for row in result.rows
+        ],
+        "bit_identical": result.bit_identical(),
+        "memory_ratios": {
+            str(size): ratio
+            for size, ratio in sorted(result.memory_ratios().items())
+        },
     }
 
 
@@ -249,6 +297,21 @@ CAMPAIGNS: Dict[str, CampaignDefinition] = {
         merge=_scaling.merge_scaling,
         render=_render_scaling,
         summarize=_summarize_scaling,
+    ),
+    "scaling-topology": CampaignDefinition(
+        name="scaling-topology",
+        description=(
+            "Sparse vs dense internet-scale path: memory, runtime, and "
+            "bit-identity across 1k-10k-node power-law topologies"
+        ),
+        default_seed=17,
+        trial_fn=_scaling_topology.scaling_topology_trial,
+        build=lambda spec, scale, seed: (
+            _scaling_topology.scaling_topology_specs(scale, seed)
+        ),
+        merge=_scaling_topology.merge_scaling_topology,
+        render=_render_scaling_topology,
+        summarize=_summarize_scaling_topology,
     ),
     "ablation": CampaignDefinition(
         name="ablation",
@@ -444,6 +507,9 @@ class CampaignOutcome:
     seeds: List[int]
     elapsed: float
     num_trials: int
+    #: High-water-mark RSS of the parent process over the run (bytes;
+    #: report-only — absolute values are noisy on shared 1-core runners).
+    peak_rss_bytes: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
     replicates: List[ReplicateResult] = field(default_factory=list)
 
@@ -462,6 +528,7 @@ class CampaignOutcome:
             "seeds": self.seeds,
             "num_trials": self.num_trials,
             "elapsed_s": round(self.elapsed, 4),
+            "peak_rss_bytes": int(self.peak_rss_bytes),
             "shards": [
                 {
                     "shard": report.shard,
@@ -537,11 +604,14 @@ def run_campaign(
     finally:
         if server is not None:
             server.stop()
+    from repro.obs.serve import read_peak_rss_bytes
+
     outcome = CampaignOutcome(
         spec=spec,
         seeds=seeds,
         elapsed=elapsed,
         num_trials=len(specs),
+        peak_rss_bytes=read_peak_rss_bytes(),
         shards=sorted(shards, key=lambda report: report.shard),
     )
     offset = 0

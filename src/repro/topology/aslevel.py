@@ -22,12 +22,38 @@ that the tomography algorithms observe.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import TopologyError
 from repro.topology.graph import Link, Network, Path
-from repro.topology.routing import RouterRoute
+from repro.topology.routing import RouterRoute, SparseRouteTable
+
+
+class IdentityAsnMap(MappingABC):
+    """The identity router->AS mapping, in O(1) memory.
+
+    AS-level graphs (CAIDA as-rel, the synthetic power-law generator) make
+    every node its own AS; materialising ``{n: n}`` for a 10k-node snapshot
+    wastes megabytes on a tautology. Combined with
+    ``AsLevelBuilder(..., copy_mapping=False)`` the builder never holds a
+    per-node dict at all.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self._num_nodes = int(num_nodes)
+
+    def __getitem__(self, node: int) -> int:
+        if 0 <= node < self._num_nodes:
+            return node
+        raise KeyError(node)
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._num_nodes))
 
 
 @dataclass(frozen=True)
@@ -58,6 +84,15 @@ class AsLevelBuilder:
     include_source_as:
         Keep links belonging to ``source_asn`` when true (default), so tests
         can exercise full paths; experiment topologies set this to False.
+    sparse_paths:
+        Store accepted link sequences in a CSR
+        :class:`~repro.topology.routing.SparseRouteTable` instead of a list
+        of Python tuples — the memory-bounded path for internet-scale
+        sweeps. The built :class:`Network` is identical either way.
+    copy_mapping:
+        Defensive-copy ``asn_of_router`` (default, the historical
+        behaviour). Pass ``False`` with a shared or virtual mapping (e.g.
+        :class:`IdentityAsnMap`) to avoid materialising a per-router dict.
     """
 
     def __init__(
@@ -65,13 +100,17 @@ class AsLevelBuilder:
         asn_of_router: Mapping[int, int],
         source_asn: Optional[int] = None,
         include_source_as: bool = True,
+        sparse_paths: bool = False,
+        copy_mapping: bool = True,
     ) -> None:
-        self._asn_of = dict(asn_of_router)
+        self._asn_of = dict(asn_of_router) if copy_mapping else asn_of_router
         self._source_asn = source_asn
         self._include_source_as = include_source_as
         self._link_index: Dict[_SegmentKey, int] = {}
         self._links: List[Link] = []
-        self._paths: List[Tuple[int, ...]] = []
+        self._paths: Union[List[Tuple[int, ...]], SparseRouteTable] = (
+            SparseRouteTable() if sparse_paths else []
+        )
         self._edge_ids: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
@@ -167,14 +206,20 @@ class AsLevelBuilder:
             link_sequence.append(index)
         if not link_sequence or len(set(link_sequence)) != len(link_sequence):
             return False
-        self._paths.append(tuple(link_sequence))
+        if isinstance(self._paths, SparseRouteTable):
+            self._paths.append(link_sequence)
+        else:
+            self._paths.append(tuple(link_sequence))
         return True
 
     def build(self, name: str = "as-level") -> Network:
         """Assemble the AS-level :class:`Network` from all accepted routes."""
-        if not self._paths:
+        if not len(self._paths):
             raise TopologyError("AsLevelBuilder: no valid routes were added")
-        paths = [Path(index=i, links=links) for i, links in enumerate(self._paths)]
+        paths = [
+            Path(index=i, links=tuple(int(link) for link in links))
+            for i, links in enumerate(self._paths)
+        ]
         return Network(self._links, paths, name=name)
 
     @property

@@ -8,15 +8,27 @@ into the AS-level network the tomography algorithms observe.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.exceptions import TopologyError
+from repro.obs import gauge
 from repro.util.rng import RandomState, as_generator
 
 #: A router-level route: a sequence of router identifiers.
 RouterRoute = Tuple[int, ...]
+
+_ORACLE_ENTRIES = gauge(
+    "repro_route_oracle_entries",
+    "Memoised routes currently held by the RouteOracle",
+)
+_ORACLE_HIT_RATE = gauge(
+    "repro_route_oracle_hit_rate",
+    "Fraction of RouteOracle lookups answered from the memo",
+)
 
 
 def shortest_route(graph: nx.Graph, source: int, target: int) -> Optional[RouterRoute]:
@@ -62,32 +74,73 @@ class RouteOracle:
     per (source, target) pair, the deterministic shortest route — producing
     routes identical to :func:`shortest_route` / :func:`load_balanced_route`
     call-for-call.
+
+    ``max_entries`` bounds each memo dict with least-recently-used
+    eviction, so internet-scale sweeps (millions of probed pairs) cannot
+    grow the oracle without bound; ``None`` keeps the historical unbounded
+    behaviour. Cached-vs-evicted answers are identical, only recomputed.
     """
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(self, graph: nx.Graph, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise TopologyError("RouteOracle: max_entries must be >= 1 or None")
         self.graph = graph
-        self._shortest: dict = {}
-        self._ecmp: dict = {}
-        self._predecessors: dict = {}
+        self.max_entries = max_entries
+        self._shortest: OrderedDict = OrderedDict()
+        self._ecmp: OrderedDict = OrderedDict()
+        self._predecessors: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _touch(self, memo: OrderedDict, key) -> None:
+        """Record a hit: refresh LRU order and the exported gauges."""
+        self.hits += 1
+        if self.max_entries is not None:
+            memo.move_to_end(key)
+        self._export()
+
+    def _store(self, memo: OrderedDict, key, value) -> None:
+        """Record a miss: insert and evict the least recently used entry."""
+        self.misses += 1
+        memo[key] = value
+        if self.max_entries is not None and len(memo) > self.max_entries:
+            memo.popitem(last=False)
+        self._export()
+
+    def _export(self) -> None:
+        _ORACLE_ENTRIES.set(float(self.num_entries))
+        total = self.hits + self.misses
+        if total:
+            _ORACLE_HIT_RATE.set(self.hits / total)
+
+    @property
+    def num_entries(self) -> int:
+        """Memoised entries currently held across all memo dicts."""
+        return len(self._shortest) + len(self._ecmp) + len(self._predecessors)
 
     def shortest(self, source: int, target: int) -> Optional[RouterRoute]:
         """Cached :func:`shortest_route`."""
         key = (source, target)
         try:
-            return self._shortest[key]
+            route = self._shortest[key]
         except KeyError:
             route = shortest_route(self.graph, source, target)
-            self._shortest[key] = route
+            self._store(self._shortest, key, route)
             return route
+        self._touch(self._shortest, key)
+        return route
 
     def _equal_cost_routes(
         self, source: int, target: int
     ) -> Optional[List[RouterRoute]]:
         key = (source, target)
         try:
-            return self._ecmp[key]
+            routes = self._ecmp[key]
         except KeyError:
             pass
+        else:
+            self._touch(self._ecmp, key)
+            return routes
         try:
             # Private networkx helper: exactly the enumeration
             # all_shortest_paths performs on its internally-computed
@@ -115,12 +168,19 @@ class RouteOracle:
                 except nx.NodeNotFound:
                     pred = {}
                 self._predecessors[source] = pred
+                if (
+                    self.max_entries is not None
+                    and len(self._predecessors) > self.max_entries
+                ):
+                    self._predecessors.popitem(last=False)
+            elif self.max_entries is not None:
+                self._predecessors.move_to_end(source)
             if target in pred:
                 routes = [
                     tuple(p)
                     for p in _build_paths_from_predecessors({source}, target, pred)
                 ]
-        self._ecmp[key] = routes
+        self._store(self._ecmp, key, routes)
         return routes
 
     def load_balanced(
@@ -167,3 +227,253 @@ def select_endpoint_pairs(
         )
     chosen = rng.choice(len(all_pairs), size=count, replace=False)
     return [all_pairs[int(i)] for i in chosen]
+
+
+def select_endpoint_pairs_lazy(
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    count: int,
+    random_state: RandomState = None,
+) -> List[Tuple[int, int]]:
+    """Pick ``count`` distinct pairs without enumerating all O(V*D) of them.
+
+    The sparse large-topology path's replacement for
+    :func:`select_endpoint_pairs`: pairs are addressed as indices into the
+    virtual grid ``sources x destinations`` and drawn by rejection sampling
+    (O(count) memory) when the grid is sparse enough, falling back to one
+    index permutation otherwise. The pools must be disjoint — on the
+    derived monitoring deployments destinations are drawn from the
+    non-vantage nodes, so no ``s == d`` pair can occur.
+
+    The draw order is deterministic in ``random_state`` but intentionally
+    *not* identical to :func:`select_endpoint_pairs` (whose draws are part
+    of the bundled datasets' identity); callers comparing dense and sparse
+    topology paths must use this selector on both sides.
+    """
+    if not len(sources) or not len(destinations):
+        raise TopologyError("select_endpoint_pairs_lazy: empty pool")
+    if set(sources) & set(destinations):
+        raise TopologyError(
+            "select_endpoint_pairs_lazy: source/destination pools overlap"
+        )
+    total = len(sources) * len(destinations)
+    if total < count:
+        raise TopologyError(
+            f"requested {count} endpoint pairs but only {total} exist"
+        )
+    rng = as_generator(random_state)
+    if 4 * count >= total:
+        chosen = rng.permutation(total)[:count]
+    else:
+        seen: set = set()
+        picks: List[int] = []
+        while len(picks) < count:
+            index = int(rng.integers(total))
+            if index not in seen:
+                seen.add(index)
+                picks.append(index)
+        chosen = np.asarray(picks)
+    width = len(destinations)
+    return [
+        (int(sources[int(i) // width]), int(destinations[int(i) % width]))
+        for i in chosen
+    ]
+
+
+def bfs_parents_graph(graph: nx.Graph, source: int) -> dict:
+    """First-discovery BFS parent map with ascending-neighbour tie-breaks.
+
+    Unlike ``nx.shortest_path`` (bidirectional search, whose tie-breaks
+    depend on which frontier meets first), this plain FIFO BFS visiting
+    neighbours in ascending node order is reproducible by the array-based
+    :meth:`CompactGraph.bfs_parents` — the property the scaling campaign's
+    dense/sparse bit-identity rests on. One BFS serves every destination.
+    """
+    parents = {source: source}
+    frontier = [source]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in sorted(graph.neighbors(node)):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return parents
+
+
+def route_from_parents(parents, source: int, target: int) -> Optional[RouterRoute]:
+    """Walk a BFS parent map/array back from ``target`` to ``source``.
+
+    Works on both the dict produced by :func:`bfs_parents_graph` and the
+    int array produced by :meth:`CompactGraph.bfs_parents` (where ``-1``
+    marks unreachable nodes).
+    """
+    if isinstance(parents, dict):
+        if target not in parents:
+            return None
+        get = parents.__getitem__
+    else:
+        if target >= len(parents) or parents[int(target)] < 0:
+            return None
+        get = lambda node: int(parents[node])  # noqa: E731
+    route = [int(target)]
+    node = int(target)
+    while node != source:
+        node = get(node)
+        route.append(node)
+    route.reverse()
+    return tuple(route)
+
+
+class CompactGraph:
+    """An undirected graph as CSR adjacency arrays over dense node ids.
+
+    The sparse counterpart of the router-level ``nx.Graph``: neighbours
+    live in two flat numpy arrays (``indptr``/``neighbors``) instead of
+    per-node dict-of-dicts, cutting a 10k-node AS graph from tens of MB of
+    Python objects to a few hundred KB. Neighbour lists are sorted
+    ascending, so :meth:`bfs_parents` discovers nodes in exactly the order
+    :func:`bfs_parents_graph` does on the equivalent ``nx.Graph``.
+    """
+
+    __slots__ = ("num_nodes", "indptr", "neighbors")
+
+    def __init__(self, num_nodes: int, indptr: np.ndarray, neighbors: np.ndarray):
+        self.num_nodes = int(num_nodes)
+        self.indptr = indptr
+        self.neighbors = neighbors
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, src: np.ndarray, dst: np.ndarray
+    ) -> "CompactGraph":
+        """Build from edge endpoint arrays (self-loops and dupes dropped)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise TopologyError("CompactGraph: src/dst arrays differ in length")
+        if num_nodes < 1:
+            raise TopologyError("CompactGraph: need at least one node")
+        if src.size and (
+            src.min() < 0 or dst.min() < 0
+            or src.max() >= num_nodes or dst.max() >= num_nodes
+        ):
+            raise TopologyError("CompactGraph: edge endpoint out of range")
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        # Both directions, sorted by (node, neighbour) in one key so each
+        # adjacency slice comes out ascending; duplicate edges collapse.
+        tails = np.concatenate([src, dst])
+        heads = np.concatenate([dst, src])
+        keys = tails * num_nodes + heads
+        keys = np.unique(keys)
+        tails = keys // num_nodes
+        heads = keys % num_nodes
+        degrees = np.bincount(tails, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        return cls(num_nodes, indptr, heads.astype(np.uint32))
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count."""
+        return int(self.neighbors.size) // 2
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the adjacency arrays."""
+        return int(self.indptr.nbytes + self.neighbors.nbytes)
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node`` (a view, do not mutate)."""
+        return self.neighbors[self.indptr[node] : self.indptr[node + 1]]
+
+    def bfs_parents(self, source: int) -> np.ndarray:
+        """First-discovery BFS parent array (``-1`` = unreachable).
+
+        Mirrors :func:`bfs_parents_graph` node for node: FIFO frontier,
+        neighbours ascending, ``parents[source] == source``.
+        """
+        parents = np.full(self.num_nodes, -1, dtype=np.int64)
+        parents[source] = source
+        frontier = np.array([source], dtype=np.int64)
+        indptr, neighbors = self.indptr, self.neighbors
+        while frontier.size:
+            # Gather every frontier node's adjacency slice; first write
+            # wins within a level because slices are visited in frontier
+            # (discovery) order and neighbours ascend within each slice.
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in neighbors[indptr[node] : indptr[node + 1]]:
+                    neighbor = int(neighbor)
+                    if parents[neighbor] < 0:
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = np.asarray(next_frontier, dtype=np.int64)
+        return parents
+
+
+class SparseRouteTable:
+    """Append-only CSR store for route sequences (router or link ids).
+
+    Replaces per-route Python tuples with two flat arrays — ``indptr``
+    (int64 offsets) and ``items`` (uint32 ids) — grown by capacity
+    doubling. 10k routes of average length 12 cost ~0.5 MB instead of the
+    several MB of tuple/int objects, and reading a route back is a zero-copy
+    array view.
+    """
+
+    _INITIAL_ROUTES = 64
+    _INITIAL_ITEMS = 1024
+
+    def __init__(self) -> None:
+        self._indptr = np.zeros(self._INITIAL_ROUTES + 1, dtype=np.int64)
+        self._items = np.empty(self._INITIAL_ITEMS, dtype=np.uint32)
+        self._num_routes = 0
+
+    def __len__(self) -> int:
+        return self._num_routes
+
+    @property
+    def num_items(self) -> int:
+        """Total ids stored across all routes."""
+        return int(self._indptr[self._num_routes])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing arrays (capacity, not just fill)."""
+        return int(self._indptr.nbytes + self._items.nbytes)
+
+    def append(self, sequence) -> int:
+        """Store one route; returns its index."""
+        row = np.asarray(sequence, dtype=np.uint32)
+        if row.ndim != 1:
+            raise TopologyError("SparseRouteTable: route must be a 1-D sequence")
+        start = self.num_items
+        stop = start + row.size
+        if self._num_routes + 1 >= self._indptr.size:
+            grown = np.zeros(2 * self._indptr.size, dtype=np.int64)
+            grown[: self._indptr.size] = self._indptr
+            self._indptr = grown
+        if stop > self._items.size:
+            grown = np.empty(max(stop, 2 * self._items.size), dtype=np.uint32)
+            grown[:start] = self._items[:start]
+            self._items = grown
+        self._items[start:stop] = row
+        self._num_routes += 1
+        self._indptr[self._num_routes] = stop
+        return self._num_routes - 1
+
+    def route(self, index: int) -> np.ndarray:
+        """The ``index``-th route as a zero-copy uint32 view."""
+        if not 0 <= index < self._num_routes:
+            raise TopologyError(f"SparseRouteTable: no route {index}")
+        return self._items[self._indptr[index] : self._indptr[index + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for index in range(self._num_routes):
+            yield self.route(index)

@@ -1,0 +1,146 @@
+"""Sparse-storage EquationSystem: bit-identical to dense, far smaller.
+
+The sparse mode stores rows as (column, value) entry runs and the solve
+deduplicates on those keys before densifying only the unique rows —
+every solution field must match the dense mode exactly (same floats, not
+approximately), because the estimators expose ``sparse`` as a pure
+storage switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.linalg.system import EquationSystem, SystemWorkspace
+
+
+def _random_system(
+    num_rows: int,
+    num_unknowns: int,
+    seed: int,
+    duplicate_fraction: float = 0.3,
+):
+    """Random sparse boolean rows + rhs/weights, with duplicated rows."""
+    rng = np.random.default_rng(seed)
+    rows = (rng.random((num_rows, num_unknowns)) < 0.15).astype(float)
+    rows[rows.sum(axis=1) == 0, 0] = 1.0  # no empty equations
+    duplicates = rng.random(num_rows) < duplicate_fraction
+    rows[duplicates] = rows[0]
+    rhs = -rng.random(num_rows)
+    weights = 0.5 + rng.random(num_rows)
+    return rows, rhs, weights
+
+
+def _fill(system: EquationSystem, rows, rhs, weights, prior_rows=None):
+    system.add_batch(rows, rhs, weights)
+    if prior_rows is not None:
+        p_rows, p_rhs, p_weights = prior_rows
+        system.add_batch(p_rows, p_rhs, p_weights, prior=True)
+    return system
+
+
+def _assert_solutions_identical(dense_solution, sparse_solution):
+    assert np.array_equal(dense_solution.values, sparse_solution.values)
+    assert np.array_equal(
+        dense_solution.identifiable, sparse_solution.identifiable
+    )
+    assert dense_solution.rank == sparse_solution.rank
+    assert dense_solution.residual == sparse_solution.residual
+
+
+@pytest.mark.parametrize("upper_bound", [None, 0.0])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sparse_solve_bit_identical_to_dense(seed, upper_bound):
+    rows, rhs, weights = _random_system(120, 40, seed)
+    dense = _fill(EquationSystem(40), rows, rhs, weights)
+    sparse = _fill(EquationSystem(40, sparse=True), rows, rhs, weights)
+    _assert_solutions_identical(
+        dense.solve(upper_bound=upper_bound),
+        sparse.solve(upper_bound=upper_bound),
+    )
+
+
+def test_sparse_solve_with_priors_matches_dense():
+    rows, rhs, weights = _random_system(60, 25, seed=5)
+    priors = (np.eye(25), np.full(25, -0.1), np.full(25, 0.01))
+    dense = _fill(EquationSystem(25), rows, rhs, weights, priors)
+    sparse = _fill(EquationSystem(25, sparse=True), rows, rhs, weights, priors)
+    _assert_solutions_identical(
+        dense.solve(upper_bound=0.0), sparse.solve(upper_bound=0.0)
+    )
+
+
+def test_sparse_only_prior_equations_rejected():
+    system = EquationSystem(4, sparse=True)
+    system.add_batch(np.eye(4), np.zeros(4), np.ones(4), prior=True)
+    with pytest.raises(EstimationError, match="only prior"):
+        system.solve()
+
+
+def test_add_sparse_batch_canonicalises_column_order():
+    """Unsorted per-row columns must still dedupe against sorted ones."""
+    reference = EquationSystem(6)
+    reference.add_batch(
+        np.array([[1.0, 0, 1.0, 0, 0, 1.0], [1.0, 0, 1.0, 0, 0, 1.0]]),
+        np.array([-0.5, -0.5]),
+        np.array([1.0, 1.0]),
+    )
+    system = EquationSystem(6, sparse=True)
+    system.add_sparse_batch(
+        np.array([0, 2, 5, 5, 0, 2]),  # second row descending-ish
+        np.array([3, 3]),
+        np.array([-0.5, -0.5]),
+        np.array([1.0, 1.0]),
+    )
+    assert np.array_equal(system.matrix, reference.matrix)
+    _assert_solutions_identical(reference.solve(), system.solve())
+
+
+def test_sparse_matrix_property_materialises_rows():
+    rows, rhs, weights = _random_system(30, 12, seed=3)
+    sparse = _fill(EquationSystem(12, sparse=True), rows, rhs, weights)
+    assert np.array_equal(sparse.matrix, rows)
+    assert np.array_equal(sparse.rhs, rhs)
+    assert np.array_equal(sparse.weights, weights)
+
+
+def test_workspace_backed_sparse_system_and_generation_guard():
+    workspace = SystemWorkspace()
+    rows, rhs, weights = _random_system(50, 20, seed=8)
+    first = _fill(
+        EquationSystem(20, workspace=workspace, sparse=True),
+        rows,
+        rhs,
+        weights,
+    )
+    expected = _fill(EquationSystem(20), rows, rhs, weights).solve()
+    _assert_solutions_identical(expected, first.solve())
+    # A newer system recycles the arena; the old handle must refuse.
+    second = EquationSystem(20, workspace=workspace, sparse=True)
+    with pytest.raises(EstimationError, match="recycled"):
+        first.solve()
+    del second
+
+
+def test_workspace_alternates_dense_and_sparse_modes():
+    workspace = SystemWorkspace()
+    rows, rhs, weights = _random_system(40, 15, seed=9)
+    dense = _fill(EquationSystem(15, workspace=workspace), rows, rhs, weights)
+    dense_solution = dense.solve()
+    sparse = _fill(
+        EquationSystem(15, workspace=workspace, sparse=True), rows, rhs, weights
+    )
+    _assert_solutions_identical(dense_solution, sparse.solve())
+
+
+def test_storage_nbytes_reflects_the_two_layouts():
+    rows, rhs, weights = _random_system(200, 80, seed=4, duplicate_fraction=0)
+    dense = _fill(EquationSystem(80), rows, rhs, weights)
+    sparse = _fill(EquationSystem(80, sparse=True), rows, rhs, weights)
+    entries = int(np.count_nonzero(rows))
+    per_row = 200 * (8 + 8 + 1)
+    assert dense.storage_nbytes == 200 * 80 * 8 + per_row
+    assert sparse.storage_nbytes == entries * 16 + 200 * 8 + per_row
+    assert sparse.storage_nbytes < dense.storage_nbytes / 2

@@ -1,0 +1,88 @@
+"""Estimator-level sparse-vs-dense equivalence.
+
+``EstimatorConfig.sparse`` flips the equation system into entry-run
+storage; every estimator must produce the *same* model — exact estimate
+floats, identifiability flags, rank, residual, selected path sets — as
+the dense configuration, on cold fits and through a shared workspace.
+This is the contract the scaling-topology campaign's digests enforce
+end-to-end; here it is pinned per estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.probability.base import EstimatorConfig
+from repro.probability.pipeline import SharedFitWorkspace
+from repro.probability.registry import make_estimator
+from repro.simulation.experiment import run_experiment
+from repro.simulation.probing import PathProber
+from repro.simulation.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+
+ESTIMATORS = [
+    "Independence",
+    "Correlation-heuristic",
+    "Correlation-complete",
+    "Correlation-complete (no redundancy)",
+]
+
+
+@pytest.fixture(scope="module")
+def experiment(small_brite):
+    scenario = build_scenario(
+        small_brite, ScenarioConfig(kind=ScenarioKind.NO_INDEPENDENCE), 11
+    )
+    return run_experiment(
+        scenario, 400, prober=PathProber(num_packets=40), random_state=12
+    )
+
+
+def _assert_fits_identical(dense, sparse):
+    assert dense._good == sparse._good  # exact float equality
+    assert dense._identifiable == sparse._identifiable
+    assert dense.always_good_links == sparse.always_good_links
+    dense_report, sparse_report = dense.report, sparse.report
+    assert dense_report.num_unknowns == sparse_report.num_unknowns
+    assert dense_report.num_equations == sparse_report.num_equations
+    assert dense_report.rank == sparse_report.rank
+    assert dense_report.num_identifiable == sparse_report.num_identifiable
+    assert dense_report.residual == sparse_report.residual
+    assert dense_report.path_sets == sparse_report.path_sets
+    assert np.array_equal(dense.link_marginals(), sparse.link_marginals())
+
+
+@pytest.mark.parametrize("name", ESTIMATORS)
+@pytest.mark.parametrize("subset_size", [1, 2])
+def test_sparse_flag_is_bit_identical(name, subset_size, small_brite, experiment):
+    """Dense and sparse fits agree, eagerly and with lazy admission."""
+    observations = experiment.observations
+    dense = make_estimator(
+        name, EstimatorConfig(requested_subset_size=subset_size, seed=3)
+    ).fit(small_brite, observations)
+    sparse = make_estimator(
+        name,
+        EstimatorConfig(requested_subset_size=subset_size, sparse=True, seed=3),
+    ).fit(small_brite, observations)
+    _assert_fits_identical(dense, sparse)
+    # The storage switch is the only difference: sparse rows must be
+    # strictly lighter than the dense equations x unknowns matrix.
+    if sparse.report.num_equations:
+        assert (
+            sparse.report.equation_storage_bytes
+            < dense.report.equation_storage_bytes
+        )
+
+
+@pytest.mark.parametrize("name", ESTIMATORS)
+def test_sparse_through_shared_workspace(name, small_brite, experiment):
+    """One workspace alternating dense and sparse fits never cross-talks."""
+    observations = experiment.observations
+    workspace = SharedFitWorkspace(observations)
+    dense = make_estimator(name, EstimatorConfig(seed=3)).fit(
+        small_brite, observations, workspace=workspace
+    )
+    sparse = make_estimator(name, EstimatorConfig(sparse=True, seed=3)).fit(
+        small_brite, observations, workspace=workspace
+    )
+    _assert_fits_identical(dense, sparse)

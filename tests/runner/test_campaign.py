@@ -25,6 +25,7 @@ def test_registry_contents():
         "ablation",
         "realworld",
         "mitigation",
+        "scaling-topology",
     }
     for definition in CAMPAIGNS.values():
         assert definition.description

@@ -1,0 +1,187 @@
+"""Sparse large-topology routing structures.
+
+The internet-scale path replaces per-object Python structures with flat
+arrays: :class:`CompactGraph` (CSR adjacency), :class:`SparseRouteTable`
+(CSR route storage), :func:`select_endpoint_pairs_lazy` (O(count) pair
+selection), plus the deterministic BFS shared by both graph backends.
+The load-bearing property throughout is *identity* with the eager
+``networkx`` equivalents — the sparse structures may only change memory,
+never a route.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import TopologyError
+from repro.topology.routing import (
+    CompactGraph,
+    RouteOracle,
+    SparseRouteTable,
+    bfs_parents_graph,
+    route_from_parents,
+    select_endpoint_pairs_lazy,
+    shortest_route,
+)
+
+
+def _random_graph(num_nodes: int, num_edges: int, seed: int):
+    """A random connected-ish multigraph as edge arrays + its nx.Graph."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(num_nodes, size=num_edges).astype(np.uint32)
+    dst = rng.integers(num_nodes, size=num_edges).astype(np.uint32)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    graph.add_edges_from(
+        (int(a), int(b)) for a, b in zip(src, dst) if int(a) != int(b)
+    )
+    return src, dst, graph
+
+
+class TestCompactGraph:
+    def test_matches_nx_adjacency(self):
+        src, dst, graph = _random_graph(60, 150, seed=1)
+        compact = CompactGraph.from_edges(60, src, dst)
+        assert compact.num_edges == graph.number_of_edges()
+        for node in range(60):
+            assert list(compact.neighbors_of(node)) == sorted(graph.neighbors(node))
+            assert compact.degree(node) == graph.degree(node)
+
+    def test_drops_self_loops_and_duplicate_edges(self):
+        compact = CompactGraph.from_edges(
+            4, np.array([0, 0, 0, 2, 1]), np.array([1, 1, 0, 3, 0])
+        )
+        assert compact.num_edges == 2
+        assert list(compact.neighbors_of(0)) == [1]
+
+    def test_rejects_out_of_range_endpoints(self):
+        with pytest.raises(TopologyError, match="out of range"):
+            CompactGraph.from_edges(3, np.array([0]), np.array([5]))
+        with pytest.raises(TopologyError, match="differ in length"):
+            CompactGraph.from_edges(3, np.array([0, 1]), np.array([2]))
+
+    def test_bfs_parents_identical_to_nx_backend(self):
+        """Every (source, target) route agrees between the two backends."""
+        src, dst, graph = _random_graph(80, 200, seed=7)
+        compact = CompactGraph.from_edges(80, src, dst)
+        for source in (0, 13, 79):
+            dict_parents = bfs_parents_graph(graph, source)
+            array_parents = compact.bfs_parents(source)
+            for target in range(80):
+                dense = route_from_parents(dict_parents, source, target)
+                sparse = route_from_parents(array_parents, source, target)
+                assert dense == sparse
+                if dense is not None:
+                    # Same hop count as a true shortest path.
+                    expected = shortest_route(graph, source, target)
+                    assert len(dense) == len(expected)
+
+    def test_unreachable_targets_return_none(self):
+        compact = CompactGraph.from_edges(4, np.array([0]), np.array([1]))
+        parents = compact.bfs_parents(0)
+        assert route_from_parents(parents, 0, 3) is None
+        assert route_from_parents({0: 0}, 0, 3) is None
+
+    def test_nbytes_is_array_backed(self):
+        compact = CompactGraph.from_edges(
+            10_000, *map(np.asarray, _random_graph(10_000, 20_000, seed=3)[:2])
+        )
+        # CSR storage: well under 1MB where nx dict-of-dicts costs tens.
+        assert compact.nbytes < 1_000_000
+
+
+class TestSparseRouteTable:
+    def test_appends_and_reads_back(self):
+        table = SparseRouteTable()
+        routes = [(1, 5, 9), (2,), (7, 7, 7, 7)]
+        for route in routes:
+            table.append(route)
+        assert len(table) == 3
+        assert table.num_items == 8
+        for index, route in enumerate(routes):
+            assert tuple(table.route(index)) == route
+        assert [tuple(r) for r in table] == [tuple(r) for r in routes]
+
+    def test_growth_past_initial_capacity(self):
+        table = SparseRouteTable()
+        expected = []
+        rng = np.random.default_rng(11)
+        for index in range(500):
+            route = tuple(int(x) for x in rng.integers(1000, size=1 + index % 30))
+            expected.append(route)
+            assert table.append(route) == index
+        assert [tuple(r) for r in table] == expected
+
+    def test_rejects_non_1d_routes_and_bad_indices(self):
+        table = SparseRouteTable()
+        with pytest.raises(TopologyError, match="1-D"):
+            table.append([[1, 2], [3, 4]])
+        table.append([1, 2])
+        with pytest.raises(TopologyError, match="no route 5"):
+            table.route(5)
+
+
+class TestSelectEndpointPairsLazy:
+    def test_deterministic_distinct_and_disjoint(self):
+        sources = list(range(10))
+        destinations = list(range(100, 400))
+        first = select_endpoint_pairs_lazy(sources, destinations, 200, 5)
+        second = select_endpoint_pairs_lazy(sources, destinations, 200, 5)
+        assert first == second
+        assert len(set(first)) == 200
+        for source, destination in first:
+            assert source in range(10)
+            assert destination in range(100, 400)
+
+    def test_both_sampling_branches(self):
+        sources, destinations = [0, 1], [10, 11, 12]
+        # 4 * count >= total: permutation branch, exhaustive draw works.
+        dense = select_endpoint_pairs_lazy(sources, destinations, 6, 2)
+        assert sorted(set(dense)) == [(s, d) for s in sources for d in destinations]
+        # Rejection branch on a large virtual grid: O(count) memory.
+        sparse = select_endpoint_pairs_lazy(range(1000), range(1000, 3000), 50, 2)
+        assert len(set(sparse)) == 50
+
+    def test_errors(self):
+        with pytest.raises(TopologyError, match="empty pool"):
+            select_endpoint_pairs_lazy([], [1], 1, 0)
+        with pytest.raises(TopologyError, match="overlap"):
+            select_endpoint_pairs_lazy([1, 2], [2, 3], 1, 0)
+        with pytest.raises(TopologyError, match="only 4 exist"):
+            select_endpoint_pairs_lazy([0, 1], [2, 3], 5, 0)
+
+
+class TestRouteOracleBound:
+    def test_lru_cap_bounds_entries_with_identical_answers(self):
+        graph = nx.path_graph(30)
+        unbounded = RouteOracle(graph)
+        bounded = RouteOracle(graph, max_entries=4)
+        pairs = [(0, t) for t in range(1, 25)] + [(0, t) for t in range(1, 25)]
+        for source, target in pairs:
+            assert bounded.shortest(source, target) == unbounded.shortest(
+                source, target
+            )
+        assert len(bounded._shortest) <= 4
+        # The second pass of an unbounded oracle is all hits; the bounded
+        # one recomputed evicted pairs but never answered differently.
+        assert unbounded.hits > 0
+        assert bounded.misses > unbounded.misses
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(TopologyError, match="max_entries"):
+            RouteOracle(nx.path_graph(3), max_entries=0)
+
+    def test_exports_size_and_hit_rate_gauges(self):
+        graph = nx.path_graph(10)
+        with obs.use_mode("metrics"), obs.capture_metrics() as captured:
+            oracle = RouteOracle(graph, max_entries=8)
+            oracle.shortest(0, 5)
+            oracle.shortest(0, 5)
+        gauges = {
+            name: value for name, _labels, value in captured.snapshot()["gauges"]
+        }
+        assert gauges["repro_route_oracle_entries"] == float(oracle.num_entries)
+        assert gauges["repro_route_oracle_hit_rate"] == 0.5
